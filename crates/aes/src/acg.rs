@@ -1,0 +1,156 @@
+//! The AES application characterization graph (Figure 6a of the paper).
+
+use noc_graph::Acg;
+
+use crate::Aes128;
+
+/// Number of nodes in the distributed AES implementation.
+pub const AES_NODES: usize = 16;
+
+/// Builds the 16-node AES ACG with per-block communication volumes.
+///
+/// Structure (node `4r + c` holds state byte row `r`, column `c`):
+///
+/// * every column `{c, c+4, c+8, c+12}` communicates all-to-all
+///   (MixColumns — the gossip patterns the decomposition maps to `MGG4`),
+///   with `9 rounds x 8 bits` per edge;
+/// * every row `r > 0` forms a circular shift by `r` (ShiftRows), with
+///   `10 rounds x 8 bits` per edge. Rows shifted by 1 and 3 are directed
+///   4-cycles (the `L4` loops); the row shifted by 2 is a pair of 2-cycles
+///   that matches no library primitive — exactly the remainder graph the
+///   paper reports.
+///
+/// `bandwidth_bps` sets `b(e)` uniformly (pass the per-edge rate implied by
+/// your target block rate; 0.0 disables bandwidth constraints).
+pub fn aes_acg(bandwidth_bps: f64) -> Acg {
+    let node = |r: usize, c: usize| 4 * r + c;
+    let mut builder = Acg::builder(AES_NODES);
+    for n in 0..AES_NODES {
+        builder = builder.name(n, format!("byte-r{}c{}", n / 4, n % 4));
+    }
+    // MixColumns: gossip within each column, 9 rounds of one byte per edge.
+    let mc_volume = (Aes128::ROUNDS - 1) as f64 * 8.0;
+    for c in 0..4 {
+        for r_src in 0..4 {
+            for r_dst in 0..4 {
+                if r_src != r_dst {
+                    builder =
+                        builder.demand(node(r_src, c), node(r_dst, c), mc_volume, bandwidth_bps);
+                }
+            }
+        }
+    }
+    // ShiftRows: receiver (r, c) takes the byte of (r, (c + r) % 4), 10
+    // rounds of one byte per edge.
+    let sr_volume = Aes128::ROUNDS as f64 * 8.0;
+    for r in 1..4 {
+        for c in 0..4 {
+            let src = node(r, (c + r) % 4);
+            let dst = node(r, c);
+            builder = builder.demand(src, dst, sr_volume, bandwidth_bps);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_graph::NodeId;
+
+    #[test]
+    fn acg_shape_matches_figure_6a() {
+        let acg = aes_acg(0.0);
+        assert_eq!(acg.core_count(), 16);
+        // 4 columns x 12 gossip edges + 3 rows x 4 shift edges = 60.
+        assert_eq!(acg.graph().edge_count(), 60);
+    }
+
+    #[test]
+    fn first_column_is_all_to_all() {
+        let acg = aes_acg(0.0);
+        // The paper: "vertices 1, 5, 9, 13 of the input graph, which is the
+        // first column" (1-based) = 0, 4, 8, 12 here.
+        for &a in &[0usize, 4, 8, 12] {
+            for &b in &[0usize, 4, 8, 12] {
+                if a != b {
+                    assert!(
+                        acg.graph().has_edge(NodeId(a), NodeId(b)),
+                        "missing column edge {a} -> {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_two_is_a_directed_cycle_row_three_is_two_cycles() {
+        let acg = aes_acg(0.0);
+        // Row 1 (nodes 4..8): shift by 1 => a 4-cycle.
+        let row1: Vec<usize> = (4..8).collect();
+        let out_deg: usize = row1
+            .iter()
+            .map(|&v| {
+                acg.graph()
+                    .successors(NodeId(v))
+                    .filter(|s| (4..8).contains(&s.index()))
+                    .count()
+            })
+            .sum();
+        assert_eq!(out_deg, 4);
+        // Row 2 (nodes 8..12): shift by 2 => two antiparallel pairs
+        // (8 <-> 10, 9 <-> 11): the remainder graph of the paper's output.
+        assert!(acg.graph().has_edge(NodeId(8), NodeId(10)));
+        assert!(acg.graph().has_edge(NodeId(10), NodeId(8)));
+        assert!(acg.graph().has_edge(NodeId(9), NodeId(11)));
+        assert!(acg.graph().has_edge(NodeId(11), NodeId(9)));
+        assert!(!acg.graph().has_edge(NodeId(8), NodeId(9)));
+    }
+
+    #[test]
+    fn volumes_match_round_counts() {
+        let acg = aes_acg(0.0);
+        // Column edge: 9 rounds x 8 bits.
+        assert_eq!(acg.volume(NodeId(0), NodeId(4)), 72.0);
+        // Row edge (row 1: receiver 4 takes from node(1, (0+1)%4) = 5).
+        assert_eq!(acg.volume(NodeId(5), NodeId(4)), 80.0);
+        // Total: 48 * 72 + 12 * 80 = 4416 bits/block.
+        assert_eq!(acg.total_volume(), 4416.0);
+    }
+
+    #[test]
+    fn bandwidth_is_uniform_when_set() {
+        let acg = aes_acg(2.5e6);
+        for (e, d) in acg.demands() {
+            assert_eq!(d.bandwidth, 2.5e6, "edge {e}");
+        }
+    }
+
+    #[test]
+    fn acg_matches_engine_traffic() {
+        // Every message the engine sends must be an ACG edge, and total
+        // bits must match the ACG volumes.
+        let acg = aes_acg(0.0);
+        let run = crate::DistributedAes::new(&[3; 16]).encrypt_block(&[9; 16]);
+        let mut per_edge: std::collections::BTreeMap<(usize, usize), u64> =
+            std::collections::BTreeMap::new();
+        for phase in &run.trace.phases {
+            for m in &phase.messages {
+                assert!(
+                    acg.graph().has_edge(m.src, m.dst),
+                    "engine message {} -> {} not in ACG",
+                    m.src,
+                    m.dst
+                );
+                *per_edge.entry((m.src.index(), m.dst.index())).or_default() += m.bits;
+            }
+        }
+        for (e, d) in acg.demands() {
+            assert_eq!(
+                per_edge[&(e.src.index(), e.dst.index())] as f64,
+                d.volume,
+                "volume mismatch on {e}"
+            );
+        }
+    }
+}

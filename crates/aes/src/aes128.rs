@@ -1,0 +1,319 @@
+//! Reference AES-128 (FIPS-197).
+//!
+//! The state is stored column-major as in the standard: `state[4*c + r]`
+//! is the byte at row `r`, column `c`.
+
+use crate::gf::gf_mul;
+
+/// The AES S-box, generated at first use from the GF(2^8) inverse plus the
+/// affine transform (no hard-coded table, so the math is exercised).
+fn sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static SBOX: OnceLock<[u8; 256]> = OnceLock::new();
+    SBOX.get_or_init(|| {
+        // Multiplicative inverses via brute force (256^2 is trivial).
+        let mut inv = [0u8; 256];
+        for a in 1..=255u8 {
+            for b in 1..=255u8 {
+                if gf_mul(a, b) == 1 {
+                    inv[a as usize] = b;
+                    break;
+                }
+            }
+        }
+        let mut table = [0u8; 256];
+        for (x, entry) in table.iter_mut().enumerate() {
+            let b = inv[x];
+            let mut y = 0u8;
+            for i in 0..8 {
+                let bit = (b >> i) & 1
+                    ^ (b >> ((i + 4) % 8)) & 1
+                    ^ (b >> ((i + 5) % 8)) & 1
+                    ^ (b >> ((i + 6) % 8)) & 1
+                    ^ (b >> ((i + 7) % 8)) & 1
+                    ^ (0x63 >> i) & 1;
+                y |= bit << i;
+            }
+            *entry = y;
+        }
+        table
+    })
+}
+
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let s = sbox();
+        let mut table = [0u8; 256];
+        for (x, &y) in s.iter().enumerate() {
+            table[y as usize] = x as u8;
+        }
+        table
+    })
+}
+
+/// Applies the S-box to one byte (used by the distributed engine too).
+pub(crate) fn sub_byte(b: u8) -> u8 {
+    sbox()[b as usize]
+}
+
+/// AES-128 with a precomputed key schedule.
+///
+/// # Examples
+///
+/// ```
+/// use noc_aes::Aes128;
+/// let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+///            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c];
+/// let aes = Aes128::new(&key);
+/// let pt = [0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+///           0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34];
+/// let ct = aes.encrypt_block(&pt);
+/// assert_eq!(ct[0], 0x39); // FIPS-197 Appendix B
+/// assert_eq!(aes.decrypt_block(&ct), pt);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Number of rounds in AES-128.
+    pub const ROUNDS: usize = 10;
+
+    /// Expands the cipher key into the 11 round keys.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut words = [[0u8; 4]; 44];
+        for (i, w) in words.iter_mut().take(4).enumerate() {
+            w.copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut temp = words[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = sub_byte(*b);
+                }
+                temp[0] ^= rcon;
+                rcon = crate::gf::xtime(rcon);
+            }
+            for j in 0..4 {
+                words[i][j] = words[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&words[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// The expanded round keys (state layout, column-major).
+    pub fn round_keys(&self) -> &[[u8; 16]; 11] {
+        &self.round_keys
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        let mut s = *plaintext;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for round in 1..=Self::ROUNDS {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            if round != Self::ROUNDS {
+                mix_columns(&mut s);
+            }
+            add_round_key(&mut s, &self.round_keys[round]);
+        }
+        s
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, ciphertext: &[u8; 16]) -> [u8; 16] {
+        let mut s = *ciphertext;
+        add_round_key(&mut s, &self.round_keys[Self::ROUNDS]);
+        for round in (1..=Self::ROUNDS).rev() {
+            inv_shift_rows(&mut s);
+            inv_sub_bytes(&mut s);
+            add_round_key(&mut s, &self.round_keys[round - 1]);
+            if round != 1 {
+                inv_mix_columns(&mut s);
+            }
+        }
+        s
+    }
+}
+
+fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
+    for (b, k) in s.iter_mut().zip(rk) {
+        *b ^= k;
+    }
+}
+
+fn sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = sub_byte(*b);
+    }
+}
+
+fn inv_sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = inv_sbox()[*b as usize];
+    }
+}
+
+/// Row `r` rotates left by `r`: `s'[r][c] = s[r][(c + r) % 4]`.
+fn shift_rows(s: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row: [u8; 4] = [s[r], s[4 + r], s[8 + r], s[12 + r]];
+        for c in 0..4 {
+            s[4 * c + r] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(s: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row: [u8; 4] = [s[r], s[4 + r], s[8 + r], s[12 + r]];
+        for c in 0..4 {
+            s[4 * c + r] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+/// Multiplies each state column by the MDS matrix `{02,03,01,01}`.
+pub(crate) fn mix_column(col: [u8; 4]) -> [u8; 4] {
+    let [a0, a1, a2, a3] = col;
+    [
+        gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3,
+        a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3,
+        a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3),
+        gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2),
+    ]
+}
+
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        let out = mix_column(col);
+        s[4 * c..4 * c + 4].copy_from_slice(&out);
+    }
+}
+
+fn inv_mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let a = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gf_mul(a[0], 14) ^ gf_mul(a[1], 11) ^ gf_mul(a[2], 13) ^ gf_mul(a[3], 9);
+        s[4 * c + 1] = gf_mul(a[0], 9) ^ gf_mul(a[1], 14) ^ gf_mul(a[2], 11) ^ gf_mul(a[3], 13);
+        s[4 * c + 2] = gf_mul(a[0], 13) ^ gf_mul(a[1], 9) ^ gf_mul(a[2], 14) ^ gf_mul(a[3], 11);
+        s[4 * c + 3] = gf_mul(a[0], 11) ^ gf_mul(a[1], 13) ^ gf_mul(a[2], 9) ^ gf_mul(a[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_values() {
+        assert_eq!(sub_byte(0x00), 0x63);
+        assert_eq!(sub_byte(0x53), 0xed);
+        assert_eq!(sub_byte(0xff), 0x16);
+    }
+
+    #[test]
+    fn inv_sbox_inverts() {
+        for x in 0..=255u8 {
+            assert_eq!(inv_sbox()[sub_byte(x) as usize], x);
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expect);
+        assert_eq!(aes.decrypt_block(&expect), pt);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let expect = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expect);
+        assert_eq!(aes.decrypt_block(&expect), pt);
+    }
+
+    #[test]
+    fn key_schedule_first_and_last_words() {
+        // FIPS-197 Appendix A expansion of the Appendix B key.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(&aes.round_keys()[0], &key);
+        // w[43] = b6 63 0c a6 (last word of last round key).
+        let last = &aes.round_keys()[10];
+        assert_eq!(&last[12..16], &[0xb6, 0x63, 0x0c, 0xa6]);
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_random_ish() {
+        let aes = Aes128::new(&[7u8; 16]);
+        let mut block = [0u8; 16];
+        for trial in 0..64u8 {
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = b.wrapping_mul(31).wrapping_add(trial ^ i as u8);
+            }
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn shift_rows_and_inverse() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let orig = s;
+        shift_rows(&mut s);
+        // Row 0 untouched: bytes 0, 4, 8, 12.
+        assert_eq!(s[0], orig[0]);
+        assert_eq!(s[4], orig[4]);
+        // Row 1 rotated left by 1: s'[r=1][c=0] = s[1][1] = byte 5.
+        assert_eq!(s[1], orig[5]);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_matches_fips_example() {
+        // FIPS-197/The Design of Rijndael worked column.
+        assert_eq!(
+            mix_column([0xdb, 0x13, 0x53, 0x45]),
+            [0x8e, 0x4d, 0xa1, 0xbc]
+        );
+        assert_eq!(
+            mix_column([0xf2, 0x0a, 0x22, 0x5c]),
+            [0x9f, 0xdc, 0x58, 0x9d]
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! GF(2^8) arithmetic over the AES polynomial `x^8 + x^4 + x^3 + x + 1`.
+
+/// Multiplies by `x` in GF(2^8) (the `xtime` operation of FIPS-197).
+///
+/// # Examples
+///
+/// ```
+/// use noc_aes::xtime;
+/// assert_eq!(xtime(0x57), 0xae);
+/// assert_eq!(xtime(0xae), 0x47); // overflow reduces by 0x1b
+/// ```
+pub fn xtime(a: u8) -> u8 {
+    let shifted = (a as u16) << 1;
+    let reduced = if a & 0x80 != 0 {
+        shifted ^ 0x11b
+    } else {
+        shifted
+    };
+    reduced as u8
+}
+
+/// Full GF(2^8) multiplication (Russian-peasant style).
+///
+/// # Examples
+///
+/// ```
+/// use noc_aes::gf_mul;
+/// assert_eq!(gf_mul(0x57, 0x13), 0xfe); // FIPS-197 worked example
+/// ```
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xtime_matches_fips_worked_example() {
+        // FIPS-197 Sec. 4.2.1: 57 * 02 = ae, * 04 = 47, * 08 = 8e, * 10 = 07.
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(xtime(0x47), 0x8e);
+        assert_eq!(xtime(0x8e), 0x07);
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(a, 0), 0);
+            assert_eq!(gf_mul(1, a), a);
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative() {
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                assert_eq!(gf_mul(a, b), gf_mul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_distributes_over_xor() {
+        for a in (0..=255u8).step_by(13) {
+            for b in (0..=255u8).step_by(17) {
+                for c in (0..=255u8).step_by(29) {
+                    assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fips_worked_product() {
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation benches for the design decisions documented in `DESIGN.md`:
+//! the branch-and-bound lower bound, the branching discipline, and the
+//! library composition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc::prelude::*;
+use noc_bench::{decompose_with, fig5_workload};
+
+fn bench_ablations(c: &mut Criterion) {
+    let acg = fig5_workload();
+
+    let mut group = c.benchmark_group("ablation_bounding");
+    for (label, use_bound) in [("with_bound", true), ("without_bound", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (best, _, _) = decompose_with(
+                    &acg,
+                    CommLibrary::standard(),
+                    DecomposerConfig {
+                        use_lower_bound: use_bound,
+                        max_matches_per_level: None,
+                        ..DecomposerConfig::default()
+                    },
+                );
+                best.unwrap().total_cost
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_branching");
+    for (label, cap) in [("first_match", Some(1)), ("exhaustive", None)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (best, _, _) = decompose_with(
+                    &acg,
+                    CommLibrary::standard(),
+                    DecomposerConfig {
+                        max_matches_per_level: cap,
+                        ..DecomposerConfig::default()
+                    },
+                );
+                best.unwrap().total_cost
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_library");
+    let libraries = [
+        ("standard", CommLibrary::standard()),
+        ("extended", CommLibrary::extended()),
+        (
+            "gossip_only",
+            CommLibrary::builder().push(Primitive::gossip(4)).build(),
+        ),
+    ];
+    for (label, lib) in libraries {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (best, _, _) = decompose_with(&acg, lib.clone(), DecomposerConfig::default());
+                best.unwrap().total_cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Section 5.2: the AES prototype comparison — decomposition of the AES
+//! ACG (paper: 0.58 s in Matlab) and one encrypted block simulated on the
+//! mesh and on the synthesized custom architecture (paper: 271 vs 199
+//! cycles/block on the Virtex-2 prototypes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc::prelude::*;
+use noc::sim::Phase;
+use noc_bench::timed_decomposition;
+
+fn aes_phases() -> Vec<Phase> {
+    let run = DistributedAes::new(&[0x2b; 16]).encrypt_block(&[0x32; 16]);
+    run.trace
+        .phases
+        .iter()
+        .map(|p| Phase {
+            label: p.name.clone(),
+            compute_cycles: p.compute_cycles,
+            events: p
+                .messages
+                .iter()
+                .map(|m| noc::sim::TrafficEvent::new(0, m.src, m.dst, m.bits))
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_aes(c: &mut Criterion) {
+    c.bench_function("aes_acg_decomposition", |b| {
+        let acg = noc::aes::aes_acg(0.0);
+        b.iter(|| {
+            let (result, _) = timed_decomposition(&acg);
+            assert_eq!(result.decomposition.total_cost.value(), 28.0);
+        })
+    });
+
+    let phases = aes_phases();
+    let tech = TechnologyProfile::fpga_virtex2();
+    let mesh = NocModel::mesh(4, 4, 2.0);
+    c.bench_function("aes_block_on_mesh", |b| {
+        b.iter(|| {
+            Simulator::new(&mesh, SimConfig::default(), EnergyModel::new(tech.clone()))
+                .run_phases(&phases)
+                .unwrap()
+                .total_cycles
+        })
+    });
+
+    let flow = SynthesisFlow::new(noc::aes::aes_acg(0.0))
+        .technology(tech.clone())
+        .placement(Placement::grid(4, 4, 2.0, 2.0))
+        .run()
+        .unwrap();
+    let custom = flow.noc_model();
+    c.bench_function("aes_block_on_custom", |b| {
+        b.iter(|| {
+            Simulator::new(
+                &custom,
+                SimConfig::default(),
+                EnergyModel::new(tech.clone()),
+            )
+            .run_phases(&phases)
+            .unwrap()
+            .total_cycles
+        })
+    });
+
+    c.bench_function("aes_full_prototype_comparison", |b| {
+        b.iter(|| {
+            let cmp = AesPrototype::new().run().unwrap();
+            assert!(cmp.custom.total_cycles < cmp.mesh.total_cycles);
+            cmp.mesh.total_cycles
+        })
+    });
+}
+
+criterion_group!(benches, bench_aes);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 4a: decomposition runtime on TGFF-style task graphs (5-18
+//! nodes, plus the 18-node automotive benchmark the paper highlights at
+//! 0.3 s in Matlab).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_bench::{fig4a_automotive, fig4a_workload, timed_decomposition, FIG4A_SIZES};
+
+fn bench_fig4a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_tgff_runtime");
+    group.sample_size(10);
+    for tasks in FIG4A_SIZES {
+        let acg = fig4a_workload(tasks);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &acg, |b, acg| {
+            b.iter(|| timed_decomposition(acg).0.decomposition.total_cost)
+        });
+    }
+    let auto = fig4a_automotive();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("automotive18"),
+        &auto,
+        |b, acg| b.iter(|| timed_decomposition(acg).0.decomposition.total_cost),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4a);
+criterion_main!(benches);

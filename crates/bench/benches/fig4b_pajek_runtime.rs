@@ -1,0 +1,22 @@
+//! Figure 4b: average decomposition runtime on Pajek-style random graphs
+//! (10-40 nodes; the paper reports <= 3 minutes at 40 nodes in Matlab).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_bench::{fig4b_workload, timed_decomposition, FIG4B_SIZES};
+
+fn bench_fig4b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_pajek_runtime");
+    group.sample_size(10);
+    for n in FIG4B_SIZES {
+        // One representative seed per size; the reproduce binary averages
+        // over all seeds.
+        let acg = fig4b_workload(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &acg, |b, acg| {
+            b.iter(|| timed_decomposition(acg).0.decomposition.total_cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4b);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 5: decomposition of the 8-node fully-decomposable random
+//! benchmark (the paper reports "less than 0.1 seconds"), plus the VF2
+//! matching layer in isolation (gossip/broadcast pattern search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc::graph::{iso::Vf2, DiGraph};
+use noc_bench::{fig5_workload, timed_decomposition};
+
+fn bench_fig5(c: &mut Criterion) {
+    let acg = fig5_workload();
+    c.bench_function("fig5_full_decomposition", |b| {
+        b.iter(|| {
+            let (result, _) = timed_decomposition(&acg);
+            assert!(result.decomposition.remainder.is_edgeless());
+            result.decomposition.total_cost
+        })
+    });
+
+    // The matcher alone: MGG4 (K4) images inside the Figure 5 graph.
+    let pattern = DiGraph::complete(4);
+    c.bench_function("fig5_vf2_gossip_images", |b| {
+        b.iter(|| {
+            Vf2::new(&pattern, acg.graph())
+                .distinct_images()
+                .matches
+                .len()
+        })
+    });
+    let star = DiGraph::out_star(4);
+    c.bench_function("fig5_vf2_broadcast_images", |b| {
+        b.iter(|| Vf2::new(&star, acg.graph()).distinct_images().matches.len())
+    });
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

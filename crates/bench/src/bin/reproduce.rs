@@ -1,0 +1,309 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [fig2|fig4a|fig4b|fig5|aes-decomp|aes-proto|ablations|all]
+//! ```
+//!
+//! With no argument, runs everything (`all`). Each section prints both the
+//! measured values and the paper's published numbers so the comparison in
+//! `EXPERIMENTS.md` can be audited directly.
+
+use std::time::Instant;
+
+use noc::prelude::*;
+use noc_bench::{
+    decompose_with, fig4a_automotive, fig4a_workload, fig4b_workload, fig5_workload,
+    timed_decomposition, FIG4A_SIZES, FIG4B_SEEDS, FIG4B_SIZES,
+};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "fig2" => fig2(),
+        "fig4a" => fig4a(),
+        "fig4b" => fig4b(),
+        "fig5" => fig5(),
+        "aes-decomp" => aes_decomp(),
+        "aes-proto" => aes_proto(),
+        "ablations" => ablations(),
+        "load-sweep" => load_sweep(),
+        "multimedia" => multimedia(),
+        "all" => {
+            fig2();
+            fig4a();
+            fig4b();
+            fig5();
+            aes_decomp();
+            aes_proto();
+            ablations();
+            load_sweep();
+            multimedia();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "usage: reproduce [fig2|fig4a|fig4b|fig5|aes-decomp|aes-proto|ablations|load-sweep|multimedia|all]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Figure 2: the worked decomposition-tree example (gossip + loop + rest).
+fn fig2() {
+    println!("================================================================");
+    println!("Figure 2 - worked decomposition example");
+    println!("================================================================");
+    let mut builder = Acg::builder(8);
+    for a in 0..4 {
+        for b in 0..4 {
+            if a != b {
+                builder = builder.volume(a, b, 8.0);
+            }
+        }
+    }
+    for i in 0..4 {
+        builder = builder.volume(4 + i, 4 + (i + 1) % 4, 8.0);
+    }
+    let (result, elapsed) = timed_decomposition(&builder.build());
+    println!("{}", result.paper_report());
+    println!(
+        "search: {} nodes, {} pruned, {:?}",
+        result.stats.nodes_visited, result.stats.branches_pruned, elapsed
+    );
+    println!("(the paper's toy tree selects the MGG4-first branch, as here)\n");
+}
+
+/// Figure 4a: runtime on TGFF-style graphs.
+fn fig4a() {
+    println!("================================================================");
+    println!("Figure 4a - decomposition runtime, TGFF-style graphs");
+    println!("(paper: Matlab + C++ VF2, max 0.3 s at 18 nodes)");
+    println!("================================================================");
+    println!(
+        "{:>6} {:>7} {:>11} {:>9} {:>8}",
+        "nodes", "edges", "time", "visited", "pruned"
+    );
+    for tasks in FIG4A_SIZES {
+        let acg = fig4a_workload(tasks);
+        let edges = acg.graph().edge_count();
+        let (result, elapsed) = timed_decomposition(&acg);
+        println!(
+            "{tasks:>6} {edges:>7} {:>9.3}ms {:>9} {:>8}",
+            elapsed.as_secs_f64() * 1e3,
+            result.stats.nodes_visited,
+            result.stats.branches_pruned
+        );
+    }
+    let acg = fig4a_automotive();
+    let edges = acg.graph().edge_count();
+    let (result, elapsed) = timed_decomposition(&acg);
+    println!(
+        "{:>6} {edges:>7} {:>9.3}ms {:>9} {:>8}  <- automotive (paper: 0.3 s)",
+        18,
+        elapsed.as_secs_f64() * 1e3,
+        result.stats.nodes_visited,
+        result.stats.branches_pruned
+    );
+    println!();
+}
+
+/// Figure 4b: average runtime on Pajek-style graphs.
+fn fig4b() {
+    println!("================================================================");
+    println!("Figure 4b - avg decomposition runtime, Pajek-style graphs");
+    println!("(paper: > 60 graphs, <= 3 minutes at 40 nodes in Matlab)");
+    println!("================================================================");
+    println!(
+        "{:>6} {:>10} {:>13} {:>10}",
+        "nodes", "avg edges", "avg time", "max time"
+    );
+    for n in FIG4B_SIZES {
+        let mut total = 0.0;
+        let mut max = 0.0f64;
+        let mut edges = 0usize;
+        for seed in 0..FIG4B_SEEDS {
+            let acg = fig4b_workload(n, seed);
+            edges += acg.graph().edge_count();
+            let (_, elapsed) = timed_decomposition(&acg);
+            let ms = elapsed.as_secs_f64() * 1e3;
+            total += ms;
+            max = max.max(ms);
+        }
+        println!(
+            "{n:>6} {:>10.1} {:>11.3}ms {:>8.3}ms",
+            edges as f64 / FIG4B_SEEDS as f64,
+            total / FIG4B_SEEDS as f64,
+            max
+        );
+    }
+    println!(
+        "total instances: {}\n",
+        FIG4B_SIZES.len() as u64 * FIG4B_SEEDS
+    );
+}
+
+/// Figure 5: the fully-decomposable random benchmark.
+fn fig5() {
+    println!("================================================================");
+    println!("Figure 5 - random ACG with complete decomposition");
+    println!("(paper output: MGG4 + 3x G123 + G124, no remainder, < 0.1 s)");
+    println!("================================================================");
+    let (result, elapsed) = timed_decomposition(&fig5_workload());
+    println!("{}", result.paper_report());
+    println!("decomposed in {elapsed:?}\n");
+}
+
+/// Section 5.2: the AES ACG decomposition.
+fn aes_decomp() {
+    println!("================================================================");
+    println!("Section 5.2 - AES ACG decomposition");
+    println!("(paper output: 4x MGG4 columns, 2x L4 rows, row-3 remainder,");
+    println!(" COST: 28, found in 0.58 s in Matlab)");
+    println!("================================================================");
+    let t0 = Instant::now();
+    let (result, _) = timed_decomposition(&noc::aes::aes_acg(0.0));
+    println!("{}", result.paper_report());
+    println!("decomposed in {:?}\n", t0.elapsed());
+}
+
+/// Section 5.2: the mesh-vs-custom prototype comparison.
+fn aes_proto() {
+    println!("================================================================");
+    println!("Section 5.2 - prototype comparison (simulated substrate)");
+    println!("================================================================");
+    let cmp = AesPrototype::new().run().expect("AES experiment runs");
+    println!("{}", cmp.paper_table());
+    println!("mesh:   {}", cmp.mesh);
+    println!("custom: {}", cmp.custom);
+    println!();
+}
+
+/// Ablations of the design choices called out in DESIGN.md.
+fn ablations() {
+    println!("================================================================");
+    println!("Ablations");
+    println!("================================================================");
+    let acg = noc::aes::aes_acg(0.0);
+
+    // 1. Lower bound on/off.
+    println!("--- branch-and-bound lower bound (AES ACG) ---");
+    for (label, use_bound) in [("bound ON ", true), ("bound OFF", false)] {
+        let (best, stats, elapsed) = decompose_with(
+            &acg,
+            CommLibrary::standard(),
+            DecomposerConfig {
+                use_lower_bound: use_bound,
+                max_matches_per_level: None, // exhaustive, so the bound matters
+                timeout: Some(std::time::Duration::from_secs(30)),
+                ..DecomposerConfig::default()
+            },
+        );
+        println!(
+            "{label}: cost {}  nodes {:>8}  pruned {:>9}  {:?}{}",
+            best.map(|b| b.total_cost.value()).unwrap_or(f64::NAN),
+            stats.nodes_visited,
+            stats.branches_pruned,
+            elapsed,
+            if stats.timed_out { "  (timed out)" } else { "" }
+        );
+    }
+
+    // 2. Paper's one-match-per-primitive branching vs exhaustive matching.
+    println!("--- branching discipline (AES ACG) ---");
+    for (label, cap) in [
+        ("first match (paper)", Some(1)),
+        ("exhaustive images  ", None),
+    ] {
+        let (best, stats, elapsed) = decompose_with(
+            &acg,
+            CommLibrary::standard(),
+            DecomposerConfig {
+                max_matches_per_level: cap,
+                timeout: Some(std::time::Duration::from_secs(30)),
+                ..DecomposerConfig::default()
+            },
+        );
+        println!(
+            "{label}: cost {}  nodes {:>8}  {:?}{}",
+            best.map(|b| b.total_cost.value()).unwrap_or(f64::NAN),
+            stats.nodes_visited,
+            elapsed,
+            if stats.timed_out { "  (timed out)" } else { "" }
+        );
+    }
+
+    // 3. Library composition.
+    println!("--- library composition (AES ACG, Links objective) ---");
+    let no_loops = CommLibrary::builder()
+        .push(Primitive::gossip(4))
+        .push(Primitive::broadcast(4))
+        .push(Primitive::broadcast(3))
+        .build();
+    let no_gossip = CommLibrary::builder()
+        .push(Primitive::broadcast(4))
+        .push(Primitive::broadcast(3))
+        .push(Primitive::ring(4))
+        .build();
+    for (label, lib) in [
+        ("standard (paper)   ", CommLibrary::standard()),
+        ("without loops      ", no_loops),
+        ("without gossip     ", no_gossip),
+        ("extended           ", CommLibrary::extended()),
+    ] {
+        let (best, _, elapsed) = decompose_with(&acg, lib, DecomposerConfig::default());
+        let best = best.expect("unconstrained search always finds a leaf");
+        println!(
+            "{label}: cost {:>4}  matches {:>2}  remainder {:>2} edges  {:?}",
+            best.total_cost.value(),
+            best.matchings.len(),
+            best.remainder.edge_count(),
+            elapsed
+        );
+    }
+    println!();
+}
+
+/// Extension: latency-load curves for XY mesh, O1TURN mesh and the
+/// architecture synthesized for uniform traffic (not in the paper, but the
+/// standard NoC evaluation its future work points toward).
+fn load_sweep() {
+    use noc::sim::{traffic, NocModel};
+    println!("================================================================");
+    println!("Extension - latency vs offered load (4x4, uniform random)");
+    println!("================================================================");
+    let energy = EnergyModel::new(TechnologyProfile::cmos_180nm());
+    let xy = NocModel::mesh(4, 4, 2.0);
+    let o1 = NocModel::mesh_o1turn(4, 4, 2.0, 13);
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "inj. rate", "XY latency", "O1TURN latency"
+    );
+    for rate in [0.02, 0.05, 0.10, 0.15, 0.20] {
+        let events = traffic::bernoulli(16, 600, rate, 64, 21);
+        let lat = |model: &NocModel| {
+            Simulator::new(model, SimConfig::default(), energy.clone())
+                .run(events.clone())
+                .map(|r| r.avg_packet_latency_cycles)
+                .unwrap_or(f64::NAN)
+        };
+        println!("{rate:>10.2} {:>11.1} cy {:>11.1} cy", lat(&xy), lat(&o1));
+    }
+    println!();
+}
+
+/// Extension: the full flow on a multimedia-decoder benchmark (the
+/// application domain the paper's introduction motivates).
+fn multimedia() {
+    use noc::workloads::multimedia_16;
+    println!("================================================================");
+    println!("Extension - multimedia decoder benchmark (16 cores)");
+    println!("================================================================");
+    let acg = multimedia_16();
+    let (result, elapsed) = timed_decomposition(&acg);
+    println!("{}", result.paper_report());
+    println!("architecture: {}", result.architecture.stats());
+    println!("decomposed in {elapsed:?}\n");
+}

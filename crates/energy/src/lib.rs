@@ -1,0 +1,39 @@
+//! Bit-energy model for NoC communication (Equation 1 of the paper).
+//!
+//! The energy consumed by moving one bit from network node `i` to node `j`
+//! is
+//!
+//! ```text
+//! E_bit(i, j) = n_hops * E_Sbit + Σ_links E_Lbit(l)
+//! ```
+//!
+//! where `n_hops` is the number of *switches* traversed (one more than the
+//! number of links), `E_Sbit` the switch energy per bit, and `E_Lbit(l)` the
+//! link energy per bit for a link of length `l` — which, unlike in regular
+//! grids, must account for the actual floorplan distance and any repeaters
+//! the wire needs ("EL-bit per unit length is stored in the library and the
+//! EL-bit can be obtained from this data given the actual link length and
+//! also taking the repeaters into account", Section 3).
+//!
+//! # Example
+//!
+//! ```
+//! use noc_energy::{EnergyModel, TechnologyProfile};
+//!
+//! let model = EnergyModel::new(TechnologyProfile::cmos_180nm());
+//! // A two-link route (3 switches) over 2 mm + 3 mm of wire:
+//! let per_bit = model.route_energy_per_bit(&[2.0, 3.0]);
+//! let per_128b = model.transfer_energy(128.0, &[2.0, 3.0]);
+//! assert!((per_128b.joules() - 128.0 * per_bit.joules()).abs() < 1e-18);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod model;
+mod profile;
+mod units;
+
+pub use model::{EnergyBreakdown, EnergyModel};
+pub use profile::TechnologyProfile;
+pub use units::Energy;

@@ -1,0 +1,224 @@
+//! The Equation-1 energy model over routes.
+
+use crate::{Energy, TechnologyProfile};
+
+/// Computes bit and transfer energies for routes over a floorplanned
+/// topology (Equation 1 of the paper).
+///
+/// A route is described by the lengths (mm) of its links; the number of
+/// switches traversed is `links + 1` (source and destination network
+/// interfaces both switch the bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    profile: TechnologyProfile,
+}
+
+impl EnergyModel {
+    /// Creates a model over the given technology.
+    pub fn new(profile: TechnologyProfile) -> Self {
+        EnergyModel { profile }
+    }
+
+    /// The underlying technology profile.
+    pub fn profile(&self) -> &TechnologyProfile {
+        &self.profile
+    }
+
+    /// `E_bit` for a route with the given link lengths:
+    /// `n_hops * E_Sbit + Σ E_Lbit(l)` with `n_hops = links + 1`.
+    ///
+    /// An empty route (source = destination) costs nothing.
+    pub fn route_energy_per_bit(&self, link_lengths_mm: &[f64]) -> Energy {
+        if link_lengths_mm.is_empty() {
+            return Energy::ZERO;
+        }
+        let hops = link_lengths_mm.len() + 1;
+        let switch = self.profile.switch_energy() * hops as f64;
+        let wires: Energy = link_lengths_mm
+            .iter()
+            .map(|&l| self.profile.link_energy(l))
+            .sum();
+        switch + wires
+    }
+
+    /// Energy to move `volume_bits` along the route.
+    pub fn transfer_energy(&self, volume_bits: f64, link_lengths_mm: &[f64]) -> Energy {
+        self.route_energy_per_bit(link_lengths_mm) * volume_bits
+    }
+
+    /// Energy of one bit crossing a single switch (used by the flit-level
+    /// simulator for per-event accounting).
+    pub fn switch_event_energy(&self, bits: f64) -> Energy {
+        self.profile.switch_energy() * bits
+    }
+
+    /// Switch traversal energy scaled by router radix
+    /// ([`TechnologyProfile::switch_energy_for_radix`]). Equals
+    /// [`EnergyModel::switch_event_energy`] when the profile's radix
+    /// exponent is zero (the ASIC presets).
+    pub fn switch_event_energy_radix(&self, bits: f64, radix: usize) -> Energy {
+        self.profile.switch_energy_for_radix(radix) * bits
+    }
+
+    /// Idle/clock energy a router of the given radix burns over `cycles`
+    /// cycles. Zero for the ASIC presets.
+    pub fn idle_energy(&self, radix: usize, cycles: u64) -> Energy {
+        self.profile.router_idle_energy_per_cycle(radix) * cycles as f64
+    }
+
+    /// Energy of `bits` crossing one link of `length_mm`.
+    pub fn link_event_energy(&self, bits: f64, length_mm: f64) -> Energy {
+        self.profile.link_energy(length_mm) * bits
+    }
+
+    /// A lower bound on the energy of delivering `volume_bits` from a core
+    /// to another separated by `distance_mm`: any path uses at least two
+    /// switches and at least `distance_mm` of wire. Used as the admissible
+    /// remaining-cost bound in the branch-and-bound (`DESIGN.md`,
+    /// decision 2).
+    pub fn direct_transfer_lower_bound(&self, volume_bits: f64, distance_mm: f64) -> Energy {
+        let per_bit = self.profile.switch_energy() * 2.0 + self.profile.link_energy(distance_mm);
+        per_bit * volume_bits
+    }
+}
+
+/// An energy total split into switch, link and idle components, convenient
+/// for reporting (the paper's Table-style comparisons quote both dynamic
+/// terms; idle captures the clock/leakage share of prototype measurements).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Energy dissipated switching flits through routers.
+    pub switch: Energy,
+    /// Energy dissipated in links (wires + repeaters).
+    pub link: Energy,
+    /// Router idle/clock energy accumulated over the run's cycles.
+    pub idle: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> Energy {
+        self.switch + self.link + self.idle
+    }
+
+    /// Accumulates another breakdown.
+    pub fn accumulate(&mut self, other: EnergyBreakdown) {
+        self.switch += other.switch;
+        self.link += other.link;
+        self.idle += other.idle;
+    }
+}
+
+impl std::fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "total {} (switch {}, link {}, idle {})",
+            self.total(),
+            self.switch,
+            self.link,
+            self.idle
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(TechnologyProfile::cmos_180nm())
+    }
+
+    #[test]
+    fn empty_route_is_free() {
+        assert_eq!(model().route_energy_per_bit(&[]), Energy::ZERO);
+    }
+
+    #[test]
+    fn single_link_route_uses_two_switches() {
+        let m = model();
+        let e = m.route_energy_per_bit(&[1.0]);
+        let expect = m.profile().switch_energy() * 2.0 + m.profile().link_energy(1.0);
+        assert!((e.joules() - expect.joules()).abs() < 1e-22);
+    }
+
+    #[test]
+    fn equation_one_shape() {
+        // E = nhops * ES + (nhops - 1) * EL for uniform unit links.
+        let m = model();
+        for links in 1usize..6 {
+            let lens = vec![1.0; links];
+            let e = m.route_energy_per_bit(&lens);
+            let nhops = (links + 1) as f64;
+            let expect =
+                m.profile().switch_energy() * nhops + m.profile().link_energy(1.0) * (nhops - 1.0);
+            assert!(
+                (e.joules() - expect.joules()).abs() < 1e-20,
+                "links = {links}"
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_scales_with_volume() {
+        let m = model();
+        let e1 = m.transfer_energy(1.0, &[2.0]);
+        let e128 = m.transfer_energy(128.0, &[2.0]);
+        assert!((e128.joules() - 128.0 * e1.joules()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn longer_routes_cost_more() {
+        let m = model();
+        let short = m.route_energy_per_bit(&[1.0]);
+        let long = m.route_energy_per_bit(&[1.0, 1.0, 1.0]);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn lower_bound_is_below_any_real_route() {
+        let m = model();
+        let lb = m.direct_transfer_lower_bound(64.0, 3.0);
+        // Any real route covering >= 3.0 mm: e.g. 2 links of 1.5 mm + 3
+        // switches.
+        let real = m.transfer_energy(64.0, &[1.5, 1.5]);
+        assert!(lb <= real);
+        // Even the direct link (2 switches) matches the bound exactly.
+        let direct = m.transfer_energy(64.0, &[3.0]);
+        assert!((lb.joules() - direct.joules()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn event_energies() {
+        let m = model();
+        assert_eq!(
+            m.switch_event_energy(32.0),
+            m.profile().switch_energy() * 32.0
+        );
+        assert_eq!(
+            m.link_event_energy(32.0, 2.0),
+            m.profile().link_energy(2.0) * 32.0
+        );
+    }
+
+    #[test]
+    fn breakdown_accumulates_and_displays() {
+        let mut b = EnergyBreakdown::default();
+        b.accumulate(EnergyBreakdown {
+            switch: Energy::from_picojoules(2.0),
+            link: Energy::from_picojoules(1.0),
+            idle: Energy::from_picojoules(0.25),
+        });
+        b.accumulate(EnergyBreakdown {
+            switch: Energy::from_picojoules(1.0),
+            link: Energy::from_picojoules(0.5),
+            idle: Energy::from_picojoules(0.25),
+        });
+        assert!((b.total().picojoules() - 5.0).abs() < 1e-9);
+        assert_eq!(
+            b.to_string(),
+            "total 5.000 pJ (switch 3.000 pJ, link 1.500 pJ, idle 0.500 pJ)"
+        );
+    }
+}

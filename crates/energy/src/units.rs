@@ -1,0 +1,173 @@
+//! Energy quantity newtype.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An energy quantity in joules.
+///
+/// The newtype prevents mixing energies with other `f64` quantities (link
+/// lengths, volumes, bandwidths) flowing through the synthesis cost
+/// functions. Display picks a human scale:
+///
+/// ```
+/// use noc_energy::Energy;
+/// assert_eq!(Energy::from_picojoules(0.5).to_string(), "0.500 pJ");
+/// assert_eq!(Energy::from_joules(2.5e-6).to_string(), "2.500 uJ");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or NaN.
+    pub fn from_joules(joules: f64) -> Self {
+        assert!(
+            joules >= 0.0 && joules.is_finite(),
+            "energy must be finite and non-negative, got {joules}"
+        );
+        Energy(joules)
+    }
+
+    /// Creates an energy from picojoules.
+    pub fn from_picojoules(pj: f64) -> Self {
+        Energy::from_joules(pj * 1e-12)
+    }
+
+    /// The value in joules.
+    pub fn joules(self) -> f64 {
+        self.0
+    }
+
+    /// The value in picojoules.
+    pub fn picojoules(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// The value in microjoules.
+    pub fn microjoules(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the result would be negative.
+    fn sub(self, rhs: Energy) -> Energy {
+        debug_assert!(self.0 >= rhs.0, "energy subtraction would go negative");
+        Energy((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy::from_joules(self.0 * rhs)
+    }
+}
+
+impl Mul<Energy> for f64 {
+    type Output = Energy;
+    fn mul(self, rhs: Energy) -> Energy {
+        rhs * self
+    }
+}
+
+impl Div<Energy> for Energy {
+    type Output = f64;
+    /// Ratio of two energies (dimensionless).
+    fn div(self, rhs: Energy) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for Energy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let j = self.0;
+        if j == 0.0 {
+            write!(f, "0 J")
+        } else if j < 1e-9 {
+            write!(f, "{:.3} pJ", j * 1e12)
+        } else if j < 1e-6 {
+            write!(f, "{:.3} nJ", j * 1e9)
+        } else if j < 1e-3 {
+            write!(f, "{:.3} uJ", j * 1e6)
+        } else {
+            write!(f, "{:.3} J", j)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let e = Energy::from_picojoules(284.0);
+        assert!((e.picojoules() - 284.0).abs() < 1e-9);
+        assert!((e.joules() - 284.0e-12).abs() < 1e-20);
+        assert!((Energy::from_joules(5.1e-6).microjoules() - 5.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_picojoules(1.0);
+        let b = Energy::from_picojoules(2.0);
+        assert_eq!(a + b, Energy::from_picojoules(3.0));
+        assert_eq!(b * 2.0, Energy::from_picojoules(4.0));
+        assert_eq!(2.0 * b, Energy::from_picojoules(4.0));
+        assert!((b / a - 2.0).abs() < 1e-12);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Energy::from_picojoules(3.0));
+        assert_eq!(b - a, Energy::from_picojoules(1.0));
+    }
+
+    #[test]
+    fn sum_of_energies() {
+        let total: Energy = (1..=4).map(|i| Energy::from_picojoules(i as f64)).sum();
+        assert!((total.picojoules() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_rejected() {
+        Energy::from_joules(-1.0);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Energy::ZERO.to_string(), "0 J");
+        assert_eq!(Energy::from_joules(3.2e-10).to_string(), "320.000 pJ");
+        assert_eq!(Energy::from_joules(4.5e-8).to_string(), "45.000 nJ");
+        assert_eq!(Energy::from_joules(5.1e-6).to_string(), "5.100 uJ");
+        assert_eq!(Energy::from_joules(0.25).to_string(), "0.250 J");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the bit-energy model: monotonicity and linearity
+//! invariants Equation 1 must satisfy for any technology.
+
+use noc_energy::{EnergyModel, TechnologyProfile};
+use proptest::prelude::*;
+
+fn profiles() -> Vec<TechnologyProfile> {
+    vec![
+        TechnologyProfile::cmos_180nm(),
+        TechnologyProfile::cmos_130nm(),
+        TechnologyProfile::cmos_100nm(),
+        TechnologyProfile::fpga_virtex2(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Link energy is monotone in wire length.
+    #[test]
+    fn link_energy_monotone(a in 0.0f64..20.0, b in 0.0f64..20.0) {
+        let (short, long) = if a <= b { (a, b) } else { (b, a) };
+        for p in profiles() {
+            prop_assert!(p.link_energy(short) <= p.link_energy(long), "{}", p.name());
+        }
+    }
+
+    /// Route energy grows when a link is appended (more switches + wire).
+    #[test]
+    fn route_energy_monotone_in_links(
+        lens in proptest::collection::vec(0.1f64..5.0, 1..6),
+        extra in 0.1f64..5.0,
+    ) {
+        for p in profiles() {
+            let m = EnergyModel::new(p);
+            let base = m.route_energy_per_bit(&lens);
+            let mut longer = lens.clone();
+            longer.push(extra);
+            prop_assert!(m.route_energy_per_bit(&longer) > base);
+        }
+    }
+
+    /// Transfer energy is linear in volume.
+    #[test]
+    fn transfer_linear_in_volume(
+        lens in proptest::collection::vec(0.1f64..5.0, 1..4),
+        v in 1.0f64..1e4,
+        k in 2.0f64..8.0,
+    ) {
+        let m = EnergyModel::new(TechnologyProfile::cmos_180nm());
+        let e1 = m.transfer_energy(v, &lens).joules();
+        let ek = m.transfer_energy(k * v, &lens).joules();
+        prop_assert!((ek - k * e1).abs() <= 1e-9 * ek.abs().max(1e-30));
+    }
+
+    /// The direct-transfer lower bound never exceeds the energy of any
+    /// route whose total length covers the distance.
+    #[test]
+    fn lower_bound_is_admissible(
+        segments in proptest::collection::vec(0.1f64..4.0, 1..6),
+        volume in 1.0f64..512.0,
+    ) {
+        let distance: f64 = segments.iter().sum();
+        for p in profiles() {
+            let m = EnergyModel::new(p);
+            let lb = m.direct_transfer_lower_bound(volume, distance);
+            let real = m.transfer_energy(volume, &segments);
+            prop_assert!(
+                lb.joules() <= real.joules() + 1e-24,
+                "lb {} > real {} for {} segments",
+                lb,
+                real,
+                segments.len()
+            );
+        }
+    }
+
+    /// Radix scaling is monotone in radix and anchored at the reference.
+    #[test]
+    fn radix_scaling_monotone(r1 in 1usize..10, r2 in 1usize..10) {
+        let p = TechnologyProfile::fpga_virtex2();
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(p.switch_energy_for_radix(lo) <= p.switch_energy_for_radix(hi));
+        prop_assert_eq!(
+            p.switch_energy_for_radix(p.reference_radix()),
+            p.switch_energy()
+        );
+    }
+
+    /// Idle energy is linear in cycles.
+    #[test]
+    fn idle_linear_in_cycles(radix in 1usize..8, cycles in 1u64..100_000) {
+        let m = EnergyModel::new(TechnologyProfile::fpga_virtex2());
+        let one = m.idle_energy(radix, 1).joules();
+        let many = m.idle_energy(radix, cycles).joules();
+        prop_assert!((many - one * cycles as f64).abs() <= 1e-9 * many.max(1e-30));
+    }
+}

@@ -1,0 +1,274 @@
+//! Core blocks and finished placements.
+
+use noc_graph::NodeId;
+
+/// A hard rectangular IP block to be placed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Core {
+    name: String,
+    width_mm: f64,
+    height_mm: f64,
+}
+
+impl Core {
+    /// Creates a core with the given footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite.
+    pub fn new(name: impl Into<String>, width_mm: f64, height_mm: f64) -> Self {
+        assert!(
+            width_mm > 0.0 && width_mm.is_finite(),
+            "core width must be positive, got {width_mm}"
+        );
+        assert!(
+            height_mm > 0.0 && height_mm.is_finite(),
+            "core height must be positive, got {height_mm}"
+        );
+        Core {
+            name: name.into(),
+            width_mm,
+            height_mm,
+        }
+    }
+
+    /// The core's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Width in millimetres.
+    pub fn width_mm(&self) -> f64 {
+        self.width_mm
+    }
+
+    /// Height in millimetres.
+    pub fn height_mm(&self) -> f64 {
+        self.height_mm
+    }
+
+    /// Footprint area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.width_mm * self.height_mm
+    }
+
+    /// The same core rotated by 90 degrees.
+    #[must_use]
+    pub fn rotated(&self) -> Core {
+        Core {
+            name: self.name.clone(),
+            width_mm: self.height_mm,
+            height_mm: self.width_mm,
+        }
+    }
+}
+
+/// How inter-core distances are measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DistanceMetric {
+    /// Rectilinear (L1) distance — the default, matching Manhattan on-chip
+    /// wire routing.
+    #[default]
+    Manhattan,
+    /// Straight-line (L2) distance.
+    Euclidean,
+}
+
+/// Finished placement: center coordinates for every core.
+///
+/// Link lengths for the energy model (Equation 1 of the paper) are
+/// center-to-center distances under the chosen [`DistanceMetric`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    centers: Vec<(f64, f64)>,
+    chip_width_mm: f64,
+    chip_height_mm: f64,
+    metric: DistanceMetric,
+}
+
+impl Placement {
+    /// Creates a placement from explicit core centers and chip bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is non-finite or the chip dimensions are
+    /// not positive.
+    pub fn new(centers: Vec<(f64, f64)>, chip_width_mm: f64, chip_height_mm: f64) -> Self {
+        assert!(
+            chip_width_mm > 0.0 && chip_height_mm > 0.0,
+            "chip must have positive size"
+        );
+        for &(x, y) in &centers {
+            assert!(x.is_finite() && y.is_finite(), "coordinates must be finite");
+        }
+        Placement {
+            centers,
+            chip_width_mm,
+            chip_height_mm,
+            metric: DistanceMetric::default(),
+        }
+    }
+
+    /// A regular `cols x rows` tile grid with the given tile pitch, the
+    /// placement under a standard mesh NoC. Cores are numbered row-major:
+    /// core `r * cols + c` sits at column `c`, row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols`, `rows` or the pitches are zero/non-positive.
+    pub fn grid(cols: usize, rows: usize, pitch_x_mm: f64, pitch_y_mm: f64) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must be non-empty");
+        assert!(
+            pitch_x_mm > 0.0 && pitch_y_mm > 0.0,
+            "pitch must be positive"
+        );
+        let centers = (0..rows)
+            .flat_map(|r| {
+                (0..cols)
+                    .map(move |c| ((c as f64 + 0.5) * pitch_x_mm, (r as f64 + 0.5) * pitch_y_mm))
+            })
+            .collect();
+        Placement {
+            centers,
+            chip_width_mm: cols as f64 * pitch_x_mm,
+            chip_height_mm: rows as f64 * pitch_y_mm,
+            metric: DistanceMetric::default(),
+        }
+    }
+
+    /// Returns the placement with a different distance metric.
+    #[must_use]
+    pub fn with_metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Number of placed cores.
+    pub fn core_count(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Center of core `v` in millimetres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn center(&self, v: NodeId) -> (f64, f64) {
+        self.centers[v.index()]
+    }
+
+    /// Chip width in millimetres.
+    pub fn chip_width_mm(&self) -> f64 {
+        self.chip_width_mm
+    }
+
+    /// Chip height in millimetres.
+    pub fn chip_height_mm(&self) -> f64 {
+        self.chip_height_mm
+    }
+
+    /// Chip bounding-box area in mm².
+    pub fn chip_area_mm2(&self) -> f64 {
+        self.chip_width_mm * self.chip_height_mm
+    }
+
+    /// The active distance metric.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// Distance between the centers of cores `a` and `b` under the active
+    /// metric; this is the link length fed to the energy model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either core is out of bounds.
+    pub fn distance_mm(&self, a: NodeId, b: NodeId) -> f64 {
+        let (ax, ay) = self.center(a);
+        let (bx, by) = self.center(b);
+        match self.metric {
+            DistanceMetric::Manhattan => (ax - bx).abs() + (ay - by).abs(),
+            DistanceMetric::Euclidean => ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt(),
+        }
+    }
+
+    /// The largest center-to-center distance on the chip.
+    pub fn max_distance_mm(&self) -> f64 {
+        let n = self.core_count();
+        let mut best: f64 = 0.0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                best = best.max(self.distance_mm(NodeId(a), NodeId(b)));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_construction_and_rotation() {
+        let c = Core::new("cpu", 2.0, 1.0);
+        assert_eq!(c.name(), "cpu");
+        assert_eq!(c.area_mm2(), 2.0);
+        let r = c.rotated();
+        assert_eq!(r.width_mm(), 1.0);
+        assert_eq!(r.height_mm(), 2.0);
+        assert_eq!(r.area_mm2(), c.area_mm2());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_core_panics() {
+        Core::new("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    fn grid_places_row_major() {
+        let p = Placement::grid(4, 4, 2.0, 2.0);
+        assert_eq!(p.core_count(), 16);
+        assert_eq!(p.center(NodeId(0)), (1.0, 1.0));
+        assert_eq!(p.center(NodeId(3)), (7.0, 1.0));
+        assert_eq!(p.center(NodeId(4)), (1.0, 3.0));
+        assert_eq!(p.chip_area_mm2(), 64.0);
+    }
+
+    #[test]
+    fn manhattan_vs_euclidean() {
+        let p = Placement::grid(2, 2, 1.0, 1.0);
+        // Diagonal neighbors: Manhattan 2.0, Euclidean sqrt(2).
+        assert_eq!(p.distance_mm(NodeId(0), NodeId(3)), 2.0);
+        let e = p.with_metric(DistanceMetric::Euclidean);
+        assert!((e.distance_mm(NodeId(0), NodeId(3)) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_distance_equals_pitch() {
+        let p = Placement::grid(4, 4, 2.0, 3.0);
+        assert_eq!(p.distance_mm(NodeId(0), NodeId(1)), 2.0); // horizontal
+        assert_eq!(p.distance_mm(NodeId(0), NodeId(4)), 3.0); // vertical
+    }
+
+    #[test]
+    fn max_distance_is_opposite_corners() {
+        let p = Placement::grid(3, 3, 1.0, 1.0);
+        assert_eq!(p.max_distance_mm(), 4.0); // (0.5,0.5) to (2.5,2.5), L1
+    }
+
+    #[test]
+    fn explicit_placement() {
+        let p = Placement::new(vec![(0.5, 0.5), (2.5, 0.5)], 3.0, 1.0);
+        assert_eq!(p.core_count(), 2);
+        assert_eq!(p.distance_mm(NodeId(0), NodeId(1)), 2.0);
+        assert_eq!(p.metric(), DistanceMetric::Manhattan);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn zero_chip_panics() {
+        Placement::new(vec![], 0.0, 1.0);
+    }
+}

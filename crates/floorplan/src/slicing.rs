@@ -1,0 +1,481 @@
+//! Wong–Liu slicing-tree floorplanning by simulated annealing.
+//!
+//! The floorplan is a *normalized Polish expression*: a postfix string over
+//! core indices and the cut operators `H` (horizontal cut: stack children
+//! vertically) and `V` (vertical cut: children side by side), with no two
+//! identical adjacent operators. Annealing perturbs the expression with the
+//! three classic moves (operand swap, chain complement, operand/operator
+//! swap) plus core rotation, minimizing chip bounding-box area with an
+//! optional volume-weighted wirelength term.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Core, Placement};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Element {
+    Operand(usize),
+    H,
+    V,
+}
+
+/// Simulated-annealing slicing floorplanner; see the [crate docs](crate)
+/// for an example.
+#[derive(Debug, Clone)]
+pub struct SlicingFloorplanner {
+    cores: Vec<Core>,
+    seed: u64,
+    wire_weight: f64,
+    connections: Vec<(usize, usize, f64)>,
+    moves_per_temp: usize,
+    cooling: f64,
+}
+
+impl SlicingFloorplanner {
+    /// Creates a floorplanner for the given cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty.
+    pub fn new(cores: Vec<Core>) -> Self {
+        assert!(!cores.is_empty(), "cannot floorplan zero cores");
+        SlicingFloorplanner {
+            cores,
+            seed: 1,
+            wire_weight: 0.0,
+            connections: Vec::new(),
+            moves_per_temp: 0, // 0 = auto (30 * n)
+            cooling: 0.92,
+        }
+    }
+
+    /// Sets the RNG seed (runs are deterministic per seed).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a wirelength objective: `weight * Σ volume * distance(src, dst)`
+    /// over the given `(src, dst, volume)` connections is added to the area
+    /// cost (both normalized to their initial values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or any core index is out of range.
+    #[must_use]
+    pub fn wirelength(mut self, weight: f64, connections: Vec<(usize, usize, f64)>) -> Self {
+        assert!(weight >= 0.0, "wirelength weight must be non-negative");
+        for &(s, d, _) in &connections {
+            assert!(
+                s < self.cores.len() && d < self.cores.len(),
+                "connection endpoint out of range"
+            );
+        }
+        self.wire_weight = weight;
+        self.connections = connections;
+        self
+    }
+
+    /// Overrides the annealing effort (moves per temperature step).
+    #[must_use]
+    pub fn moves_per_temp(mut self, moves: usize) -> Self {
+        self.moves_per_temp = moves;
+        self
+    }
+
+    /// Runs the annealer and extracts the best placement found.
+    pub fn run(&self) -> Placement {
+        let n = self.cores.len();
+        if n == 1 {
+            let c = &self.cores[0];
+            return Placement::new(
+                vec![(c.width_mm() / 2.0, c.height_mm() / 2.0)],
+                c.width_mm(),
+                c.height_mm(),
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Initial expression: 0 1 V 2 V 3 V … (all blocks in a row),
+        // alternating H/V to seed some 2-D structure.
+        let mut expr: Vec<Element> = vec![Element::Operand(0)];
+        for i in 1..n {
+            expr.push(Element::Operand(i));
+            expr.push(if i % 2 == 0 { Element::H } else { Element::V });
+        }
+        let mut rotated = vec![false; n];
+
+        let cost_of = |expr: &[Element], rotated: &[bool]| -> f64 {
+            let (w, h, centers) = evaluate(expr, &self.cores, rotated);
+            let area = w * h;
+            if self.wire_weight == 0.0 {
+                return area;
+            }
+            let wl: f64 = self
+                .connections
+                .iter()
+                .map(|&(s, d, vol)| {
+                    let (sx, sy) = centers[s];
+                    let (dx, dy) = centers[d];
+                    vol * ((sx - dx).abs() + (sy - dy).abs())
+                })
+                .sum();
+            area + self.wire_weight * wl
+        };
+
+        let mut cur_cost = cost_of(&expr, &rotated);
+        let mut best_expr = expr.clone();
+        let mut best_rot = rotated.clone();
+        let mut best_cost = cur_cost;
+
+        let moves = if self.moves_per_temp == 0 {
+            30 * n
+        } else {
+            self.moves_per_temp
+        };
+        let mut temperature = cur_cost * 0.3 + 1e-9;
+        let t_end = temperature * 1e-4;
+
+        while temperature > t_end {
+            for _ in 0..moves {
+                let mut cand = expr.clone();
+                let mut cand_rot = rotated.clone();
+                let applied = match rng.gen_range(0..4) {
+                    0 => move_swap_operands(&mut cand, &mut rng),
+                    1 => move_complement_chain(&mut cand, &mut rng),
+                    2 => move_swap_operand_operator(&mut cand, &mut rng),
+                    _ => {
+                        let v = rng.gen_range(0..n);
+                        cand_rot[v] = !cand_rot[v];
+                        true
+                    }
+                };
+                if !applied {
+                    continue;
+                }
+                let cand_cost = cost_of(&cand, &cand_rot);
+                let delta = cand_cost - cur_cost;
+                if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+                    expr = cand;
+                    rotated = cand_rot;
+                    cur_cost = cand_cost;
+                    if cur_cost < best_cost {
+                        best_cost = cur_cost;
+                        best_expr = expr.clone();
+                        best_rot = rotated.clone();
+                    }
+                }
+            }
+            temperature *= self.cooling;
+        }
+
+        let (w, h, centers) = evaluate(&best_expr, &self.cores, &best_rot);
+        Placement::new(centers, w, h)
+    }
+}
+
+/// Evaluates a Polish expression: returns (chip width, chip height, core
+/// centers).
+fn evaluate(expr: &[Element], cores: &[Core], rotated: &[bool]) -> (f64, f64, Vec<(f64, f64)>) {
+    // Bottom-up sizes.
+    #[derive(Clone)]
+    struct Node {
+        w: f64,
+        h: f64,
+        elem: Element,
+        left: Option<usize>,
+        right: Option<usize>,
+    }
+    let mut nodes: Vec<Node> = Vec::with_capacity(expr.len());
+    let mut stack: Vec<usize> = Vec::new();
+    for &e in expr {
+        match e {
+            Element::Operand(i) => {
+                let (mut w, mut h) = (cores[i].width_mm(), cores[i].height_mm());
+                if rotated[i] {
+                    std::mem::swap(&mut w, &mut h);
+                }
+                nodes.push(Node {
+                    w,
+                    h,
+                    elem: e,
+                    left: None,
+                    right: None,
+                });
+                stack.push(nodes.len() - 1);
+            }
+            Element::H | Element::V => {
+                let r = stack.pop().expect("valid postfix");
+                let l = stack.pop().expect("valid postfix");
+                let (w, h) = if e == Element::V {
+                    (nodes[l].w + nodes[r].w, nodes[l].h.max(nodes[r].h))
+                } else {
+                    (nodes[l].w.max(nodes[r].w), nodes[l].h + nodes[r].h)
+                };
+                nodes.push(Node {
+                    w,
+                    h,
+                    elem: e,
+                    left: Some(l),
+                    right: Some(r),
+                });
+                stack.push(nodes.len() - 1);
+            }
+        }
+    }
+    let root = *stack.last().expect("non-empty expression");
+    let (cw, ch) = (nodes[root].w, nodes[root].h);
+
+    // Top-down coordinates.
+    let mut centers = vec![(0.0, 0.0); cores.len()];
+    let mut todo = vec![(root, 0.0_f64, 0.0_f64)];
+    while let Some((id, x, y)) = todo.pop() {
+        let node = nodes[id].clone();
+        match node.elem {
+            Element::Operand(i) => {
+                centers[i] = (x + node.w / 2.0, y + node.h / 2.0);
+            }
+            Element::V => {
+                let l = node.left.expect("internal node");
+                let r = node.right.expect("internal node");
+                todo.push((l, x, y));
+                todo.push((r, x + nodes[l].w, y));
+            }
+            Element::H => {
+                let l = node.left.expect("internal node");
+                let r = node.right.expect("internal node");
+                todo.push((l, x, y));
+                todo.push((r, x, y + nodes[l].h));
+            }
+        }
+    }
+    (cw, ch, centers)
+}
+
+/// M1: swap two adjacent operands (adjacent in operand order).
+fn move_swap_operands(expr: &mut [Element], rng: &mut StdRng) -> bool {
+    let operand_positions: Vec<usize> = expr
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| matches!(e, Element::Operand(_)).then_some(i))
+        .collect();
+    if operand_positions.len() < 2 {
+        return false;
+    }
+    let k = rng.gen_range(0..operand_positions.len() - 1);
+    expr.swap(operand_positions[k], operand_positions[k + 1]);
+    true
+}
+
+/// M2: complement a maximal chain of operators containing a random operator.
+fn move_complement_chain(expr: &mut [Element], rng: &mut StdRng) -> bool {
+    let op_positions: Vec<usize> = expr
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| matches!(e, Element::H | Element::V).then_some(i))
+        .collect();
+    if op_positions.is_empty() {
+        return false;
+    }
+    let anchor = op_positions[rng.gen_range(0..op_positions.len())];
+    // Expand to the maximal contiguous operator chain around the anchor.
+    let mut lo = anchor;
+    while lo > 0 && matches!(expr[lo - 1], Element::H | Element::V) {
+        lo -= 1;
+    }
+    let mut hi = anchor;
+    while hi + 1 < expr.len() && matches!(expr[hi + 1], Element::H | Element::V) {
+        hi += 1;
+    }
+    for e in &mut expr[lo..=hi] {
+        *e = match *e {
+            Element::H => Element::V,
+            Element::V => Element::H,
+            Element::Operand(_) => unreachable!("chain contains only operators"),
+        };
+    }
+    true
+}
+
+/// M3: swap an adjacent operand/operator pair, keeping the expression a
+/// valid normalized Polish expression (balloting property).
+fn move_swap_operand_operator(expr: &mut [Element], rng: &mut StdRng) -> bool {
+    let candidates: Vec<usize> = (0..expr.len() - 1)
+        .filter(|&i| {
+            matches!(
+                (expr[i], expr[i + 1]),
+                (Element::Operand(_), Element::H | Element::V)
+                    | (Element::H | Element::V, Element::Operand(_))
+            )
+        })
+        .collect();
+    if candidates.is_empty() {
+        return false;
+    }
+    // Try a few random candidates; accept the first that stays valid.
+    for _ in 0..4 {
+        let i = candidates[rng.gen_range(0..candidates.len())];
+        expr.swap(i, i + 1);
+        if is_valid_normalized(expr) {
+            return true;
+        }
+        expr.swap(i, i + 1); // revert
+    }
+    false
+}
+
+/// Balloting property (every prefix has more operands than operators) and
+/// normalization (no two equal adjacent operators).
+fn is_valid_normalized(expr: &[Element]) -> bool {
+    let mut operands = 0usize;
+    let mut operators = 0usize;
+    let mut prev_op: Option<Element> = None;
+    for &e in expr {
+        match e {
+            Element::Operand(_) => {
+                operands += 1;
+                prev_op = None;
+            }
+            Element::H | Element::V => {
+                operators += 1;
+                if operators + 1 > operands {
+                    return false;
+                }
+                if prev_op == Some(e) {
+                    return false;
+                }
+                prev_op = Some(e);
+            }
+        }
+    }
+    operators + 1 == operands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_graph::NodeId;
+
+    fn unit_cores(n: usize) -> Vec<Core> {
+        (0..n)
+            .map(|i| Core::new(format!("c{i}"), 1.0, 1.0))
+            .collect()
+    }
+
+    fn overlap(a: ((f64, f64), (f64, f64)), b: ((f64, f64), (f64, f64))) -> bool {
+        let ((ax, ay), (aw, ah)) = a;
+        let ((bx, by), (bw, bh)) = b;
+        let eps = 1e-9;
+        ax - aw / 2.0 + eps < bx + bw / 2.0
+            && bx - bw / 2.0 + eps < ax + aw / 2.0
+            && ay - ah / 2.0 + eps < by + bh / 2.0
+            && by - bh / 2.0 + eps < ay + ah / 2.0
+    }
+
+    #[test]
+    fn single_core_is_trivial() {
+        let p = SlicingFloorplanner::new(vec![Core::new("solo", 3.0, 2.0)]).run();
+        assert_eq!(p.core_count(), 1);
+        assert_eq!(p.chip_area_mm2(), 6.0);
+        assert_eq!(p.center(NodeId(0)), (1.5, 1.0));
+    }
+
+    #[test]
+    fn placements_do_not_overlap() {
+        let cores = vec![
+            Core::new("a", 2.0, 1.0),
+            Core::new("b", 1.0, 1.0),
+            Core::new("c", 1.0, 2.0),
+            Core::new("d", 1.5, 1.5),
+            Core::new("e", 1.0, 1.0),
+        ];
+        let dims: Vec<f64> = cores
+            .iter()
+            .flat_map(|c| [c.width_mm(), c.height_mm()])
+            .collect();
+        let p = SlicingFloorplanner::new(cores.clone()).seed(3).run();
+        for i in 0..cores.len() {
+            for j in (i + 1)..cores.len() {
+                // The annealer may rotate blocks; check both orientations.
+                let rect = |k: usize| {
+                    let (w, h) = (dims[2 * k], dims[2 * k + 1]);
+                    let c = p.center(NodeId(k));
+                    // Either orientation must avoid overlap with some
+                    // orientation of the other; conservatively test the
+                    // smaller footprint (min dims as square) which is
+                    // contained in both orientations.
+                    let s = w.min(h);
+                    (c, (s, s))
+                };
+                assert!(!overlap(rect(i), rect(j)), "cores {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn area_is_at_least_sum_of_core_areas() {
+        for n in [4usize, 9, 16] {
+            let p = SlicingFloorplanner::new(unit_cores(n)).seed(11).run();
+            assert!(p.chip_area_mm2() >= n as f64 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn annealing_finds_near_square_arrangement() {
+        // 16 unit tiles: optimum is a 4x4 square of area 16; accept <= 20.
+        let p = SlicingFloorplanner::new(unit_cores(16)).seed(5).run();
+        assert!(
+            p.chip_area_mm2() <= 20.0,
+            "area {} too far from optimal 16",
+            p.chip_area_mm2()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SlicingFloorplanner::new(unit_cores(8)).seed(42).run();
+        let b = SlicingFloorplanner::new(unit_cores(8)).seed(42).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wirelength_pulls_connected_cores_together() {
+        // Heavily connect cores 0 and 7; with the wirelength term their
+        // distance should not exceed the unweighted placement's worst case.
+        let conns = vec![(0usize, 7usize, 100.0)];
+        let with = SlicingFloorplanner::new(unit_cores(8))
+            .seed(9)
+            .wirelength(0.5, conns)
+            .run();
+        let d_with = with.distance_mm(NodeId(0), NodeId(7));
+        // They should end up closer than the chip diameter.
+        assert!(d_with < with.max_distance_mm() + 1e-9);
+        assert!(d_with <= 4.0, "weighted distance {d_with} too large");
+    }
+
+    #[test]
+    fn cores_inside_chip_bounds() {
+        let p = SlicingFloorplanner::new(unit_cores(10)).seed(2).run();
+        for v in 0..10 {
+            let (x, y) = p.center(NodeId(v));
+            assert!(x >= 0.0 && x <= p.chip_width_mm());
+            assert!(y >= 0.0 && y <= p.chip_height_mm());
+        }
+    }
+
+    #[test]
+    fn validity_checker_accepts_initial_expression() {
+        let expr = vec![
+            Element::Operand(0),
+            Element::Operand(1),
+            Element::V,
+            Element::Operand(2),
+            Element::H,
+        ];
+        assert!(is_valid_normalized(&expr));
+        let bad = vec![Element::Operand(0), Element::H, Element::Operand(1)];
+        assert!(!is_valid_normalized(&bad));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the slicing floorplanner: legality invariants that
+//! must hold for any core set and seed.
+
+use noc_floorplan::{Core, DistanceMetric, Placement, SlicingFloorplanner};
+use noc_graph::NodeId;
+use proptest::prelude::*;
+
+fn arb_cores() -> impl Strategy<Value = Vec<Core>> {
+    proptest::collection::vec((5u32..30, 5u32..30), 2..9).prop_map(|dims| {
+        dims.into_iter()
+            .enumerate()
+            .map(|(i, (w, h))| Core::new(format!("c{i}"), w as f64 / 10.0, h as f64 / 10.0))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chip area is at least the sum of core areas (no overlap possible in
+    /// a slicing floorplan) and all centers lie inside the chip.
+    #[test]
+    fn area_and_bounds(cores in arb_cores(), seed in 0u64..50) {
+        let total: f64 = cores.iter().map(Core::area_mm2).sum();
+        let plan = SlicingFloorplanner::new(cores.clone()).seed(seed).run();
+        prop_assert!(plan.chip_area_mm2() >= total - 1e-9);
+        for i in 0..cores.len() {
+            let (x, y) = plan.center(NodeId(i));
+            prop_assert!(x > 0.0 && x < plan.chip_width_mm());
+            prop_assert!(y > 0.0 && y < plan.chip_height_mm());
+        }
+    }
+
+    /// Pairwise: cores never overlap (conservative check via the smaller
+    /// orientation-independent footprint).
+    #[test]
+    fn no_overlap(cores in arb_cores(), seed in 0u64..50) {
+        let plan = SlicingFloorplanner::new(cores.clone()).seed(seed).run();
+        for i in 0..cores.len() {
+            for j in (i + 1)..cores.len() {
+                let (xi, yi) = plan.center(NodeId(i));
+                let (xj, yj) = plan.center(NodeId(j));
+                // Minimum feasible separation: half the smaller dimension of
+                // each block (valid under any rotation).
+                let si = cores[i].width_mm().min(cores[i].height_mm()) / 2.0;
+                let sj = cores[j].width_mm().min(cores[j].height_mm()) / 2.0;
+                let sep_x = (xi - xj).abs();
+                let sep_y = (yi - yj).abs();
+                prop_assert!(
+                    sep_x + 1e-9 >= si + sj || sep_y + 1e-9 >= si + sj,
+                    "cores {i} and {j} too close: d=({sep_x:.3},{sep_y:.3})"
+                );
+            }
+        }
+    }
+
+    /// Same seed, same placement; distance metric is symmetric and obeys
+    /// the triangle inequality under Manhattan.
+    #[test]
+    fn determinism_and_metric(cores in arb_cores(), seed in 0u64..50) {
+        let a = SlicingFloorplanner::new(cores.clone()).seed(seed).run();
+        let b = SlicingFloorplanner::new(cores.clone()).seed(seed).run();
+        prop_assert_eq!(&a, &b);
+        let n = cores.len();
+        for i in 0..n {
+            for j in 0..n {
+                let dij = a.distance_mm(NodeId(i), NodeId(j));
+                prop_assert!((dij - a.distance_mm(NodeId(j), NodeId(i))).abs() < 1e-12);
+                if i == j {
+                    prop_assert_eq!(dij, 0.0);
+                }
+                for k in 0..n {
+                    let dik = a.distance_mm(NodeId(i), NodeId(k));
+                    let dkj = a.distance_mm(NodeId(k), NodeId(j));
+                    prop_assert!(dij <= dik + dkj + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Euclidean distance never exceeds Manhattan.
+    #[test]
+    fn euclidean_below_manhattan(cores in arb_cores(), seed in 0u64..50) {
+        let manhattan = SlicingFloorplanner::new(cores.clone()).seed(seed).run();
+        let euclid = manhattan.clone().with_metric(DistanceMetric::Euclidean);
+        for i in 0..cores.len() {
+            for j in 0..cores.len() {
+                prop_assert!(
+                    euclid.distance_mm(NodeId(i), NodeId(j))
+                        <= manhattan.distance_mm(NodeId(i), NodeId(j)) + 1e-12
+                );
+            }
+        }
+    }
+
+    /// Grid placements: the distance between any two tiles equals the
+    /// Manhattan distance of their grid coordinates times the pitch.
+    #[test]
+    fn grid_distances_exact(cols in 1usize..6, rows in 1usize..6, pitch in 1u32..5) {
+        let pitch = pitch as f64;
+        let p = Placement::grid(cols, rows, pitch, pitch);
+        for a in 0..cols * rows {
+            for b in 0..cols * rows {
+                let (ax, ay) = (a % cols, a / cols);
+                let (bx, by) = (b % cols, b / cols);
+                let expect = pitch
+                    * ((ax as f64 - bx as f64).abs() + (ay as f64 - by as f64).abs());
+                prop_assert!(
+                    (p.distance_mm(NodeId(a), NodeId(b)) - expect).abs() < 1e-9
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Application Characterization Graph (ACG).
+//!
+//! Section 4 of the paper: "The application is specified by a graph
+//! `G(V, E)`, called Application Characterization Graph (ACG), where each
+//! vertex represents a core, and the directed edge `e_ij` characterizes the
+//! data transfer from vertex `i` to vertex `j`. The communication volume and
+//! the required bandwidth from vertex `i` to vertex `j` are denoted by
+//! `v(e_ij)` and `b(e_ij)`."
+
+use std::collections::BTreeMap;
+
+use crate::{DiGraph, Edge, GraphError, NodeId, Result};
+
+/// Communication demand annotated on one ACG edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeDemand {
+    /// Communication volume `v(e)` in bits transferred per application
+    /// iteration (e.g. per encrypted block for AES).
+    pub volume: f64,
+    /// Required bandwidth `b(e)` in bits/second.
+    pub bandwidth: f64,
+}
+
+impl EdgeDemand {
+    /// Creates a demand with the given volume and bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either quantity is negative or NaN.
+    pub fn new(volume: f64, bandwidth: f64) -> Self {
+        assert!(
+            volume >= 0.0 && volume.is_finite(),
+            "volume must be finite and >= 0"
+        );
+        assert!(
+            bandwidth >= 0.0 && bandwidth.is_finite(),
+            "bandwidth must be finite and >= 0"
+        );
+        EdgeDemand { volume, bandwidth }
+    }
+
+    /// A demand with the given volume and zero explicit bandwidth
+    /// requirement.
+    pub fn from_volume(volume: f64) -> Self {
+        EdgeDemand::new(volume, 0.0)
+    }
+}
+
+impl Default for EdgeDemand {
+    /// Unit volume, no bandwidth requirement.
+    fn default() -> Self {
+        EdgeDemand::new(1.0, 0.0)
+    }
+}
+
+/// Application Characterization Graph: cores plus annotated communication
+/// demands.
+///
+/// Construct with [`AcgBuilder`]:
+///
+/// ```
+/// use noc_graph::Acg;
+///
+/// let acg = Acg::builder(3)
+///     .name(0, "cpu")
+///     .name(1, "dsp")
+///     .name(2, "mem")
+///     .demand(0, 1, 128.0, 1.0e6)
+///     .demand(1, 2, 64.0, 0.5e6)
+///     .build();
+/// assert_eq!(acg.core_count(), 3);
+/// assert_eq!(acg.total_volume(), 192.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Acg {
+    graph: DiGraph,
+    demands: BTreeMap<Edge, EdgeDemand>,
+    names: Vec<String>,
+}
+
+impl Acg {
+    /// Starts building an ACG over `cores` cores.
+    pub fn builder(cores: usize) -> AcgBuilder {
+        AcgBuilder {
+            graph: DiGraph::new(cores),
+            demands: BTreeMap::new(),
+            names: (0..cores).map(|i| format!("core{i}")).collect(),
+        }
+    }
+
+    /// Builds an ACG from a plain graph with every edge given `demand`.
+    pub fn from_graph_uniform(graph: DiGraph, demand: EdgeDemand) -> Self {
+        let demands = graph.edges().map(|e| (e, demand)).collect();
+        let names = (0..graph.node_count())
+            .map(|i| format!("core{i}"))
+            .collect();
+        Acg {
+            graph,
+            demands,
+            names,
+        }
+    }
+
+    /// Number of cores (vertices).
+    pub fn core_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying directed graph (the decomposition input).
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Name of core `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn core_name(&self, v: NodeId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Demand of edge `src -> dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingEdge`] if the ACG lacks that edge.
+    pub fn demand(&self, src: NodeId, dst: NodeId) -> Result<EdgeDemand> {
+        self.demands
+            .get(&Edge::new(src, dst))
+            .copied()
+            .ok_or(GraphError::MissingEdge(src, dst))
+    }
+
+    /// Volume `v(e)` of edge `src -> dst`, zero when absent.
+    pub fn volume(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.demands
+            .get(&Edge::new(src, dst))
+            .map_or(0.0, |d| d.volume)
+    }
+
+    /// Bandwidth `b(e)` of edge `src -> dst`, zero when absent.
+    pub fn bandwidth(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.demands
+            .get(&Edge::new(src, dst))
+            .map_or(0.0, |d| d.bandwidth)
+    }
+
+    /// Iterates over `(edge, demand)` pairs in lexicographic edge order.
+    pub fn demands(&self) -> impl Iterator<Item = (Edge, EdgeDemand)> + '_ {
+        self.demands.iter().map(|(&e, &d)| (e, d))
+    }
+
+    /// Sum of all edge volumes.
+    pub fn total_volume(&self) -> f64 {
+        self.demands.values().map(|d| d.volume).sum()
+    }
+
+    /// Sum of all bandwidth requirements.
+    pub fn total_bandwidth(&self) -> f64 {
+        self.demands.values().map(|d| d.bandwidth).sum()
+    }
+}
+
+/// Builder for [`Acg`]; see [`Acg::builder`].
+#[derive(Debug, Clone)]
+pub struct AcgBuilder {
+    graph: DiGraph,
+    demands: BTreeMap<Edge, EdgeDemand>,
+    names: Vec<String>,
+}
+
+impl AcgBuilder {
+    /// Names core `core`; cores default to `core<i>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of bounds.
+    pub fn name(mut self, core: usize, name: impl Into<String>) -> Self {
+        self.names[core] = name.into();
+        self
+    }
+
+    /// Adds (or overwrites) the edge `src -> dst` with the given volume and
+    /// bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints are invalid (out of bounds or equal) or the
+    /// quantities are negative; use [`AcgBuilder::try_demand`] to handle
+    /// errors.
+    pub fn demand(self, src: usize, dst: usize, volume: f64, bandwidth: f64) -> Self {
+        self.try_demand(src, dst, volume, bandwidth)
+            .unwrap_or_else(|e| panic!("AcgBuilder::demand: {e}"))
+    }
+
+    /// Fallible version of [`AcgBuilder::demand`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] or [`GraphError::SelfLoop`].
+    pub fn try_demand(
+        mut self,
+        src: usize,
+        dst: usize,
+        volume: f64,
+        bandwidth: f64,
+    ) -> Result<Self> {
+        let (s, d) = (NodeId(src), NodeId(dst));
+        self.graph.try_add_edge(s, d)?;
+        self.demands
+            .insert(Edge::new(s, d), EdgeDemand::new(volume, bandwidth));
+        Ok(self)
+    }
+
+    /// Adds an edge with the given volume and no bandwidth requirement.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`AcgBuilder::demand`].
+    pub fn volume(self, src: usize, dst: usize, volume: f64) -> Self {
+        self.demand(src, dst, volume, 0.0)
+    }
+
+    /// Finalizes the ACG.
+    pub fn build(self) -> Acg {
+        Acg {
+            graph: self.graph,
+            demands: self.demands,
+            names: self.names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let acg = Acg::builder(4)
+            .name(0, "alpha")
+            .demand(0, 1, 10.0, 2.0)
+            .demand(1, 2, 20.0, 4.0)
+            .volume(2, 3, 5.0)
+            .build();
+        assert_eq!(acg.core_count(), 4);
+        assert_eq!(acg.core_name(NodeId(0)), "alpha");
+        assert_eq!(acg.core_name(NodeId(1)), "core1");
+        assert_eq!(acg.graph().edge_count(), 3);
+        assert_eq!(acg.volume(NodeId(1), NodeId(2)), 20.0);
+        assert_eq!(acg.bandwidth(NodeId(1), NodeId(2)), 4.0);
+        assert_eq!(acg.bandwidth(NodeId(2), NodeId(3)), 0.0);
+        assert_eq!(acg.total_volume(), 35.0);
+        assert_eq!(acg.total_bandwidth(), 6.0);
+    }
+
+    #[test]
+    fn missing_edge_has_zero_volume_and_error_demand() {
+        let acg = Acg::builder(2).volume(0, 1, 1.0).build();
+        assert_eq!(acg.volume(NodeId(1), NodeId(0)), 0.0);
+        assert_eq!(
+            acg.demand(NodeId(1), NodeId(0)),
+            Err(GraphError::MissingEdge(NodeId(1), NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn overwriting_demand_keeps_latest() {
+        let acg = Acg::builder(2)
+            .demand(0, 1, 1.0, 1.0)
+            .demand(0, 1, 9.0, 3.0)
+            .build();
+        assert_eq!(acg.volume(NodeId(0), NodeId(1)), 9.0);
+        assert_eq!(acg.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn try_demand_propagates_graph_errors() {
+        let r = Acg::builder(2).try_demand(0, 0, 1.0, 1.0);
+        assert!(matches!(r, Err(GraphError::SelfLoop(_))));
+        let r = Acg::builder(2).try_demand(0, 7, 1.0, 1.0);
+        assert!(matches!(r, Err(GraphError::NodeOutOfBounds { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "volume must be finite")]
+    fn negative_volume_panics() {
+        EdgeDemand::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn uniform_from_graph() {
+        let g = DiGraph::cycle(3);
+        let acg = Acg::from_graph_uniform(g, EdgeDemand::from_volume(7.0));
+        assert_eq!(acg.total_volume(), 21.0);
+        assert_eq!(acg.demands().count(), 3);
+    }
+
+    #[test]
+    fn default_demand_is_unit_volume() {
+        let d = EdgeDemand::default();
+        assert_eq!(d.volume, 1.0);
+        assert_eq!(d.bandwidth, 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Connectivity and cycle analysis.
+//!
+//! The synthesis flow uses these to validate glued architectures (every
+//! core must be able to reach every other) and to detect deadlock-prone
+//! cycles in channel dependency graphs (Section 4.5 of the paper).
+
+use crate::{DiGraph, NodeId};
+
+/// Weakly connected components: connectivity ignoring edge direction.
+///
+/// Returns one sorted vertex list per component, components ordered by their
+/// smallest vertex. Isolated vertices form singleton components.
+pub fn weak_components(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        let mut stack = vec![NodeId(start)];
+        while let Some(u) = stack.pop() {
+            for v in g.successors(u).chain(g.predecessors(u)) {
+                if comp[v.index()] == usize::MAX {
+                    comp[v.index()] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    let mut out = vec![Vec::new(); next];
+    for (v, &c) in comp.iter().enumerate() {
+        out[c].push(NodeId(v));
+    }
+    out
+}
+
+/// Returns `true` if the graph is weakly connected (a single component).
+///
+/// The empty graph is considered connected.
+pub fn is_weakly_connected(g: &DiGraph) -> bool {
+    weak_components(g).len() <= 1
+}
+
+/// Tarjan's strongly connected components.
+///
+/// Returns components in reverse topological order (standard for Tarjan),
+/// each sorted ascending internally.
+pub fn strongly_connected_components(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+
+    // Iterative Tarjan to avoid recursion limits on long paths.
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize), // (vertex, child just finished)
+    }
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame::Enter(root)];
+        // Per-vertex successor cursor.
+        let mut cursor: Vec<usize> = vec![0; n];
+        while let Some(frame) = call.pop() {
+            let v = match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    v
+                }
+                Frame::Resume(v, child) => {
+                    lowlink[v] = lowlink[v].min(lowlink[child]);
+                    v
+                }
+            };
+            let succs: Vec<usize> = g.successors(NodeId(v)).map(NodeId::index).collect();
+            let mut suspended = false;
+            while cursor[v] < succs.len() {
+                let w = succs[cursor[v]];
+                cursor[v] += 1;
+                if index[w] == usize::MAX {
+                    call.push(Frame::Resume(v, w));
+                    call.push(Frame::Enter(w));
+                    suspended = true;
+                    break;
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            }
+            if suspended {
+                continue;
+            }
+            if lowlink[v] == index[v] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack invariant");
+                    on_stack[w] = false;
+                    comp.push(NodeId(w));
+                    if w == v {
+                        break;
+                    }
+                }
+                comp.sort();
+                components.push(comp);
+            }
+        }
+    }
+    components
+}
+
+/// Finds a directed cycle, returned as the vertex sequence
+/// `v0 -> v1 -> … -> v0` (first vertex repeated at the end), or `None` for
+/// acyclic graphs.
+///
+/// Used for deadlock detection: a cycle in the channel dependency graph
+/// means the routing function can deadlock (the paper proposes breaking
+/// such cycles with virtual channels).
+pub fn find_cycle(g: &DiGraph) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+
+    for root in 0..n {
+        if color[root] != Color::White {
+            continue;
+        }
+        // Iterative DFS with explicit successor cursors.
+        let mut cursors = vec![0usize; n];
+        let mut stack = vec![root];
+        color[root] = Color::Gray;
+        while let Some(&u) = stack.last() {
+            let succs: Vec<usize> = g.successors(NodeId(u)).map(NodeId::index).collect();
+            if cursors[u] < succs.len() {
+                let v = succs[cursors[u]];
+                cursors[u] += 1;
+                match color[v] {
+                    Color::White => {
+                        parent[v] = Some(NodeId(u));
+                        color[v] = Color::Gray;
+                        stack.push(v);
+                    }
+                    Color::Gray => {
+                        // Back edge u -> v closes a cycle v -> ... -> u -> v.
+                        let mut cycle = vec![NodeId(u)];
+                        let mut cur = NodeId(u);
+                        while cur != NodeId(v) {
+                            cur = parent[cur.index()].expect("gray vertices have parents");
+                            cycle.push(cur);
+                        }
+                        cycle.reverse();
+                        cycle.push(NodeId(v));
+                        return Some(cycle);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[u] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_components_of_disjoint_edges() {
+        let g = DiGraph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
+        let comps = weak_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(comps[1], vec![NodeId(2), NodeId(3)]);
+        assert_eq!(comps[2], vec![NodeId(4)]);
+        assert!(!is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn direction_is_ignored_for_weak_connectivity() {
+        let g = DiGraph::from_edges(3, [(0, 1), (2, 1)]).unwrap();
+        assert!(is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_weakly_connected(&DiGraph::new(0)));
+        assert!(is_weakly_connected(&DiGraph::new(1)));
+    }
+
+    #[test]
+    fn scc_of_cycle_is_single_component() {
+        let comps = strongly_connected_components(&DiGraph::cycle(5));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 5);
+    }
+
+    #[test]
+    fn scc_of_path_is_singletons() {
+        let comps = strongly_connected_components(&DiGraph::path(4));
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn scc_mixed_structure() {
+        // 0 <-> 1 cycle, plus 1 -> 2 -> 3 chain, plus 3 <-> 4 cycle.
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3)]).unwrap();
+        let mut comps = strongly_connected_components(&g);
+        comps.sort();
+        assert_eq!(
+            comps,
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(2)],
+                vec![NodeId(3), NodeId(4)],
+            ]
+        );
+    }
+
+    #[test]
+    fn find_cycle_on_acyclic_graph_is_none() {
+        assert_eq!(find_cycle(&DiGraph::path(5)), None);
+        assert_eq!(find_cycle(&DiGraph::out_star(4)), None);
+        assert_eq!(find_cycle(&DiGraph::new(3)), None);
+    }
+
+    #[test]
+    fn find_cycle_returns_closed_walk() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 1), (3, 4)]).unwrap();
+        let cycle = find_cycle(&g).expect("cycle exists");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() >= 3);
+        for w in cycle.windows(2) {
+            assert!(
+                g.has_edge(w[0], w[1]),
+                "cycle edge {} -> {} missing",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn find_cycle_detects_two_cycle() {
+        let g = DiGraph::from_edges(2, [(0, 1), (1, 0)]).unwrap();
+        let cycle = find_cycle(&g).unwrap();
+        assert_eq!(cycle.len(), 3); // v0, v1, v0
+    }
+
+    #[test]
+    fn scc_count_matches_cycle_presence() {
+        // A graph is acyclic iff every SCC is a singleton.
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let comps = strongly_connected_components(&g);
+        let has_nontrivial = comps.iter().any(|c| c.len() > 1);
+        assert_eq!(has_nontrivial, find_cycle(&g).is_some());
+    }
+}

@@ -1,0 +1,378 @@
+//! Balanced bipartitioning and bisection bandwidth.
+//!
+//! Section 4.2 of the paper checks wiring feasibility "by comparing the
+//! bisection bandwidth of the customized architecture with the maximum
+//! bisection bandwidth the particular technology provides". The bisection
+//! bandwidth of a topology is the minimum total capacity of edges crossing
+//! any balanced two-way vertex partition. Exact bisection is NP-hard; we
+//! compute it exactly for small graphs (≤ ~20 vertices, exhaustive over
+//! balanced subsets) and fall back to multi-start Kernighan–Lin for larger
+//! ones, which is the standard EDA practice.
+
+// Index loops below walk several parallel arrays; indexing is clearer.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{DiGraph, NodeId};
+
+/// A two-way partition of the vertex set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bipartition {
+    /// Vertices on side A (sorted).
+    pub side_a: Vec<NodeId>,
+    /// Vertices on side B (sorted).
+    pub side_b: Vec<NodeId>,
+    /// Total weight of directed edges crossing the cut (both directions).
+    pub cut_weight: f64,
+}
+
+impl Bipartition {
+    fn from_mask(g: &DiGraph, in_a: &[bool], weight: &impl Fn(NodeId, NodeId) -> f64) -> Self {
+        let mut side_a = Vec::new();
+        let mut side_b = Vec::new();
+        for v in g.nodes() {
+            if in_a[v.index()] {
+                side_a.push(v);
+            } else {
+                side_b.push(v);
+            }
+        }
+        let cut_weight = cut_weight(g, in_a, weight);
+        Bipartition {
+            side_a,
+            side_b,
+            cut_weight,
+        }
+    }
+}
+
+fn cut_weight(g: &DiGraph, in_a: &[bool], weight: &impl Fn(NodeId, NodeId) -> f64) -> f64 {
+    g.edges()
+        .filter(|e| in_a[e.src.index()] != in_a[e.dst.index()])
+        .map(|e| weight(e.src, e.dst))
+        .sum()
+}
+
+/// Exact minimum balanced bisection by exhaustive subset enumeration.
+///
+/// Sides have sizes `⌈n/2⌉` and `⌊n/2⌋`. Only call for small `n`;
+/// [`bisection_bandwidth`] dispatches automatically.
+fn exact_bisection(g: &DiGraph, weight: &impl Fn(NodeId, NodeId) -> f64) -> Bipartition {
+    let n = g.node_count();
+    assert!(n >= 2, "bisection needs at least two vertices");
+    let half = n / 2;
+    let mut best: Option<(f64, Vec<bool>)> = None;
+    // Fix vertex 0 on side A to halve the symmetric search space.
+    for mask in 0u64..(1 << (n - 1)) {
+        let mut in_a = vec![false; n];
+        in_a[0] = true;
+        let mut count_a = 1;
+        for v in 1..n {
+            if mask & (1 << (v - 1)) != 0 {
+                in_a[v] = true;
+                count_a += 1;
+            }
+        }
+        if count_a != half && count_a != n - half {
+            continue;
+        }
+        let w = cut_weight(g, &in_a, weight);
+        if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
+            best = Some((w, in_a));
+        }
+    }
+    let (_, in_a) = best.expect("at least one balanced partition exists");
+    Bipartition::from_mask(g, &in_a, weight)
+}
+
+/// One pass of Kernighan–Lin refinement over an initial balanced partition.
+///
+/// Returns the best partition found. `weight` gives the capacity of each
+/// directed edge; the cut counts both directions.
+pub fn kernighan_lin(
+    g: &DiGraph,
+    initial_in_a: &[bool],
+    weight: impl Fn(NodeId, NodeId) -> f64,
+) -> Bipartition {
+    let n = g.node_count();
+    assert_eq!(
+        initial_in_a.len(),
+        n,
+        "partition mask must cover all vertices"
+    );
+    let mut in_a = initial_in_a.to_vec();
+
+    // Undirected weight between u and v (sum of both directions).
+    let pair_w = |u: NodeId, v: NodeId| -> f64 {
+        let mut w = 0.0;
+        if g.has_edge(u, v) {
+            w += weight(u, v);
+        }
+        if g.has_edge(v, u) {
+            w += weight(v, u);
+        }
+        w
+    };
+
+    loop {
+        // D[v] = external cost - internal cost.
+        let d = |in_a: &[bool], v: NodeId| -> f64 {
+            let mut ext = 0.0;
+            let mut int = 0.0;
+            for u in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let w = pair_w(v, u);
+                if w == 0.0 {
+                    continue;
+                }
+                if in_a[u.index()] == in_a[v.index()] {
+                    int += w;
+                } else {
+                    ext += w;
+                }
+            }
+            ext - int
+        };
+
+        let mut locked = vec![false; n];
+        let mut gains: Vec<f64> = Vec::new();
+        let mut swaps: Vec<(usize, usize)> = Vec::new();
+        let mut work = in_a.clone();
+
+        let pairs = n / 2;
+        for _ in 0..pairs {
+            let mut best: Option<(f64, usize, usize)> = None;
+            for a in 0..n {
+                if locked[a] || !work[a] {
+                    continue;
+                }
+                for b in 0..n {
+                    if locked[b] || work[b] {
+                        continue;
+                    }
+                    let gain = d(&work, NodeId(a)) + d(&work, NodeId(b))
+                        - 2.0 * pair_w(NodeId(a), NodeId(b));
+                    if best.is_none_or(|(bg, _, _)| gain > bg) {
+                        best = Some((gain, a, b));
+                    }
+                }
+            }
+            let Some((gain, a, b)) = best else { break };
+            work.swap(a, b);
+            locked[a] = true;
+            locked[b] = true;
+            gains.push(gain);
+            swaps.push((a, b));
+        }
+
+        // Find the prefix of swaps with the maximum cumulative gain.
+        let mut best_k = 0;
+        let mut best_sum = 0.0;
+        let mut sum = 0.0;
+        for (k, &gain) in gains.iter().enumerate() {
+            sum += gain;
+            if sum > best_sum + 1e-12 {
+                best_sum = sum;
+                best_k = k + 1;
+            }
+        }
+        if best_k == 0 {
+            break;
+        }
+        for &(a, b) in &swaps[..best_k] {
+            in_a.swap(a, b);
+        }
+    }
+    Bipartition::from_mask(g, &in_a, &weight)
+}
+
+/// Minimum balanced-cut capacity of the topology: exact for `n <= 20`,
+/// multi-start Kernighan–Lin otherwise.
+///
+/// `weight(u, v)` is the capacity of the directed link `u -> v`; use
+/// `|_, _| 1.0` to count links.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than two vertices.
+pub fn bisection_bandwidth(g: &DiGraph, weight: impl Fn(NodeId, NodeId) -> f64) -> Bipartition {
+    let n = g.node_count();
+    assert!(n >= 2, "bisection bandwidth needs at least two vertices");
+    if n <= 20 {
+        return exact_bisection(g, &weight);
+    }
+    // Multi-start KL with deterministic rotations of an alternating seed.
+    let mut best: Option<Bipartition> = None;
+    for start in 0..8usize {
+        let in_a: Vec<bool> = (0..n)
+            .map(|v| (v + start) % 2 == 0 || v % (start + 2) == 0)
+            .collect();
+        // Rebalance the seed mask to exactly n/2 on side A.
+        let mut mask = in_a;
+        let half = n / 2;
+        let mut count = mask.iter().filter(|&&x| x).count();
+        for v in 0..n {
+            if count == half {
+                break;
+            }
+            if count > half && mask[v] {
+                mask[v] = false;
+                count -= 1;
+            } else if count < half && !mask[v] {
+                mask[v] = true;
+                count += 1;
+            }
+        }
+        let p = kernighan_lin(g, &mask, &weight);
+        if best.as_ref().is_none_or(|b| p.cut_weight < b.cut_weight) {
+            best = Some(p);
+        }
+    }
+    best.expect("at least one start")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(_: NodeId, _: NodeId) -> f64 {
+        1.0
+    }
+
+    /// Bidirectional ring on n vertices.
+    fn ring(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for v in 0..n {
+            g.add_edge(NodeId(v), NodeId((v + 1) % n));
+            g.add_edge(NodeId((v + 1) % n), NodeId(v));
+        }
+        g
+    }
+
+    /// Bidirectional w x h mesh.
+    fn mesh(w: usize, h: usize) -> DiGraph {
+        let mut g = DiGraph::new(w * h);
+        let id = |x: usize, y: usize| NodeId(y * w + x);
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    g.add_edge(id(x, y), id(x + 1, y));
+                    g.add_edge(id(x + 1, y), id(x, y));
+                }
+                if y + 1 < h {
+                    g.add_edge(id(x, y), id(x, y + 1));
+                    g.add_edge(id(x, y + 1), id(x, y));
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn ring_bisection_is_four_directed_edges() {
+        // Cutting a bidirectional ring anywhere severs 2 undirected = 4
+        // directed edges.
+        let p = bisection_bandwidth(&ring(8), unit);
+        assert_eq!(p.cut_weight, 4.0);
+        assert_eq!(p.side_a.len(), 4);
+        assert_eq!(p.side_b.len(), 4);
+    }
+
+    #[test]
+    fn mesh_4x4_bisection_is_eight_directed_edges() {
+        // The classic result: bisection width of a 4x4 mesh is 4 links =
+        // 8 directed edges.
+        let p = bisection_bandwidth(&mesh(4, 4), unit);
+        assert_eq!(p.cut_weight, 8.0);
+    }
+
+    #[test]
+    fn two_cliques_with_bridge() {
+        // Two K4 cliques joined by one bidirectional bridge: min cut = 2.
+        let mut g = DiGraph::new(8);
+        for base in [0, 4] {
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        g.add_edge(NodeId(base + i), NodeId(base + j));
+                    }
+                }
+            }
+        }
+        g.add_edge(NodeId(0), NodeId(4));
+        g.add_edge(NodeId(4), NodeId(0));
+        let p = bisection_bandwidth(&g, unit);
+        assert_eq!(p.cut_weight, 2.0);
+        let a: Vec<usize> = p.side_a.iter().map(|v| v.index()).collect();
+        assert!(a == vec![0, 1, 2, 3] || a == vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn weighted_cut_prefers_light_edges() {
+        // Square 0-1-2-3 with one heavy pair: partition avoids cutting it.
+        let g = DiGraph::from_edges(
+            4,
+            [
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (3, 0),
+                (0, 3),
+            ],
+        )
+        .unwrap();
+        let w = |a: NodeId, b: NodeId| {
+            if (a.index().min(b.index()), a.index().max(b.index())) == (0, 1) {
+                100.0
+            } else {
+                1.0
+            }
+        };
+        let p = bisection_bandwidth(&g, w);
+        // Optimal: {0,1} vs {2,3}: cuts edges 1-2 and 3-0 = weight 4.
+        assert_eq!(p.cut_weight, 4.0);
+    }
+
+    #[test]
+    fn odd_vertex_count_is_handled() {
+        let p = bisection_bandwidth(&ring(5), unit);
+        assert_eq!(p.side_a.len() + p.side_b.len(), 5);
+        assert!((p.side_a.len() as isize - p.side_b.len() as isize).abs() <= 1);
+        assert_eq!(p.cut_weight, 4.0);
+    }
+
+    #[test]
+    fn kernighan_lin_improves_bad_seed() {
+        // Two triangles bridged once; seed splits both triangles.
+        let mut g = DiGraph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(NodeId(a), NodeId(b));
+            g.add_edge(NodeId(b), NodeId(a));
+        }
+        g.add_edge(NodeId(0), NodeId(3));
+        g.add_edge(NodeId(3), NodeId(0));
+        let seed = [true, false, true, false, true, false];
+        let p = kernighan_lin(&g, &seed, unit);
+        assert_eq!(p.cut_weight, 2.0);
+    }
+
+    #[test]
+    fn large_graph_uses_heuristic_and_stays_reasonable() {
+        let g = mesh(5, 5); // 25 vertices -> heuristic path
+        let p = bisection_bandwidth(&g, unit);
+        // True bisection of a 5x5 mesh is 5 links = 10 directed edges; the
+        // heuristic should be close.
+        assert!(p.cut_weight <= 14.0, "cut {} too large", p.cut_weight);
+        assert!((p.side_a.len() as isize - 12).abs() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_vertex_panics() {
+        bisection_bandwidth(&DiGraph::new(1), unit);
+    }
+}

@@ -1,0 +1,249 @@
+//! Shortest paths, hop matrices and diameter.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{DiGraph, NodeId};
+
+/// Outcome of a single-source shortest-path query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathResult {
+    /// `dist[v]` is the distance from the source to `v`, or `None` if `v`
+    /// is unreachable.
+    pub dist: Vec<Option<f64>>,
+    /// `parent[v]` is the predecessor of `v` on a shortest path, `None` for
+    /// the source and unreachable vertices.
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl PathResult {
+    /// Reconstructs the vertex sequence from the source to `goal`
+    /// (inclusive), or `None` if `goal` is unreachable.
+    pub fn path_to(&self, goal: NodeId) -> Option<Vec<NodeId>> {
+        self.dist[goal.index()]?;
+        let mut path = vec![goal];
+        let mut cur = goal;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Unit-weight BFS distances (hop counts) from `src` along directed edges.
+///
+/// # Panics
+///
+/// Panics if `src` is out of bounds.
+pub fn bfs_distances(g: &DiGraph, src: NodeId) -> Vec<Option<usize>> {
+    assert!(src.index() < g.node_count(), "source out of bounds");
+    let mut dist = vec![None; g.node_count()];
+    dist[src.index()] = Some(0);
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued vertices have distances");
+        for v in g.successors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra shortest paths from `src` with per-edge weights given by
+/// `weight(src, dst)`.
+///
+/// # Panics
+///
+/// Panics if `src` is out of bounds or any traversed weight is negative or
+/// NaN.
+pub fn dijkstra<F>(g: &DiGraph, src: NodeId, mut weight: F) -> PathResult
+where
+    F: FnMut(NodeId, NodeId) -> f64,
+{
+    assert!(src.index() < g.node_count(), "source out of bounds");
+    let n = g.node_count();
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = BinaryHeap::new();
+    dist[src.index()] = Some(0.0);
+    heap.push(Reverse((OrderedF64(0.0), src.index())));
+    while let Some(Reverse((OrderedF64(d), u))) = heap.pop() {
+        if dist[u].is_none_or(|best| d > best) {
+            continue;
+        }
+        for v in g.successors(NodeId(u)) {
+            let w = weight(NodeId(u), v);
+            assert!(w >= 0.0, "dijkstra requires non-negative weights, got {w}");
+            let nd = d + w;
+            if dist[v.index()].is_none_or(|best| nd < best) {
+                dist[v.index()] = Some(nd);
+                parent[v.index()] = Some(NodeId(u));
+                heap.push(Reverse((OrderedF64(nd), v.index())));
+            }
+        }
+    }
+    PathResult { dist, parent }
+}
+
+/// Shortest hop path from `src` to `dst`, or `None` if unreachable.
+pub fn shortest_path(g: &DiGraph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    let mut seen = vec![false; g.node_count()];
+    seen[src.index()] = true;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        if u == dst {
+            let mut path = vec![dst];
+            let mut cur = dst;
+            while let Some(p) = parent[cur.index()] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for v in g.successors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                parent[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// All-pairs hop-count matrix; `matrix[u][v]` is `None` when `v` is not
+/// reachable from `u`.
+pub fn hop_matrix(g: &DiGraph) -> Vec<Vec<Option<usize>>> {
+    g.nodes().map(|u| bfs_distances(g, u)).collect()
+}
+
+/// Directed diameter: the largest finite hop distance between any ordered
+/// vertex pair, or `None` if the graph has fewer than two vertices or some
+/// pair is mutually unreachable (infinite diameter).
+pub fn diameter(g: &DiGraph) -> Option<usize> {
+    if g.node_count() < 2 {
+        return None;
+    }
+    let mut best = 0;
+    for u in g.nodes() {
+        let dist = bfs_distances(g, u);
+        for v in g.nodes() {
+            if u == v {
+                continue;
+            }
+            match dist[v.index()] {
+                Some(d) => best = best.max(d),
+                None => return None,
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Total-order wrapper for finite `f64` used inside the Dijkstra heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("path weights must not be NaN")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_on_cycle() {
+        let g = DiGraph::cycle(4);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let g = DiGraph::path(3); // 0 -> 1 -> 2
+        let d = bfs_distances(&g, NodeId(2));
+        assert_eq!(d, vec![None, None, Some(0)]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        // 0 -> 1 (10), 0 -> 2 (1), 2 -> 1 (1)
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 2), (2, 1)]).unwrap();
+        let w = |a: NodeId, b: NodeId| match (a.index(), b.index()) {
+            (0, 1) => 10.0,
+            _ => 1.0,
+        };
+        let r = dijkstra(&g, NodeId(0), w);
+        assert_eq!(r.dist[1], Some(2.0));
+        assert_eq!(
+            r.path_to(NodeId(1)).unwrap(),
+            vec![NodeId(0), NodeId(2), NodeId(1)]
+        );
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let g = DiGraph::from_edges(3, [(0, 1)]).unwrap();
+        let r = dijkstra(&g, NodeId(0), |_, _| 1.0);
+        assert_eq!(r.dist[2], None);
+        assert_eq!(r.path_to(NodeId(2)), None);
+    }
+
+    #[test]
+    fn shortest_path_on_mesh_like_graph() {
+        // 2x2 bidirectional grid: 0-1 / 2-3.
+        let mut g = DiGraph::new(4);
+        for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            g.add_edge(NodeId(a), NodeId(b));
+            g.add_edge(NodeId(b), NodeId(a));
+        }
+        let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.len(), 3); // two hops
+        assert_eq!(p[0], NodeId(0));
+        assert_eq!(p[2], NodeId(3));
+        assert_eq!(
+            shortest_path(&g, NodeId(1), NodeId(1)).unwrap(),
+            vec![NodeId(1)]
+        );
+    }
+
+    #[test]
+    fn hop_matrix_matches_bfs() {
+        let g = DiGraph::cycle(5);
+        let m = hop_matrix(&g);
+        assert_eq!(m[2][4], Some(2));
+        assert_eq!(m[4][2], Some(3));
+    }
+
+    #[test]
+    fn diameter_of_cycle_is_n_minus_1() {
+        assert_eq!(diameter(&DiGraph::cycle(6)), Some(5));
+        assert_eq!(diameter(&DiGraph::complete(6)), Some(1));
+    }
+
+    #[test]
+    fn diameter_of_disconnected_is_none() {
+        assert_eq!(diameter(&DiGraph::path(3)), None); // not strongly connected
+        assert_eq!(diameter(&DiGraph::new(1)), None);
+    }
+}

@@ -1,0 +1,280 @@
+//! A compact fixed-capacity bit set used for adjacency rows.
+//!
+//! NoC application graphs are small (tens of vertices), so a dense bit-set
+//! adjacency representation gives O(1) edge queries and very fast VF2
+//! feasibility checks via word-parallel intersection counts.
+
+/// A fixed-capacity set of `usize` values backed by `u64` words.
+///
+/// The capacity is chosen at construction and never grows; inserting an
+/// out-of-range value panics. All operations are O(capacity / 64) or better.
+///
+/// # Examples
+///
+/// ```
+/// use noc_graph::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(64);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Returns the capacity (exclusive upper bound on storable values).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `value`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= self.capacity()`.
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(
+            value < self.capacity,
+            "bitset insert out of range: {value} >= {}",
+            self.capacity
+        );
+        let (w, b) = (value / 64, value % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `value`, returning `true` if it was present.
+    pub fn remove(&mut self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (w, b) = (value / 64, value % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Returns `true` if `value` is in the set.
+    pub fn contains(&self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        self.words[value / 64] & (1 << (value % 64)) != 0
+    }
+
+    /// Number of values in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every value.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of values present in both `self` and `other`.
+    ///
+    /// Sets of different capacities are compared over the shorter word list.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has values beyond `self`'s capacity.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert!(
+            other.words.len() <= self.words.len()
+                || other.words[self.words.len()..].iter().all(|&w| w == 0),
+            "bitset union would overflow capacity"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates over the values in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects values into a set sized to the largest value seen.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let cap = values.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for v in values {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+/// Ascending-order iterator over a [`BitSet`], created by [`BitSet::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * 64 + b);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = BitSet::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(0));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_and_contains_across_word_boundary() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64)); // duplicate
+        assert_eq!(s.len(), 4);
+        for v in [0, 63, 64, 129] {
+            assert!(s.contains(v), "missing {v}");
+        }
+        assert!(!s.contains(1));
+        assert!(!s.contains(128));
+    }
+
+    #[test]
+    fn remove_round_trips() {
+        let mut s = BitSet::new(70);
+        s.insert(5);
+        s.insert(65);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(!s.contains(5));
+        assert!(s.contains(65));
+        assert!(!s.remove(200)); // out of range is a no-op
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let mut s = BitSet::new(200);
+        for v in [199, 3, 77, 64, 0] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 64, 77, 199]);
+    }
+
+    #[test]
+    fn intersection_len_counts_common_members() {
+        let a: BitSet = [1usize, 2, 3, 70].into_iter().collect();
+        let b: BitSet = [2usize, 3, 4, 70, 71].into_iter().collect();
+        assert_eq!(a.intersection_len(&b), 3);
+        assert_eq!(b.intersection_len(&a), 3);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = BitSet::new(100);
+        a.insert(1);
+        let b: BitSet = [2usize, 99].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 99]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s: BitSet = [1usize, 2, 3].into_iter().collect();
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [10usize, 5].into_iter().collect();
+        assert_eq!(s.capacity(), 11);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s: BitSet = [1usize].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1}");
+        let empty = BitSet::new(0);
+        assert_eq!(format!("{empty:?}"), "{}");
+    }
+}

@@ -1,0 +1,529 @@
+//! Dense directed graph over a fixed vertex set.
+
+use crate::{bitset::BitSet, GraphError, Result};
+
+/// Identifier of a vertex in a [`DiGraph`].
+///
+/// Vertices are dense indices `0..n`. The newtype prevents accidentally
+/// mixing vertex ids with other integer quantities (volumes, hop counts, …).
+///
+/// # Examples
+///
+/// ```
+/// use noc_graph::NodeId;
+/// let v = NodeId(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A directed edge `(src, dst)`.
+///
+/// # Examples
+///
+/// ```
+/// use noc_graph::{Edge, NodeId};
+/// let e = Edge::new(NodeId(0), NodeId(1));
+/// assert_eq!(e.reversed(), Edge::new(NodeId(1), NodeId(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: NodeId,
+    /// Destination vertex.
+    pub dst: NodeId,
+}
+
+impl Edge {
+    /// Creates an edge from `src` to `dst`.
+    pub fn new(src: NodeId, dst: NodeId) -> Self {
+        Edge { src, dst }
+    }
+
+    /// Returns the edge with endpoints swapped.
+    pub fn reversed(self) -> Self {
+        Edge::new(self.dst, self.src)
+    }
+}
+
+impl From<(usize, usize)> for Edge {
+    fn from((s, d): (usize, usize)) -> Self {
+        Edge::new(NodeId(s), NodeId(d))
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.src, self.dst)
+    }
+}
+
+/// A simple directed graph (no self loops, no multi-edges) over a fixed set
+/// of `n` vertices, stored densely as per-vertex successor/predecessor bit
+/// sets.
+///
+/// This is the representation the DATE'05 decomposition algorithm operates
+/// on: graph *difference* (Definition 2 of the paper) removes edges but keeps
+/// the vertex set intact, so the vertex set is immutable after construction.
+///
+/// # Examples
+///
+/// ```
+/// use noc_graph::{DiGraph, NodeId};
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(NodeId(0), NodeId(1));
+/// g.add_edge(NodeId(1), NodeId(2));
+/// assert_eq!(g.out_degree(NodeId(1)), 1);
+/// assert_eq!(g.in_degree(NodeId(1)), 1);
+/// assert_eq!(g.edges().count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DiGraph {
+    n: usize,
+    succ: Vec<BitSet>,
+    pred: Vec<BitSet>,
+    m: usize,
+}
+
+impl DiGraph {
+    /// Creates an edgeless graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            n,
+            succ: (0..n).map(|_| BitSet::new(n)).collect(),
+            pred: (0..n).map(|_| BitSet::new(n)).collect(),
+            m: 0,
+        }
+    }
+
+    /// Builds a graph of order `n` from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] for endpoints `>= n` and
+    /// [`GraphError::SelfLoop`] for edges `(v, v)`. Duplicate edges are
+    /// silently merged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), noc_graph::GraphError> {
+    /// use noc_graph::DiGraph;
+    /// let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+    /// assert_eq!(g.edge_count(), 4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator,
+        I::Item: Into<Edge>,
+    {
+        let mut g = DiGraph::new(n);
+        for e in edges {
+            let e = e.into();
+            g.try_add_edge(e.src, e.dst)?;
+        }
+        Ok(g)
+    }
+
+    /// The complete digraph `K_n`: every ordered pair of distinct vertices is
+    /// an edge. This is the representation graph of *gossiping* among `n`
+    /// nodes (Figure 1 of the paper).
+    pub fn complete(n: usize) -> Self {
+        let mut g = DiGraph::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    g.add_edge(NodeId(u), NodeId(v));
+                }
+            }
+        }
+        g
+    }
+
+    /// The directed cycle `0 -> 1 -> … -> n-1 -> 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (a directed cycle needs at least two vertices).
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 2, "a directed cycle needs at least 2 vertices");
+        let mut g = DiGraph::new(n);
+        for u in 0..n {
+            g.add_edge(NodeId(u), NodeId((u + 1) % n));
+        }
+        g
+    }
+
+    /// The directed path `0 -> 1 -> … -> n-1`.
+    pub fn path(n: usize) -> Self {
+        let mut g = DiGraph::new(n);
+        for u in 1..n {
+            g.add_edge(NodeId(u - 1), NodeId(u));
+        }
+        g
+    }
+
+    /// The out-star: vertex `0` has an edge to every other vertex. This is
+    /// the representation graph of a *broadcast* from one node to `n - 1`
+    /// nodes (Figure 1 of the paper).
+    pub fn out_star(n: usize) -> Self {
+        let mut g = DiGraph::new(n);
+        for v in 1..n {
+            g.add_edge(NodeId(0), NodeId(v));
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Returns `true` if the graph has no edges.
+    pub fn is_edgeless(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Iterates over all vertices.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId)
+    }
+
+    /// Adds the edge `src -> dst`, returning `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds or `src == dst`; use
+    /// [`DiGraph::try_add_edge`] for a fallible variant.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
+        self.try_add_edge(src, dst)
+            .unwrap_or_else(|e| panic!("add_edge: {e}"))
+    }
+
+    /// Adds the edge `src -> dst`, returning `true` if it was new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] or [`GraphError::SelfLoop`].
+    pub fn try_add_edge(&mut self, src: NodeId, dst: NodeId) -> Result<bool> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if src == dst {
+            return Err(GraphError::SelfLoop(src));
+        }
+        let added = self.succ[src.0].insert(dst.0);
+        if added {
+            self.pred[dst.0].insert(src.0);
+            self.m += 1;
+        }
+        Ok(added)
+    }
+
+    /// Removes the edge `src -> dst`, returning `true` if it existed.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
+        if src.0 >= self.n || dst.0 >= self.n {
+            return false;
+        }
+        let removed = self.succ[src.0].remove(dst.0);
+        if removed {
+            self.pred[dst.0].remove(src.0);
+            self.m -= 1;
+        }
+        removed
+    }
+
+    /// Returns `true` if `src -> dst` is an edge.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        src.0 < self.n && self.succ[src.0].contains(dst.0)
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.succ[v.0].len()
+    }
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.pred[v.0].len()
+    }
+
+    /// Total degree (in + out) of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Iterates over the successors of `v` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn successors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.succ[v.0].iter().map(NodeId)
+    }
+
+    /// Iterates over the predecessors of `v` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn predecessors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.pred[v.0].iter().map(NodeId)
+    }
+
+    /// Successor set of `v` as a bit set (used by the VF2 engine).
+    pub(crate) fn succ_set(&self, v: NodeId) -> &BitSet {
+        &self.succ[v.0]
+    }
+
+    /// Predecessor set of `v` as a bit set (used by the VF2 engine).
+    pub(crate) fn pred_set(&self, v: NodeId) -> &BitSet {
+        &self.pred[v.0]
+    }
+
+    /// Iterates over all edges in lexicographic `(src, dst)` order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.succ[u]
+                .iter()
+                .map(move |v| Edge::new(NodeId(u), NodeId(v)))
+        })
+    }
+
+    /// Collects all edges into a sorted vector (a cheap canonical form).
+    pub fn edge_vec(&self) -> Vec<Edge> {
+        self.edges().collect()
+    }
+
+    /// Returns `true` if every edge of `other` is also an edge of `self`.
+    ///
+    /// Both graphs must have the same order; differing orders yield `false`.
+    pub fn contains_subgraph(&self, other: &DiGraph) -> bool {
+        other.n == self.n && other.edges().all(|e| self.has_edge(e.src, e.dst))
+    }
+
+    /// Vertices with at least one incident edge.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.degree(v) > 0).collect()
+    }
+
+    /// Returns `true` if for every edge `u -> v` the reverse edge `v -> u`
+    /// also exists (the graph is *symmetric*, i.e. effectively undirected).
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|e| self.has_edge(e.dst, e.src))
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<()> {
+        if v.0 >= self.n {
+            Err(GraphError::NodeOutOfBounds {
+                node: v,
+                node_count: self.n,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DiGraph(n={}, m={}, edges=[", self.n, self.m)?;
+        let mut first = true;
+        for e in self.edges() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", e)?;
+            first = false;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_graph_is_edgeless() {
+        let g = DiGraph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_edgeless());
+        assert!(g.active_nodes().is_empty());
+    }
+
+    #[test]
+    fn add_remove_edge_round_trip() {
+        let mut g = DiGraph::new(3);
+        assert!(g.add_edge(NodeId(0), NodeId(2)));
+        assert!(!g.add_edge(NodeId(0), NodeId(2))); // duplicate
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(2), NodeId(0)));
+        assert!(g.remove_edge(NodeId(0), NodeId(2)));
+        assert!(!g.remove_edge(NodeId(0), NodeId(2)));
+        assert!(g.is_edgeless());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = DiGraph::new(2);
+        assert_eq!(
+            g.try_add_edge(NodeId(1), NodeId(1)),
+            Err(GraphError::SelfLoop(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut g = DiGraph::new(2);
+        assert!(matches!(
+            g.try_add_edge(NodeId(0), NodeId(5)),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn complete_graph_has_n_times_n_minus_1_edges() {
+        for n in 1..8 {
+            let g = DiGraph::complete(n);
+            assert_eq!(g.edge_count(), n * n.saturating_sub(1));
+            assert!(g.is_symmetric());
+        }
+    }
+
+    #[test]
+    fn cycle_graph_structure() {
+        let g = DiGraph::cycle(4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(NodeId(3), NodeId(0)));
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn path_graph_structure() {
+        let g = DiGraph::path(4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn out_star_structure() {
+        let g = DiGraph::out_star(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(NodeId(0)), 4);
+        for v in 1..5 {
+            assert_eq!(g.in_degree(NodeId(v)), 1);
+            assert_eq!(g.out_degree(NodeId(v)), 0);
+        }
+    }
+
+    #[test]
+    fn degenerate_small_graphs() {
+        assert_eq!(DiGraph::complete(0).edge_count(), 0);
+        assert_eq!(DiGraph::complete(1).edge_count(), 0);
+        assert_eq!(DiGraph::path(0).edge_count(), 0);
+        assert_eq!(DiGraph::path(1).edge_count(), 0);
+        assert_eq!(DiGraph::out_star(1).edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn cycle_of_one_panics() {
+        DiGraph::cycle(1);
+    }
+
+    #[test]
+    fn edges_iterate_in_lexicographic_order() {
+        let g = DiGraph::from_edges(3, [(2, 0), (0, 2), (0, 1), (1, 2)]).unwrap();
+        let es: Vec<(usize, usize)> = g.edges().map(|e| (e.src.0, e.dst.0)).collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn contains_subgraph_checks_edges() {
+        let g = DiGraph::complete(4);
+        let c = DiGraph::cycle(4);
+        assert!(g.contains_subgraph(&c));
+        assert!(!c.contains_subgraph(&g));
+        let other_order = DiGraph::new(3);
+        assert!(!g.contains_subgraph(&other_order));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = DiGraph::from_edges(5, [(2, 4), (2, 0), (2, 3)]).unwrap();
+        let succ: Vec<usize> = g.successors(NodeId(2)).map(NodeId::index).collect();
+        assert_eq!(succ, vec![0, 3, 4]);
+        let pred: Vec<usize> = g.predecessors(NodeId(4)).map(NodeId::index).collect();
+        assert_eq!(pred, vec![2]);
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let g = DiGraph::cycle(5);
+        let h = g.clone();
+        assert_eq!(g, h);
+        let mut k = h.clone();
+        k.remove_edge(NodeId(0), NodeId(1));
+        assert_ne!(g, k);
+    }
+
+    #[test]
+    fn debug_output_lists_edges() {
+        let g = DiGraph::from_edges(2, [(0, 1)]).unwrap();
+        assert_eq!(format!("{g:?}"), "DiGraph(n=2, m=1, edges=[0 -> 1])");
+    }
+
+    #[test]
+    fn edge_display_and_reverse() {
+        let e = Edge::from((1, 2));
+        assert_eq!(e.to_string(), "1 -> 2");
+        assert_eq!(e.reversed().to_string(), "2 -> 1");
+    }
+}

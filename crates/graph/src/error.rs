@@ -1,0 +1,80 @@
+//! Error type shared by the graph crate.
+
+use crate::NodeId;
+
+/// Errors produced by fallible graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex index was outside `0..node_count`.
+    NodeOutOfBounds {
+        /// The offending vertex.
+        node: NodeId,
+        /// Number of vertices in the graph.
+        node_count: usize,
+    },
+    /// A self loop was requested but the graph forbids them.
+    SelfLoop(NodeId),
+    /// An edge that was required to exist is absent.
+    MissingEdge(NodeId, NodeId),
+    /// Graph subtraction was attempted between graphs of different orders.
+    OrderMismatch {
+        /// Vertices in the left operand.
+        left: usize,
+        /// Vertices in the right operand.
+        right: usize,
+    },
+    /// The right operand of a difference has an edge the left lacks.
+    NotASubgraph(NodeId, NodeId),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(
+                    f,
+                    "vertex {node} out of bounds for graph of order {node_count}"
+                )
+            }
+            GraphError::SelfLoop(n) => write!(f, "self loop on vertex {n} is not allowed"),
+            GraphError::MissingEdge(u, v) => write!(f, "edge {u} -> {v} does not exist"),
+            GraphError::OrderMismatch { left, right } => {
+                write!(f, "graph orders differ: {left} vs {right}")
+            }
+            GraphError::NotASubgraph(u, v) => {
+                write!(f, "subtrahend edge {u} -> {v} is absent from the minuend")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId(7),
+            node_count: 4,
+        };
+        assert_eq!(e.to_string(), "vertex 7 out of bounds for graph of order 4");
+        assert_eq!(
+            GraphError::MissingEdge(NodeId(1), NodeId(2)).to_string(),
+            "edge 1 -> 2 does not exist"
+        );
+        assert_eq!(
+            GraphError::OrderMismatch { left: 3, right: 5 }.to_string(),
+            "graph orders differ: 3 vs 5"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

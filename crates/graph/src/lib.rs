@@ -1,0 +1,56 @@
+//! Directed-graph foundation for NoC communication architecture synthesis.
+//!
+//! This crate provides the graph machinery used throughout the workspace to
+//! reproduce *Ogras & Marculescu, "Energy- and Performance-Driven NoC
+//! Communication Architecture Synthesis Using a Decomposition Approach"*
+//! (DATE 2005):
+//!
+//! * [`DiGraph`] — a dense directed graph over a fixed vertex set, the shape
+//!   required by the paper's graph sum/difference operations (Definitions
+//!   1-2), where subtraction removes edges but keeps every vertex.
+//! * [`ops`] — graph sum, difference ("remaining graph") and edge-induced
+//!   subgraphs.
+//! * [`iso`] — a full VF2 (sub)graph isomorphism engine (Definition 3 /
+//!   reference 13 of the paper) supporting monomorphism and induced
+//!   semantics, match enumeration, canonical deduplication and time-outs.
+//! * [`algo`] — breadth-first/weighted shortest paths, strongly connected
+//!   components, cycle detection, diameter, and Kernighan–Lin bipartitioning
+//!   used for bisection-bandwidth constraint checks (Section 4.2).
+//! * [`Acg`] — the Application Characterization Graph: a [`DiGraph`] whose
+//!   edges carry communication volume `v(e)` and bandwidth `b(e)`
+//!   requirements (Section 4).
+//!
+//! # Example
+//!
+//! Build a 4-vertex gossip pattern (complete digraph) and check a few basic
+//! properties:
+//!
+//! ```
+//! use noc_graph::{DiGraph, NodeId};
+//!
+//! let g = DiGraph::complete(4);
+//! assert_eq!(g.node_count(), 4);
+//! assert_eq!(g.edge_count(), 12); // n * (n - 1) directed edges
+//! assert!(g.has_edge(NodeId(0), NodeId(3)));
+//! assert!(!g.has_edge(NodeId(2), NodeId(2))); // no self loops
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod acg;
+pub mod algo;
+mod bitset;
+mod digraph;
+pub mod dot;
+mod error;
+pub mod iso;
+pub mod ops;
+
+pub use acg::{Acg, AcgBuilder, EdgeDemand};
+pub use bitset::BitSet;
+pub use digraph::{DiGraph, Edge, NodeId};
+pub use error::GraphError;
+
+/// Convenient result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

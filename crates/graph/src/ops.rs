@@ -1,0 +1,282 @@
+//! Graph sum, difference and subgraph extraction.
+//!
+//! These implement Definitions 1 and 2 of the DATE'05 paper:
+//!
+//! * **Sum** (Definition 1): `A = G + H` with `V_A = V_G ∪ V_H` and
+//!   `E_A = E_G ∪ E_H`. On our dense fixed-order graphs both operands must
+//!   have the same order and the edge sets are unioned.
+//! * **Difference** (Definition 2): given a graph `G` and a subgraph `S`,
+//!   the *remaining graph* `R` keeps the full vertex set (`V_R = V`) and
+//!   removes exactly the subgraph's edges (`E_R = E − E_S`). This is the
+//!   operation the decomposition loop applies after every matching.
+
+use crate::{DiGraph, Edge, GraphError, NodeId, Result};
+
+/// Returns the graph sum `g + h` (Definition 1).
+///
+/// # Errors
+///
+/// Returns [`GraphError::OrderMismatch`] when the operands have different
+/// vertex counts.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), noc_graph::GraphError> {
+/// use noc_graph::{ops, DiGraph};
+/// let a = DiGraph::from_edges(3, [(0, 1)])?;
+/// let b = DiGraph::from_edges(3, [(1, 2)])?;
+/// let sum = ops::sum(&a, &b)?;
+/// assert_eq!(sum.edge_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sum(g: &DiGraph, h: &DiGraph) -> Result<DiGraph> {
+    if g.node_count() != h.node_count() {
+        return Err(GraphError::OrderMismatch {
+            left: g.node_count(),
+            right: h.node_count(),
+        });
+    }
+    let mut out = g.clone();
+    for e in h.edges() {
+        out.try_add_edge(e.src, e.dst)?;
+    }
+    Ok(out)
+}
+
+/// Returns the *remaining graph* `g − s` (Definition 2).
+///
+/// The vertex set is preserved; exactly the edges of `s` are removed.
+///
+/// # Errors
+///
+/// Returns [`GraphError::OrderMismatch`] if the orders differ and
+/// [`GraphError::NotASubgraph`] if `s` has an edge absent from `g` (in which
+/// case `s` is not a subgraph and the difference is undefined).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), noc_graph::GraphError> {
+/// use noc_graph::{ops, DiGraph};
+/// let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)])?;
+/// let s = DiGraph::from_edges(3, [(1, 2)])?;
+/// let r = ops::difference(&g, &s)?;
+/// assert_eq!(r.edge_count(), 2);
+/// assert_eq!(r.node_count(), 3); // vertex set unchanged
+/// # Ok(())
+/// # }
+/// ```
+pub fn difference(g: &DiGraph, s: &DiGraph) -> Result<DiGraph> {
+    if g.node_count() != s.node_count() {
+        return Err(GraphError::OrderMismatch {
+            left: g.node_count(),
+            right: s.node_count(),
+        });
+    }
+    let mut out = g.clone();
+    for e in s.edges() {
+        if !out.remove_edge(e.src, e.dst) {
+            return Err(GraphError::NotASubgraph(e.src, e.dst));
+        }
+    }
+    Ok(out)
+}
+
+/// Removes the listed edges from `g`, returning the remaining graph.
+///
+/// Unlike [`difference`] this accepts a bare edge list, which is how the
+/// decomposition engine subtracts a *matching image* without materializing
+/// an intermediate [`DiGraph`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::NotASubgraph`] if any edge is absent from `g`.
+pub fn subtract_edges<I>(g: &DiGraph, edges: I) -> Result<DiGraph>
+where
+    I: IntoIterator,
+    I::Item: Into<Edge>,
+{
+    let mut out = g.clone();
+    for e in edges {
+        let e = e.into();
+        if !out.remove_edge(e.src, e.dst) {
+            return Err(GraphError::NotASubgraph(e.src, e.dst));
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the edge-induced subgraph of `g` containing exactly `edges`.
+///
+/// The vertex set is preserved (same order as `g`), matching the paper's
+/// convention that subgraphs share the host vertex set.
+///
+/// # Errors
+///
+/// Returns [`GraphError::MissingEdge`] if an edge is not present in `g`.
+pub fn edge_induced<I>(g: &DiGraph, edges: I) -> Result<DiGraph>
+where
+    I: IntoIterator,
+    I::Item: Into<Edge>,
+{
+    let mut out = DiGraph::new(g.node_count());
+    for e in edges {
+        let e = e.into();
+        if !g.has_edge(e.src, e.dst) {
+            return Err(GraphError::MissingEdge(e.src, e.dst));
+        }
+        out.try_add_edge(e.src, e.dst)?;
+    }
+    Ok(out)
+}
+
+/// Relabels the order-`k` graph `small` into an order-`n` graph by the
+/// injective vertex map `embed[i] = image of vertex i`.
+///
+/// This is how a library primitive's representation graph is *planted* into
+/// a host graph: each pattern edge `(u, v)` becomes `(embed[u], embed[v])`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfBounds`] if any image vertex is `>= n`.
+///
+/// # Panics
+///
+/// Panics if `embed.len() != small.node_count()` or `embed` repeats a vertex.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), noc_graph::GraphError> {
+/// use noc_graph::{ops, DiGraph, NodeId};
+/// let pattern = DiGraph::cycle(3);
+/// let planted = ops::embed(&pattern, 6, &[NodeId(5), NodeId(1), NodeId(3)])?;
+/// assert!(planted.has_edge(NodeId(5), NodeId(1)));
+/// assert!(planted.has_edge(NodeId(3), NodeId(5)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn embed(small: &DiGraph, n: usize, embed: &[NodeId]) -> Result<DiGraph> {
+    assert_eq!(
+        embed.len(),
+        small.node_count(),
+        "embedding must map every pattern vertex"
+    );
+    let mut seen = std::collections::BTreeSet::new();
+    for &v in embed {
+        assert!(seen.insert(v), "embedding must be injective; {v} repeated");
+    }
+    let mut out = DiGraph::new(n);
+    for e in small.edges() {
+        out.try_add_edge(embed[e.src.index()], embed[e.dst.index()])?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> DiGraph {
+        DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn sum_unions_edges() {
+        let a = DiGraph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let b = DiGraph::from_edges(3, [(1, 2), (2, 0)]).unwrap();
+        let s = sum(&a, &b).unwrap();
+        assert_eq!(s, tri());
+    }
+
+    #[test]
+    fn sum_rejects_order_mismatch() {
+        let a = DiGraph::new(3);
+        let b = DiGraph::new(4);
+        assert!(matches!(sum(&a, &b), Err(GraphError::OrderMismatch { .. })));
+    }
+
+    #[test]
+    fn difference_preserves_vertex_set() {
+        let g = tri();
+        let s = DiGraph::from_edges(3, [(2, 0)]).unwrap();
+        let r = difference(&g, &s).unwrap();
+        assert_eq!(r.node_count(), 3);
+        assert_eq!(r.edge_vec(), vec![Edge::from((0, 1)), Edge::from((1, 2))]);
+    }
+
+    #[test]
+    fn difference_of_self_is_edgeless() {
+        let g = tri();
+        let r = difference(&g, &g).unwrap();
+        assert!(r.is_edgeless());
+        assert_eq!(r.node_count(), 3);
+    }
+
+    #[test]
+    fn difference_rejects_non_subgraph() {
+        let g = tri();
+        let s = DiGraph::from_edges(3, [(0, 2)]).unwrap(); // reverse edge absent
+        assert_eq!(
+            difference(&g, &s),
+            Err(GraphError::NotASubgraph(NodeId(0), NodeId(2)))
+        );
+    }
+
+    #[test]
+    fn sum_then_difference_round_trips() {
+        let a = DiGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let b = DiGraph::from_edges(4, [(1, 2), (3, 0)]).unwrap();
+        let s = sum(&a, &b).unwrap();
+        let r = difference(&s, &b).unwrap();
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn subtract_edges_matches_difference() {
+        let g = tri();
+        let r1 = subtract_edges(&g, [(1, 2)]).unwrap();
+        let s = DiGraph::from_edges(3, [(1, 2)]).unwrap();
+        let r2 = difference(&g, &s).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn subtract_missing_edge_fails() {
+        let g = tri();
+        assert!(subtract_edges(&g, [(0, 2)]).is_err());
+    }
+
+    #[test]
+    fn edge_induced_extracts_exactly_those_edges() {
+        let g = DiGraph::complete(4);
+        let s = edge_induced(&g, [(0, 1), (1, 0)]).unwrap();
+        assert_eq!(s.edge_count(), 2);
+        assert_eq!(s.node_count(), 4);
+        assert!(edge_induced(&DiGraph::new(2), [(0, 1)]).is_err());
+    }
+
+    #[test]
+    fn embed_plants_pattern() {
+        let pat = DiGraph::out_star(3); // 0 -> 1, 0 -> 2
+        let planted = embed(&pat, 10, &[NodeId(7), NodeId(2), NodeId(9)]).unwrap();
+        assert_eq!(planted.edge_count(), 2);
+        assert!(planted.has_edge(NodeId(7), NodeId(2)));
+        assert!(planted.has_edge(NodeId(7), NodeId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "injective")]
+    fn embed_rejects_repeated_image() {
+        let pat = DiGraph::path(2);
+        let _ = embed(&pat, 5, &[NodeId(1), NodeId(1)]);
+    }
+
+    #[test]
+    fn embed_rejects_out_of_bounds_image() {
+        let pat = DiGraph::path(2);
+        assert!(embed(&pat, 2, &[NodeId(0), NodeId(5)]).is_err());
+    }
+}

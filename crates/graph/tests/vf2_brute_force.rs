@@ -1,0 +1,175 @@
+//! Cross-validation of the VF2 engine against a naive brute-force
+//! enumerator on small graphs. Every match set must agree exactly, for
+//! both monomorphism and induced semantics — the strongest correctness
+//! anchor the matcher has.
+
+use noc_graph::{
+    iso::{Mapping, Semantics, Vf2},
+    DiGraph, NodeId,
+};
+use proptest::prelude::*;
+
+/// Enumerates all injective mappings pattern -> target by brute force and
+/// filters by the semantics.
+fn brute_force(pattern: &DiGraph, target: &DiGraph, semantics: Semantics) -> Vec<Vec<NodeId>> {
+    let np = pattern.node_count();
+    let nt = target.node_count();
+    let mut out = Vec::new();
+    let mut assignment: Vec<NodeId> = Vec::with_capacity(np);
+    let mut used = vec![false; nt];
+
+    fn recurse(
+        pattern: &DiGraph,
+        target: &DiGraph,
+        semantics: Semantics,
+        assignment: &mut Vec<NodeId>,
+        used: &mut Vec<bool>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        let depth = assignment.len();
+        if depth == pattern.node_count() {
+            out.push(assignment.clone());
+            return;
+        }
+        for cand in 0..target.node_count() {
+            if used[cand] {
+                continue;
+            }
+            // Check consistency with all previously assigned vertices.
+            let v = NodeId(cand);
+            let u = NodeId(depth);
+            let mut ok = true;
+            for (w_idx, &fw) in assignment.iter().enumerate() {
+                let w = NodeId(w_idx);
+                let p_fwd = pattern.has_edge(u, w);
+                let p_bwd = pattern.has_edge(w, u);
+                let t_fwd = target.has_edge(v, fw);
+                let t_bwd = target.has_edge(fw, v);
+                match semantics {
+                    Semantics::Monomorphism => {
+                        if (p_fwd && !t_fwd) || (p_bwd && !t_bwd) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Semantics::Induced => {
+                        if p_fwd != t_fwd || p_bwd != t_bwd {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            assignment.push(v);
+            used[cand] = true;
+            recurse(pattern, target, semantics, assignment, used, out);
+            assignment.pop();
+            used[cand] = false;
+        }
+    }
+    recurse(
+        pattern,
+        target,
+        semantics,
+        &mut assignment,
+        &mut used,
+        &mut out,
+    );
+    out.sort();
+    out
+}
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = DiGraph> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)))
+            .collect();
+        let m = pairs.len();
+        proptest::collection::vec(proptest::bool::weighted(0.35), m).prop_map(move |mask| {
+            let mut g = DiGraph::new(n);
+            for (keep, &(u, v)) in mask.iter().zip(&pairs) {
+                if *keep {
+                    g.add_edge(NodeId(u), NodeId(v));
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// VF2 monomorphism results equal brute force exactly.
+    #[test]
+    fn vf2_equals_brute_force_monomorphism(
+        pattern in arb_graph(4),
+        target in arb_graph(6),
+    ) {
+        let expected = brute_force(&pattern, &target, Semantics::Monomorphism);
+        let mut got: Vec<Vec<NodeId>> = Vf2::new(&pattern, &target)
+            .find_all()
+            .matches
+            .into_iter()
+            .map(|m| m.images().to_vec())
+            .collect();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// VF2 induced results equal brute force exactly.
+    #[test]
+    fn vf2_equals_brute_force_induced(
+        pattern in arb_graph(4),
+        target in arb_graph(6),
+    ) {
+        let expected = brute_force(&pattern, &target, Semantics::Induced);
+        let mut got: Vec<Vec<NodeId>> = Vf2::new(&pattern, &target)
+            .semantics(Semantics::Induced)
+            .find_all()
+            .matches
+            .into_iter()
+            .map(|m| m.images().to_vec())
+            .collect();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Distinct-image counts equal the brute-force image-set count.
+    #[test]
+    fn distinct_image_count_matches_brute_force(
+        pattern in arb_graph(4),
+        target in arb_graph(6),
+    ) {
+        let raw = brute_force(&pattern, &target, Semantics::Monomorphism);
+        let expected: std::collections::BTreeSet<Vec<_>> = raw
+            .into_iter()
+            .map(|images| Mapping::new(images).image_edges(&pattern))
+            .collect();
+        let got = Vf2::new(&pattern, &target).distinct_images();
+        prop_assert!(got.complete);
+        prop_assert_eq!(got.matches.len(), expected.len());
+    }
+}
+
+/// A couple of fixed regression cases worth pinning precisely.
+#[test]
+fn fixed_cases() {
+    // Pattern with an isolated vertex: it may map anywhere unused.
+    let mut pattern = DiGraph::new(3);
+    pattern.add_edge(NodeId(0), NodeId(1)); // vertex 2 isolated
+    let target = DiGraph::from_edges(4, [(2, 3)]).unwrap();
+    let expected = brute_force(&pattern, &target, Semantics::Monomorphism);
+    assert_eq!(expected.len(), 2); // (0,1)->(2,3); 2 -> {0 or 1}
+    let got = Vf2::new(&pattern, &target).find_all();
+    assert_eq!(got.matches.len(), 2);
+
+    // Antiparallel pair needs both directions.
+    let two_cycle = DiGraph::from_edges(2, [(0, 1), (1, 0)]).unwrap();
+    let one_way = DiGraph::from_edges(2, [(0, 1)]).unwrap();
+    assert!(brute_force(&two_cycle, &one_way, Semantics::Monomorphism).is_empty());
+    assert!(!Vf2::new(&two_cycle, &one_way).exists());
+}

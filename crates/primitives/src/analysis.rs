@@ -1,0 +1,267 @@
+//! Gossip/broadcast theory: lower bounds and schedule-quality analysis.
+//!
+//! The paper's library entries are "graphs on which broadcasting (and
+//! similarly gossiping) can be completed in minimum time with minimum
+//! number of edges" (Section 3, citing the Hedetniemi survey and the
+//! Hromkovic chapter — refs. [10, 11]). This module provides the classical
+//! bounds those references establish, so a library can be *audited*: for
+//! every primitive, how far is its schedule from the information-theoretic
+//! optimum, and how much link sharing does it achieve?
+//!
+//! Classical results under the telephone model (full-duplex exchanges,
+//! one transaction per node per round):
+//!
+//! * **broadcast**: informed nodes at most double per round, so
+//!   `b(n) >= ceil(log2 n)`; the binomial tree achieves it with the
+//!   minimum `n - 1` edges for a designated originator.
+//! * **gossip**: `g(n) = ceil(log2 n)` for even `n`, and
+//!   `g(n) = ceil(log2 n) + 1` for odd `n >= 3` (Knödel).
+
+use crate::{Primitive, PrimitiveKind};
+
+/// `ceil(log2 n)` for `n >= 1`.
+fn ceil_log2(n: usize) -> usize {
+    assert!(n >= 1);
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// Minimum rounds to broadcast from one originator to `n - 1` others under
+/// the telephone model: `ceil(log2 n)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use noc_primitives::analysis::broadcast_time_lower_bound;
+/// assert_eq!(broadcast_time_lower_bound(1), 0);
+/// assert_eq!(broadcast_time_lower_bound(4), 2);
+/// assert_eq!(broadcast_time_lower_bound(5), 3);
+/// ```
+pub fn broadcast_time_lower_bound(n: usize) -> usize {
+    ceil_log2(n)
+}
+
+/// Minimum rounds for all-to-all gossip among `n` nodes under the
+/// telephone model (Knödel's theorem): `ceil(log2 n)` for even `n`,
+/// `ceil(log2 n) + 1` for odd `n >= 3`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use noc_primitives::analysis::gossip_time_lower_bound;
+/// assert_eq!(gossip_time_lower_bound(2), 1);
+/// assert_eq!(gossip_time_lower_bound(4), 2);
+/// assert_eq!(gossip_time_lower_bound(5), 4); // ceil(log2 5) + 1
+/// assert_eq!(gossip_time_lower_bound(8), 3);
+/// ```
+pub fn gossip_time_lower_bound(n: usize) -> usize {
+    assert!(n >= 1);
+    if n == 1 {
+        0
+    } else if n.is_multiple_of(2) {
+        ceil_log2(n)
+    } else {
+        ceil_log2(n) + 1
+    }
+}
+
+/// How a primitive's schedule and implementation compare to theory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleQuality {
+    /// The primitive's label.
+    pub label: String,
+    /// Rounds the schedule takes.
+    pub rounds: usize,
+    /// The theoretical minimum rounds for the primitive's pattern.
+    pub optimal_rounds: usize,
+    /// `rounds == optimal_rounds`.
+    pub is_time_optimal: bool,
+    /// Pattern edges covered per physical implementation link (the
+    /// link-sharing factor the branch-and-bound's Links bound uses).
+    pub compression_ratio: f64,
+}
+
+impl std::fmt::Display for ScheduleQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} rounds (optimal {}), {:.2} pattern edges/link{}",
+            self.label,
+            self.rounds,
+            self.optimal_rounds,
+            self.compression_ratio,
+            if self.is_time_optimal {
+                ""
+            } else {
+                "  [suboptimal time]"
+            }
+        )
+    }
+}
+
+/// Audits one primitive against the classical bounds.
+///
+/// For loops and paths the "optimum" is the chromatic index of the pattern
+/// (every edge must fire once, adjacent edges in distinct rounds): 1 for a
+/// single edge, 2 for paths and even cycles, 3 for odd cycles.
+pub fn audit(primitive: &Primitive) -> ScheduleQuality {
+    let optimal_rounds = match primitive.kind() {
+        PrimitiveKind::Gossip { nodes } => gossip_time_lower_bound(nodes),
+        PrimitiveKind::Broadcast { targets } => broadcast_time_lower_bound(targets + 1),
+        PrimitiveKind::Loop { nodes } => {
+            // Even cycles (including the 2-cycle, whose two directed edges
+            // share both endpoints) 2-color; odd cycles need a third round.
+            if nodes.is_multiple_of(2) {
+                2
+            } else {
+                3
+            }
+        }
+        PrimitiveKind::Path { nodes } => {
+            if nodes <= 2 {
+                1
+            } else {
+                2
+            }
+        }
+        PrimitiveKind::Custom => {
+            // No general bound; a token must still cross the diameter.
+            primitive.diameter_hops().max(1)
+        }
+    };
+    let physical_links: std::collections::BTreeSet<(usize, usize)> = primitive
+        .implementation()
+        .edges()
+        .map(|e| {
+            let (a, b) = (e.src.index(), e.dst.index());
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    let rounds = primitive.schedule().round_count();
+    ScheduleQuality {
+        label: primitive.label().to_string(),
+        rounds,
+        optimal_rounds,
+        is_time_optimal: rounds == optimal_rounds,
+        compression_ratio: primitive.representation().edge_count() as f64
+            / physical_links.len().max(1) as f64,
+    }
+}
+
+/// Audits every primitive in a library.
+///
+/// # Examples
+///
+/// ```
+/// use noc_primitives::{analysis, CommLibrary};
+/// let report = analysis::audit_library(&CommLibrary::standard());
+/// // MGG4, G124, G123 and L4 are all time-optimal.
+/// assert!(report.iter().all(|q| q.is_time_optimal));
+/// ```
+pub fn audit_library(library: &crate::CommLibrary) -> Vec<ScheduleQuality> {
+    library.iter().map(|(_, p)| audit(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CommLibrary;
+
+    #[test]
+    fn lower_bounds_match_theory() {
+        // Broadcast: doubling argument.
+        for (n, expect) in [
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (16, 4),
+        ] {
+            assert_eq!(broadcast_time_lower_bound(n), expect, "b({n})");
+        }
+        // Gossip: Knödel.
+        for (n, expect) in [
+            (2, 1),
+            (3, 3),
+            (4, 2),
+            (5, 4),
+            (6, 3),
+            (7, 4),
+            (8, 3),
+            (16, 4),
+        ] {
+            assert_eq!(gossip_time_lower_bound(n), expect, "g({n})");
+        }
+    }
+
+    #[test]
+    fn standard_library_is_time_optimal() {
+        for quality in audit_library(&CommLibrary::standard()) {
+            assert!(quality.is_time_optimal, "{quality}");
+        }
+    }
+
+    #[test]
+    fn power_of_two_gossips_are_time_optimal() {
+        for n in [2usize, 4, 8, 16] {
+            let q = audit(&Primitive::gossip(n));
+            assert!(q.is_time_optimal, "MGG{n}: {q}");
+        }
+    }
+
+    #[test]
+    fn folded_gossips_are_within_two_rounds_of_optimal() {
+        // Non-power-of-two gossip uses the fold construction: at most
+        // floor(log2 n) + 2 rounds, i.e. within 2 of the Knödel bound.
+        for n in [3usize, 5, 6, 7, 9, 12, 15] {
+            let q = audit(&Primitive::gossip(n));
+            assert!(
+                q.rounds <= q.optimal_rounds + 2,
+                "MGG{n}: {} vs optimal {}",
+                q.rounds,
+                q.optimal_rounds
+            );
+        }
+        // Odd n = 3 is actually optimal under the fold construction.
+        assert!(audit(&Primitive::gossip(3)).is_time_optimal);
+    }
+
+    #[test]
+    fn broadcasts_are_always_optimal() {
+        for targets in 1..=12 {
+            let q = audit(&Primitive::broadcast(targets));
+            assert!(q.is_time_optimal, "G12{targets}: {q}");
+            // Binomial tree: one pattern edge per link.
+            assert!((q.compression_ratio - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gossip_compression_ratio_drives_the_links_bound() {
+        // MGG4: 12 pattern edges over 4 physical links.
+        let q = audit(&Primitive::gossip(4));
+        assert!((q.compression_ratio - 3.0).abs() < 1e-12);
+        // Loops: 1 edge per link.
+        let l = audit(&Primitive::ring(4));
+        assert!((l.compression_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_flags_suboptimal_schedules() {
+        let q = audit(&Primitive::gossip(6)); // fold: log2(4)+2 = 4 > optimal 3
+        assert!(!q.is_time_optimal);
+        assert!(q.to_string().contains("[suboptimal time]"));
+        let opt = audit(&Primitive::gossip(4));
+        assert!(!opt.to_string().contains("suboptimal"));
+    }
+}

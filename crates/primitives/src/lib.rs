@@ -1,0 +1,48 @@
+//! Communication-primitive library for NoC topology synthesis.
+//!
+//! Section 3 of the DATE'05 paper decomposes an application's communication
+//! requirements into *generic communication primitives* — gossiping
+//! (all-to-all), broadcasting (one-to-all), multicasting (one-to-many),
+//! paths and loops — each stored in a library with two graphs:
+//!
+//! * a **representation graph**: the communication pattern the primitive
+//!   covers (e.g. gossip among 4 nodes is the complete digraph `K_4`), the
+//!   pattern the decomposition algorithm searches for in the application
+//!   graph; and
+//! * an **implementation graph**: the physical link structure on which the
+//!   primitive completes in optimal time with minimum edges — Minimum
+//!   Gossip Graphs (MGG) and Minimum Broadcast Graphs (MBG) from the
+//!   gossiping/broadcasting literature (refs. [10, 11] of the paper) —
+//!   together with the optimal **round schedule** under the telephone
+//!   model (each node participates in at most one transaction per round).
+//!
+//! The schedule is what makes routing "free": following the paper's
+//! Section 4.5, the route from `i` to `j` is read off the round at which
+//! `j` first learns `i`'s token, so the synthesized architecture ships with
+//! deadlock-analyzable routing tables.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_primitives::{CommLibrary, Primitive};
+//!
+//! let lib = CommLibrary::standard();
+//! assert_eq!(lib.len(), 4); // MGG4, G124, G123, L4
+//!
+//! let mgg4 = Primitive::gossip(4);
+//! assert_eq!(mgg4.representation().edge_count(), 12); // all-to-all
+//! assert_eq!(mgg4.implementation().edge_count(), 8); // 4-cycle, both ways
+//! assert_eq!(mgg4.schedule().round_count(), 2); // optimal: log2(4)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+mod library;
+mod primitive;
+mod schedule;
+
+pub use library::{CommLibrary, CommLibraryBuilder, PrimitiveId};
+pub use primitive::{Primitive, PrimitiveKind};
+pub use schedule::{Call, Schedule, ScheduleError};

@@ -1,0 +1,267 @@
+//! The communication library: an ordered collection of primitives.
+//!
+//! "The decomposition algorithm breaks down the input graph into a set of
+//! communication primitives stored in a library. Since the final
+//! decomposition and the run time of the algorithm itself depend on the
+//! primitives in the library, it is desirable to select the best set of
+//! graphs to be included in the library." (Section 3.)
+
+use crate::Primitive;
+
+/// Index of a primitive within a [`CommLibrary`].
+///
+/// The paper's tool prints 1-based primitive IDs (`1: MGG4, …`);
+/// [`PrimitiveId::paper_id`] provides that form, while [`PrimitiveId::index`]
+/// is the 0-based vector index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PrimitiveId(pub usize);
+
+impl PrimitiveId {
+    /// 0-based index into the library.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// 1-based ID as printed by the paper's tool.
+    pub fn paper_id(self) -> usize {
+        self.0 + 1
+    }
+}
+
+impl std::fmt::Display for PrimitiveId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.paper_id())
+    }
+}
+
+/// An ordered set of communication primitives.
+///
+/// Order matters: the branch-and-bound explores primitives in library order,
+/// so putting high-coverage primitives (gossip) first lets the bound prune
+/// earlier (see `DESIGN.md`, decision 1).
+///
+/// # Examples
+///
+/// ```
+/// use noc_primitives::{CommLibrary, Primitive};
+///
+/// let lib = CommLibrary::builder()
+///     .push(Primitive::gossip(4))
+///     .push(Primitive::ring(4))
+///     .build();
+/// assert_eq!(lib.get(noc_primitives::PrimitiveId(0)).label(), "MGG4");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommLibrary {
+    primitives: Vec<Primitive>,
+}
+
+impl CommLibrary {
+    /// Starts building an empty library.
+    pub fn builder() -> CommLibraryBuilder {
+        CommLibraryBuilder {
+            primitives: Vec::new(),
+        }
+    }
+
+    /// The paper's library for the reported experiments: `MGG4`, `G124`,
+    /// `G123`, `L4` (gossip-of-4 first so the strongest pattern is tried
+    /// first, matching the published outputs in Figures 2, 5 and the AES
+    /// decomposition of Section 5.2).
+    pub fn standard() -> Self {
+        CommLibrary::builder()
+            .push(Primitive::gossip(4))
+            .push(Primitive::broadcast(4))
+            .push(Primitive::broadcast(3))
+            .push(Primitive::ring(4))
+            .build()
+    }
+
+    /// A richer library for larger benchmarks: gossips of 8 and 4,
+    /// broadcasts 1-to-7 … 1-to-2, loops of 8/6/4/3 and the 3-stage
+    /// pipeline. Bigger primitives come first ("as the size of the
+    /// primitives increases, it becomes less likely to detect these
+    /// primitives in the input graph" — so they must be tried before the
+    /// small ones subsume their edges).
+    pub fn extended() -> Self {
+        CommLibrary::builder()
+            .push(Primitive::gossip(8))
+            .push(Primitive::gossip(4))
+            .push(Primitive::broadcast(7))
+            .push(Primitive::broadcast(4))
+            .push(Primitive::broadcast(3))
+            .push(Primitive::broadcast(2))
+            .push(Primitive::ring(8))
+            .push(Primitive::ring(6))
+            .push(Primitive::ring(4))
+            .push(Primitive::ring(3))
+            .push(Primitive::pipeline(3))
+            .build()
+    }
+
+    /// Number of primitives.
+    pub fn len(&self) -> usize {
+        self.primitives.len()
+    }
+
+    /// Returns `true` if the library holds no primitives.
+    pub fn is_empty(&self) -> bool {
+        self.primitives.is_empty()
+    }
+
+    /// The primitive with the given ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: PrimitiveId) -> &Primitive {
+        &self.primitives[id.index()]
+    }
+
+    /// Iterates `(id, primitive)` pairs in library order.
+    pub fn iter(&self) -> impl Iterator<Item = (PrimitiveId, &Primitive)> + '_ {
+        self.primitives
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PrimitiveId(i), p))
+    }
+
+    /// Looks a primitive up by label (`"MGG4"`, `"L4"`, …).
+    pub fn find_by_label(&self, label: &str) -> Option<PrimitiveId> {
+        self.primitives
+            .iter()
+            .position(|p| p.label() == label)
+            .map(PrimitiveId)
+    }
+
+    /// The largest per-primitive hop diameter; bounds the worst-case hop
+    /// count of any synthesized architecture (Section 4.3).
+    pub fn max_diameter_hops(&self) -> usize {
+        self.primitives
+            .iter()
+            .map(Primitive::diameter_hops)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest pattern edge count of any primitive; used by bounding
+    /// heuristics.
+    pub fn max_pattern_edges(&self) -> usize {
+        self.primitives
+            .iter()
+            .map(|p| p.representation().edge_count())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl std::ops::Index<PrimitiveId> for CommLibrary {
+    type Output = Primitive;
+
+    fn index(&self, id: PrimitiveId) -> &Primitive {
+        self.get(id)
+    }
+}
+
+/// Builder for [`CommLibrary`]; see [`CommLibrary::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct CommLibraryBuilder {
+    primitives: Vec<Primitive>,
+}
+
+impl CommLibraryBuilder {
+    /// Appends a primitive (IDs follow insertion order).
+    #[must_use]
+    pub fn push(mut self, primitive: Primitive) -> Self {
+        self.primitives.push(primitive);
+        self
+    }
+
+    /// Appends every primitive from the iterator.
+    #[must_use]
+    pub fn extend(mut self, primitives: impl IntoIterator<Item = Primitive>) -> Self {
+        self.primitives.extend(primitives);
+        self
+    }
+
+    /// Finalizes the library.
+    pub fn build(self) -> CommLibrary {
+        CommLibrary {
+            primitives: self.primitives,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrimitiveKind;
+
+    #[test]
+    fn standard_library_matches_paper_configuration() {
+        let lib = CommLibrary::standard();
+        assert_eq!(lib.len(), 4);
+        let labels: Vec<&str> = lib.iter().map(|(_, p)| p.label()).collect();
+        assert_eq!(labels, vec!["MGG4", "G124", "G123", "L4"]);
+        // Paper-style 1-based IDs.
+        assert_eq!(lib.find_by_label("MGG4").unwrap().paper_id(), 1);
+        assert_eq!(lib.find_by_label("L4").unwrap().paper_id(), 4);
+    }
+
+    #[test]
+    fn extended_library_orders_large_first() {
+        let lib = CommLibrary::extended();
+        assert!(lib.len() >= 10);
+        let first = lib.get(PrimitiveId(0));
+        assert_eq!(first.label(), "MGG8");
+        // Edge counts are non-increasing-ish: first has the max.
+        assert_eq!(lib.max_pattern_edges(), first.representation().edge_count());
+    }
+
+    #[test]
+    fn max_diameter_bounds_architecture_hops() {
+        let lib = CommLibrary::standard();
+        // MGG4 routes take at most 2 hops; broadcasts at most 2; loop 1.
+        assert_eq!(lib.max_diameter_hops(), 2);
+    }
+
+    #[test]
+    fn index_and_find() {
+        let lib = CommLibrary::standard();
+        let id = lib.find_by_label("G123").unwrap();
+        assert_eq!(lib[id].label(), "G123");
+        assert_eq!(lib.find_by_label("NOPE"), None);
+    }
+
+    #[test]
+    fn builder_extend() {
+        let lib = CommLibrary::builder()
+            .extend([Primitive::gossip(2), Primitive::pipeline(2)])
+            .build();
+        assert_eq!(lib.len(), 2);
+        assert!(!lib.is_empty());
+        let empty = CommLibrary::builder().build();
+        assert!(empty.is_empty());
+        assert_eq!(empty.max_diameter_hops(), 0);
+        assert_eq!(empty.max_pattern_edges(), 0);
+    }
+
+    #[test]
+    fn kinds_are_exposed() {
+        let lib = CommLibrary::standard();
+        assert_eq!(
+            lib.get(PrimitiveId(0)).kind(),
+            PrimitiveKind::Gossip { nodes: 4 }
+        );
+        assert_eq!(
+            lib.get(PrimitiveId(3)).kind(),
+            PrimitiveKind::Loop { nodes: 4 }
+        );
+    }
+
+    #[test]
+    fn primitive_id_display_is_one_based() {
+        assert_eq!(PrimitiveId(0).to_string(), "1");
+        assert_eq!(PrimitiveId(3).index(), 3);
+    }
+}

@@ -1,0 +1,544 @@
+//! Communication primitives: representation + implementation + schedule.
+
+use std::collections::BTreeMap;
+
+use noc_graph::{DiGraph, NodeId};
+
+use crate::schedule::{Call, Schedule, ScheduleError};
+
+/// The family a primitive belongs to (Figure 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PrimitiveKind {
+    /// All-to-all exchange among `nodes` participants.
+    Gossip {
+        /// Number of participants.
+        nodes: usize,
+    },
+    /// One originator transmits to `targets` other nodes (covers both
+    /// broadcast and multicast patterns).
+    Broadcast {
+        /// Number of receiving nodes.
+        targets: usize,
+    },
+    /// Circular shift: node `i` sends to node `i + 1 (mod n)`.
+    Loop {
+        /// Cycle length.
+        nodes: usize,
+    },
+    /// Linear pipeline: node `i` sends to node `i + 1`.
+    Path {
+        /// Number of pipeline stages.
+        nodes: usize,
+    },
+    /// A user-supplied primitive.
+    Custom,
+}
+
+/// A library entry: the communication pattern it *covers* (representation
+/// graph, what the matcher searches for), the link structure that *realizes*
+/// it optimally (implementation graph), and the round schedule proving the
+/// realization optimal and inducing routes.
+///
+/// # Examples
+///
+/// ```
+/// use noc_primitives::Primitive;
+/// use noc_graph::NodeId;
+///
+/// let g = Primitive::gossip(4);
+/// // The paper's example: vertex 1 reaches vertex 4 via vertex 3 (0-based
+/// // 0 -> 3 via 2) following the optimal 2-round schedule.
+/// assert_eq!(g.route(NodeId(0), NodeId(3)).unwrap(), &[NodeId(0), NodeId(2), NodeId(3)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Primitive {
+    kind: PrimitiveKind,
+    label: String,
+    representation: DiGraph,
+    implementation: DiGraph,
+    schedule: Schedule,
+    routes: BTreeMap<(NodeId, NodeId), Vec<NodeId>>,
+}
+
+impl Primitive {
+    /// Gossip among `n` nodes (the paper's `MGG-n`).
+    ///
+    /// * Representation: complete digraph `K_n`.
+    /// * Implementation: for powers of two, the recursive-doubling
+    ///   (hypercube) minimum gossip structure — for `n = 4` this is exactly
+    ///   the paper's MGG-4 four-cycle with its 2-round schedule; for other
+    ///   `n`, a fold-gossip-unfold construction finishing in
+    ///   `⌊log2 n⌋ + 2` rounds (optimal is `⌈log2 n⌉` for even `n`,
+    ///   `⌈log2 n⌉ + 1` for odd — one extra round in the worst case, with
+    ///   the benefit of a simple pendant-link structure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn gossip(n: usize) -> Self {
+        assert!(n >= 2, "gossip needs at least 2 nodes");
+        let representation = DiGraph::complete(n);
+        let (implementation, schedule) = gossip_implementation(n);
+        Self::assemble(
+            PrimitiveKind::Gossip { nodes: n },
+            format!("MGG{n}"),
+            representation,
+            implementation,
+            schedule,
+        )
+    }
+
+    /// Broadcast from one originator (vertex 0) to `targets` nodes — the
+    /// paper's `G12k` entries (`G123` is one-to-three, `G124` one-to-four).
+    ///
+    /// * Representation: out-star on `targets + 1` vertices.
+    /// * Implementation: binomial broadcast tree, completing in the optimal
+    ///   `⌈log2 (targets + 1)⌉` rounds with the minimum `targets` edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets == 0`.
+    pub fn broadcast(targets: usize) -> Self {
+        assert!(targets >= 1, "broadcast needs at least one target");
+        let n = targets + 1;
+        let representation = DiGraph::out_star(n);
+        let (implementation, schedule) = broadcast_implementation(n);
+        Self::assemble(
+            PrimitiveKind::Broadcast { targets },
+            format!("G12{targets}"),
+            representation,
+            implementation,
+            schedule,
+        )
+    }
+
+    /// Circular shift over `n` nodes (the paper's `L-n` loops).
+    ///
+    /// Representation and implementation are both the directed cycle; the
+    /// schedule is a proper edge coloring of the cycle (2 rounds for even
+    /// `n`, 3 for odd).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 2, "a loop needs at least 2 nodes");
+        let representation = DiGraph::cycle(n);
+        let implementation = DiGraph::cycle(n);
+        let rounds = color_edges(n, true);
+        let schedule = Schedule::new(n, rounds);
+        Self::assemble(
+            PrimitiveKind::Loop { nodes: n },
+            format!("L{n}"),
+            representation,
+            implementation,
+            schedule,
+        )
+    }
+
+    /// Linear pipeline over `n` nodes (the paper's `P-n` paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn pipeline(n: usize) -> Self {
+        assert!(n >= 2, "a path needs at least 2 nodes");
+        let representation = DiGraph::path(n);
+        let implementation = DiGraph::path(n);
+        let rounds = color_edges(n, false);
+        let schedule = Schedule::new(n, rounds);
+        Self::assemble(
+            PrimitiveKind::Path { nodes: n },
+            format!("P{n}"),
+            representation,
+            implementation,
+            schedule,
+        )
+    }
+
+    /// A user-defined primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScheduleError`] if the schedule violates the
+    /// telephone model on `implementation`, or fails to deliver some
+    /// representation edge's token.
+    pub fn custom(
+        label: impl Into<String>,
+        representation: DiGraph,
+        implementation: DiGraph,
+        schedule: Schedule,
+    ) -> Result<Self, ScheduleError> {
+        schedule.validate_telephone(&implementation)?;
+        let routes = schedule.derive_routes();
+        for e in representation.edges() {
+            if !routes.contains_key(&(e.src, e.dst)) {
+                return Err(ScheduleError::Incomplete {
+                    node: e.dst,
+                    missing: e.src,
+                });
+            }
+        }
+        let routes = routes
+            .into_iter()
+            .filter(|((s, d), _)| representation.has_edge(*s, *d))
+            .collect();
+        Ok(Primitive {
+            kind: PrimitiveKind::Custom,
+            label: label.into(),
+            representation,
+            implementation,
+            schedule,
+            routes,
+        })
+    }
+
+    fn assemble(
+        kind: PrimitiveKind,
+        label: String,
+        representation: DiGraph,
+        implementation: DiGraph,
+        schedule: Schedule,
+    ) -> Self {
+        schedule
+            .validate_telephone(&implementation)
+            .expect("built-in schedules honor the telephone model");
+        let routes: BTreeMap<(NodeId, NodeId), Vec<NodeId>> = schedule
+            .derive_routes()
+            .into_iter()
+            .filter(|((s, d), _)| representation.has_edge(*s, *d))
+            .collect();
+        for e in representation.edges() {
+            assert!(
+                routes.contains_key(&(e.src, e.dst)),
+                "built-in schedule must deliver {} -> {}",
+                e.src,
+                e.dst
+            );
+        }
+        Primitive {
+            kind,
+            label,
+            representation,
+            implementation,
+            schedule,
+            routes,
+        }
+    }
+
+    /// The primitive's family.
+    pub fn kind(&self) -> PrimitiveKind {
+        self.kind
+    }
+
+    /// Human-readable label in the paper's style (`MGG4`, `G123`, `L4`…).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of vertices the primitive spans.
+    pub fn node_count(&self) -> usize {
+        self.representation.node_count()
+    }
+
+    /// The communication pattern covered (searched for by the matcher).
+    pub fn representation(&self) -> &DiGraph {
+        &self.representation
+    }
+
+    /// The optimal physical realization.
+    pub fn implementation(&self) -> &DiGraph {
+        &self.implementation
+    }
+
+    /// The optimal round schedule on the implementation graph.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The schedule-induced route for a covered pair, as a vertex path over
+    /// the implementation graph, or `None` if `(src, dst)` is not a
+    /// representation edge.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<&[NodeId]> {
+        self.routes.get(&(src, dst)).map(Vec::as_slice)
+    }
+
+    /// Iterates `(covered pair, route)` entries.
+    pub fn routes(&self) -> impl Iterator<Item = ((NodeId, NodeId), &[NodeId])> + '_ {
+        self.routes.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Maximum hop count over all covered pairs. This bounds the latency
+    /// contribution of the primitive (Section 4.3: the customized
+    /// architecture's hop count "will be bounded by the largest diameter in
+    /// the communication library").
+    pub fn diameter_hops(&self) -> usize {
+        self.routes
+            .values()
+            .map(|p| p.len().saturating_sub(1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of hops on the route covering `(src, dst)`; `None` if the
+    /// pair is not covered.
+    pub fn route_hops(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        self.route(src, dst).map(|p| p.len() - 1)
+    }
+}
+
+impl std::fmt::Display for Primitive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} nodes, {} pattern edges, {} links, {} rounds)",
+            self.label,
+            self.node_count(),
+            self.representation.edge_count(),
+            self.implementation.edge_count(),
+            self.schedule.round_count()
+        )
+    }
+}
+
+/// Recursive-doubling gossip for powers of two; fold-gossip-unfold
+/// otherwise. Returns the implementation graph and schedule.
+fn gossip_implementation(n: usize) -> (DiGraph, Schedule) {
+    if n.is_power_of_two() {
+        // Exchange across the highest bit first: for n = 4 this reproduces
+        // the paper's MGG-4 schedule exactly (round 1 pairs (1,3)/(2,4),
+        // round 2 pairs (1,2)/(3,4) in the paper's 1-based labels).
+        let mut g = DiGraph::new(n);
+        let mut rounds = Vec::new();
+        let mut step = n >> 1;
+        while step >= 1 {
+            let mut round = Vec::new();
+            for v in 0..n {
+                let peer = v ^ step;
+                if v < peer {
+                    g.add_edge(NodeId(v), NodeId(peer));
+                    g.add_edge(NodeId(peer), NodeId(v));
+                    round.push(Call::exchange(NodeId(v), NodeId(peer)));
+                }
+            }
+            rounds.push(round);
+            step >>= 1;
+        }
+        return (g, Schedule::new(n, rounds));
+    }
+    // Fold: extras (m..n) pair with partners (0..extras); gossip among the
+    // power-of-two core; unfold.
+    let m = 1usize << (usize::BITS - 1 - n.leading_zeros()); // 2^floor(log2 n)
+    let extras = n - m;
+    let (core_g, core_s) = gossip_implementation(m);
+    let mut g = DiGraph::new(n);
+    for e in core_g.edges() {
+        g.add_edge(e.src, e.dst);
+    }
+    let mut rounds = Vec::new();
+    let mut fold = Vec::new();
+    for i in 0..extras {
+        g.add_edge(NodeId(i), NodeId(m + i));
+        g.add_edge(NodeId(m + i), NodeId(i));
+        fold.push(Call::exchange(NodeId(i), NodeId(m + i)));
+    }
+    rounds.push(fold);
+    rounds.extend(core_s.rounds().map(<[Call]>::to_vec));
+    let unfold = (0..extras)
+        .map(|i| Call::send(NodeId(i), NodeId(m + i)))
+        .collect();
+    rounds.push(unfold);
+    (g, Schedule::new(n, rounds))
+}
+
+/// Binomial-tree broadcast from vertex 0 over `n` vertices.
+fn broadcast_implementation(n: usize) -> (DiGraph, Schedule) {
+    let mut g = DiGraph::new(n);
+    let mut rounds = Vec::new();
+    let mut informed = 1usize;
+    while informed < n {
+        let mut round = Vec::new();
+        for v in 0..informed {
+            let target = v + informed;
+            if target < n {
+                g.add_edge(NodeId(v), NodeId(target));
+                round.push(Call::send(NodeId(v), NodeId(target)));
+            }
+        }
+        rounds.push(round);
+        informed *= 2;
+    }
+    (g, Schedule::new(n, rounds))
+}
+
+/// Proper edge coloring of the cycle (closed = true) or path over `n`
+/// vertices: alternating edges go in alternating rounds; odd cycles need a
+/// third round for the closing edge.
+fn color_edges(n: usize, closed: bool) -> Vec<Vec<Call>> {
+    let mut rounds: Vec<Vec<Call>> = vec![Vec::new(), Vec::new()];
+    let last = if closed { n } else { n - 1 };
+    for u in 0..last {
+        let v = (u + 1) % n;
+        let call = Call::send(NodeId(u), NodeId(v));
+        if u == n - 1 && closed && n % 2 == 1 {
+            rounds.push(vec![call]); // closing edge of an odd cycle
+        } else {
+            rounds[u % 2].push(call);
+        }
+    }
+    rounds.retain(|r| !r.is_empty());
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossip_power_of_two_is_optimal_time() {
+        for n in [2usize, 4, 8, 16] {
+            let p = Primitive::gossip(n);
+            assert_eq!(p.schedule().round_count(), n.trailing_zeros() as usize);
+            p.schedule().validate_gossip(p.implementation()).unwrap();
+            assert_eq!(p.representation().edge_count(), n * (n - 1));
+        }
+    }
+
+    #[test]
+    fn gossip_4_matches_paper_mgg4() {
+        let p = Primitive::gossip(4);
+        // 4-cycle implementation: 4 physical links = 8 directed channels.
+        assert_eq!(p.implementation().edge_count(), 8);
+        assert_eq!(p.schedule().round_count(), 2);
+        assert_eq!(p.label(), "MGG4");
+        assert_eq!(p.diameter_hops(), 2);
+    }
+
+    #[test]
+    fn gossip_non_power_of_two_is_valid_and_near_optimal() {
+        for n in [3usize, 5, 6, 7, 12] {
+            let p = Primitive::gossip(n);
+            p.schedule().validate_gossip(p.implementation()).unwrap();
+            let floor_log = usize::BITS as usize - 1 - n.leading_zeros() as usize;
+            assert_eq!(p.schedule().round_count(), floor_log + 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn broadcast_is_binomial_optimal() {
+        for targets in [1usize, 2, 3, 4, 7, 10] {
+            let p = Primitive::broadcast(targets);
+            let n = targets + 1;
+            p.schedule()
+                .validate_broadcast(p.implementation(), NodeId(0))
+                .unwrap();
+            assert_eq!(
+                p.schedule().round_count(),
+                (usize::BITS - (n - 1).leading_zeros()) as usize, // ceil(log2 n)
+                "targets = {targets}"
+            );
+            // Minimum edges: a spanning tree.
+            assert_eq!(p.implementation().edge_count(), targets);
+        }
+    }
+
+    #[test]
+    fn broadcast_labels_match_paper() {
+        assert_eq!(Primitive::broadcast(3).label(), "G123");
+        assert_eq!(Primitive::broadcast(4).label(), "G124");
+    }
+
+    #[test]
+    fn ring_even_takes_two_rounds_odd_three() {
+        let l4 = Primitive::ring(4);
+        assert_eq!(l4.schedule().round_count(), 2);
+        assert_eq!(l4.label(), "L4");
+        let l5 = Primitive::ring(5);
+        assert_eq!(l5.schedule().round_count(), 3);
+        for p in [l4, l5] {
+            p.schedule().validate_telephone(p.implementation()).unwrap();
+            // Each representation edge is a 1-hop route.
+            for e in p.representation().edges() {
+                assert_eq!(p.route_hops(e.src, e.dst), Some(1));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_routes_are_single_hops() {
+        let p = Primitive::pipeline(5);
+        assert_eq!(p.label(), "P5");
+        assert!(p.schedule().round_count() <= 2);
+        assert_eq!(p.routes().count(), 4);
+        assert_eq!(p.diameter_hops(), 1);
+    }
+
+    #[test]
+    fn routes_cover_exactly_representation_edges() {
+        for p in [
+            Primitive::gossip(4),
+            Primitive::broadcast(4),
+            Primitive::ring(6),
+            Primitive::pipeline(3),
+        ] {
+            let covered: std::collections::BTreeSet<_> = p.routes().map(|(pair, _)| pair).collect();
+            let repr: std::collections::BTreeSet<_> =
+                p.representation().edges().map(|e| (e.src, e.dst)).collect();
+            assert_eq!(covered, repr, "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn routes_run_over_implementation_links() {
+        for p in [
+            Primitive::gossip(8),
+            Primitive::broadcast(6),
+            Primitive::gossip(5),
+        ] {
+            for (_, path) in p.routes() {
+                for w in path.windows(2) {
+                    assert!(
+                        p.implementation().has_edge(w[0], w[1]),
+                        "{}: hop {} -> {} is not a link",
+                        p.label(),
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gossip_diameter_bounded_by_rounds() {
+        for n in [4usize, 8, 16] {
+            let p = Primitive::gossip(n);
+            assert!(p.diameter_hops() <= p.schedule().round_count());
+        }
+    }
+
+    #[test]
+    fn custom_primitive_validation() {
+        // A valid 2-node exchange.
+        let repr = DiGraph::from_edges(2, [(0, 1), (1, 0)]).unwrap();
+        let imp = repr.clone();
+        let sched = Schedule::new(2, vec![vec![Call::exchange(NodeId(0), NodeId(1))]]);
+        let p = Primitive::custom("X2", repr.clone(), imp.clone(), sched).unwrap();
+        assert_eq!(p.kind(), PrimitiveKind::Custom);
+        assert_eq!(p.diameter_hops(), 1);
+
+        // Schedule that never delivers 1 -> 0.
+        let bad = Schedule::new(2, vec![vec![Call::send(NodeId(0), NodeId(1))]]);
+        assert!(Primitive::custom("bad", repr, imp, bad).is_err());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let p = Primitive::gossip(4);
+        assert_eq!(
+            p.to_string(),
+            "MGG4 (4 nodes, 12 pattern edges, 8 links, 2 rounds)"
+        );
+    }
+}

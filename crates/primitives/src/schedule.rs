@@ -1,0 +1,526 @@
+//! Round schedules under the telephone model.
+//!
+//! A schedule is a sequence of *rounds*; each round is a set of calls such
+//! that every node participates in at most one call (Figure 1 of the paper:
+//! "any processor can participate in at most one communication transaction
+//! at any given time instance"). Gossip schedules use bidirectional
+//! *exchange* calls; broadcast schedules use directed calls.
+//!
+//! The schedule serves three purposes in the synthesis flow:
+//!
+//! 1. it certifies that the implementation graph really completes the
+//!    primitive in the claimed number of rounds ([`Schedule::validate_gossip`],
+//!    [`Schedule::validate_broadcast`]);
+//! 2. it induces the per-pair routes used to build the routing tables
+//!    (Section 4.5): `j`'s route from `i` follows the calls by which `i`'s
+//!    token first reached `j` ([`Schedule::derive_routes`]);
+//! 3. its length bounds the primitive's latency contribution.
+
+// Index loops below walk several parallel arrays; indexing is clearer.
+#![allow(clippy::needless_range_loop)]
+
+use std::collections::BTreeMap;
+
+use noc_graph::{BitSet, DiGraph, NodeId};
+
+/// One communication transaction within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Call {
+    /// The initiating node.
+    pub from: NodeId,
+    /// The peer node.
+    pub to: NodeId,
+    /// `true` for a bidirectional exchange (gossip), `false` for a one-way
+    /// transmission (broadcast).
+    pub exchange: bool,
+}
+
+impl Call {
+    /// A one-way call `from -> to`.
+    pub fn send(from: NodeId, to: NodeId) -> Self {
+        Call {
+            from,
+            to,
+            exchange: false,
+        }
+    }
+
+    /// A bidirectional exchange between `a` and `b`.
+    pub fn exchange(a: NodeId, b: NodeId) -> Self {
+        Call {
+            from: a,
+            to: b,
+            exchange: true,
+        }
+    }
+}
+
+impl std::fmt::Display for Call {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.exchange {
+            write!(f, "({} <-> {})", self.from, self.to)
+        } else {
+            write!(f, "({} -> {})", self.from, self.to)
+        }
+    }
+}
+
+/// Why a schedule failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A node appears in two calls of the same round.
+    NodeBusy {
+        /// The overcommitted node.
+        node: NodeId,
+        /// Round index (0-based).
+        round: usize,
+    },
+    /// A call uses a link absent from the implementation graph.
+    MissingLink {
+        /// The offending call.
+        call: Call,
+        /// Round index (0-based).
+        round: usize,
+    },
+    /// After all rounds some node is missing some token.
+    Incomplete {
+        /// The node that did not learn everything it should.
+        node: NodeId,
+        /// A token it never received.
+        missing: NodeId,
+    },
+    /// A broadcast call was initiated by a node that does not hold the
+    /// originator's token yet.
+    UninformedSender {
+        /// The sender that had nothing to forward.
+        node: NodeId,
+        /// Round index (0-based).
+        round: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NodeBusy { node, round } => {
+                write!(f, "node {node} participates in two calls in round {round}")
+            }
+            ScheduleError::MissingLink { call, round } => {
+                write!(f, "call {call} in round {round} uses a missing link")
+            }
+            ScheduleError::Incomplete { node, missing } => {
+                write!(f, "node {node} never learned the token of node {missing}")
+            }
+            ScheduleError::UninformedSender { node, round } => {
+                write!(
+                    f,
+                    "node {node} forwards in round {round} before being informed"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete round schedule over an implementation graph of order `n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    n: usize,
+    rounds: Vec<Vec<Call>>,
+}
+
+impl Schedule {
+    /// Creates a schedule over `n` nodes from explicit rounds.
+    pub fn new(n: usize, rounds: Vec<Vec<Call>>) -> Self {
+        Schedule { n, rounds }
+    }
+
+    /// Number of rounds.
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Number of nodes the schedule covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The calls of round `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.round_count()`.
+    pub fn round(&self, r: usize) -> &[Call] {
+        &self.rounds[r]
+    }
+
+    /// Iterates over all rounds.
+    pub fn rounds(&self) -> impl Iterator<Item = &[Call]> + '_ {
+        self.rounds.iter().map(Vec::as_slice)
+    }
+
+    /// Checks the telephone-model constraint and link availability.
+    ///
+    /// Every call must run over an existing implementation link (in the
+    /// call's direction; an exchange needs both directions), and no node may
+    /// appear twice in one round.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::NodeBusy`] or [`ScheduleError::MissingLink`].
+    pub fn validate_telephone(&self, implementation: &DiGraph) -> Result<(), ScheduleError> {
+        for (r, round) in self.rounds.iter().enumerate() {
+            let mut busy = BitSet::new(self.n);
+            for &call in round {
+                for node in [call.from, call.to] {
+                    if !busy.insert(node.index()) {
+                        return Err(ScheduleError::NodeBusy { node, round: r });
+                    }
+                }
+                let fwd = implementation.has_edge(call.from, call.to);
+                let rev = implementation.has_edge(call.to, call.from);
+                let ok = if call.exchange { fwd && rev } else { fwd };
+                if !ok {
+                    return Err(ScheduleError::MissingLink { call, round: r });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a *gossip* schedule: after the final round every node must
+    /// know every other node's token.
+    ///
+    /// # Errors
+    ///
+    /// Any telephone-model violation, or [`ScheduleError::Incomplete`].
+    pub fn validate_gossip(&self, implementation: &DiGraph) -> Result<(), ScheduleError> {
+        self.validate_telephone(implementation)?;
+        let knowledge = self.propagate();
+        for v in 0..self.n {
+            for token in 0..self.n {
+                if !knowledge[v].contains(token) {
+                    return Err(ScheduleError::Incomplete {
+                        node: NodeId(v),
+                        missing: NodeId(token),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a *broadcast* schedule from `originator` to every node:
+    /// every call must be sent by an already-informed node and at the end
+    /// all nodes hold the originator's token.
+    ///
+    /// # Errors
+    ///
+    /// Any telephone-model violation, [`ScheduleError::UninformedSender`],
+    /// or [`ScheduleError::Incomplete`].
+    pub fn validate_broadcast(
+        &self,
+        implementation: &DiGraph,
+        originator: NodeId,
+    ) -> Result<(), ScheduleError> {
+        self.validate_telephone(implementation)?;
+        let mut informed = BitSet::new(self.n);
+        informed.insert(originator.index());
+        for (r, round) in self.rounds.iter().enumerate() {
+            let snapshot = informed.clone();
+            for &call in round {
+                if !snapshot.contains(call.from.index()) {
+                    return Err(ScheduleError::UninformedSender {
+                        node: call.from,
+                        round: r,
+                    });
+                }
+                informed.insert(call.to.index());
+                if call.exchange {
+                    informed.insert(call.from.index());
+                }
+            }
+        }
+        for v in 0..self.n {
+            if !informed.contains(v) {
+                return Err(ScheduleError::Incomplete {
+                    node: NodeId(v),
+                    missing: originator,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulates token propagation round by round; returns, for each node,
+    /// the set of tokens it holds at the end.
+    fn propagate(&self) -> Vec<BitSet> {
+        let mut knowledge: Vec<BitSet> = (0..self.n)
+            .map(|v| {
+                let mut s = BitSet::new(self.n);
+                s.insert(v);
+                s
+            })
+            .collect();
+        for round in &self.rounds {
+            // Calls within a round are simultaneous: read the pre-round state.
+            let snapshot = knowledge.clone();
+            for &call in round {
+                let from_k = &snapshot[call.from.index()];
+                knowledge[call.to.index()].union_with(from_k);
+                if call.exchange {
+                    let to_k = &snapshot[call.to.index()];
+                    knowledge[call.from.index()].union_with(to_k);
+                }
+            }
+        }
+        knowledge
+    }
+
+    /// Derives the schedule-consistent route for every ordered pair:
+    /// `routes[(i, j)]` is the vertex path `i, …, j` along which `i`'s token
+    /// first reaches `j` (Section 4.5: "there exists an optimal schedule
+    /// which delivers the information to vertex 4 using this route").
+    ///
+    /// Pairs whose tokens never meet are absent from the map.
+    pub fn derive_routes(&self) -> BTreeMap<(NodeId, NodeId), Vec<NodeId>> {
+        // first_hop[token][v] = the node from which v first received `token`.
+        let mut via: Vec<Vec<Option<NodeId>>> = vec![vec![None; self.n]; self.n];
+        let mut knowledge: Vec<BitSet> = (0..self.n)
+            .map(|v| {
+                let mut s = BitSet::new(self.n);
+                s.insert(v);
+                s
+            })
+            .collect();
+        for round in &self.rounds {
+            let snapshot = knowledge.clone();
+            let mut deliver = |src: NodeId, dst: NodeId| {
+                for token in snapshot[src.index()].iter() {
+                    if !knowledge[dst.index()].contains(token) {
+                        knowledge[dst.index()].insert(token);
+                        via[token][dst.index()] = Some(src);
+                    }
+                }
+            };
+            for &call in round {
+                deliver(call.from, call.to);
+                if call.exchange {
+                    deliver(call.to, call.from);
+                }
+            }
+        }
+        let mut routes = BTreeMap::new();
+        for token in 0..self.n {
+            for v in 0..self.n {
+                if token == v || !knowledge[v].contains(token) {
+                    continue;
+                }
+                // Walk back from v to token through `via`.
+                let mut path = vec![NodeId(v)];
+                let mut cur = v;
+                while cur != token {
+                    let prev = via[token][cur].expect("known tokens have arrival edges");
+                    path.push(prev);
+                    cur = prev.index();
+                }
+                path.reverse();
+                routes.insert((NodeId(token), NodeId(v)), path);
+            }
+        }
+        routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's MGG-4 schedule (Figure 1): round 1 exchanges (1,3) and
+    /// (2,4); round 2 exchanges (1,2) and (3,4) — 0-based here.
+    fn mgg4() -> (DiGraph, Schedule) {
+        let mut g = DiGraph::new(4);
+        for (a, b) in [(0, 2), (1, 3), (0, 1), (2, 3)] {
+            g.add_edge(NodeId(a), NodeId(b));
+            g.add_edge(NodeId(b), NodeId(a));
+        }
+        let s = Schedule::new(
+            4,
+            vec![
+                vec![
+                    Call::exchange(NodeId(0), NodeId(2)),
+                    Call::exchange(NodeId(1), NodeId(3)),
+                ],
+                vec![
+                    Call::exchange(NodeId(0), NodeId(1)),
+                    Call::exchange(NodeId(2), NodeId(3)),
+                ],
+            ],
+        );
+        (g, s)
+    }
+
+    #[test]
+    fn paper_mgg4_schedule_is_a_valid_gossip() {
+        let (g, s) = mgg4();
+        assert_eq!(s.round_count(), 2);
+        s.validate_gossip(&g).unwrap();
+    }
+
+    #[test]
+    fn busy_node_rejected() {
+        let g = DiGraph::complete(3);
+        let s = Schedule::new(
+            3,
+            vec![vec![
+                Call::send(NodeId(0), NodeId(1)),
+                Call::send(NodeId(1), NodeId(2)),
+            ]],
+        );
+        assert_eq!(
+            s.validate_telephone(&g),
+            Err(ScheduleError::NodeBusy {
+                node: NodeId(1),
+                round: 0
+            })
+        );
+    }
+
+    #[test]
+    fn missing_link_rejected() {
+        let g = DiGraph::path(3); // 0 -> 1 -> 2 only
+        let s = Schedule::new(3, vec![vec![Call::send(NodeId(0), NodeId(2))]]);
+        assert!(matches!(
+            s.validate_telephone(&g),
+            Err(ScheduleError::MissingLink { .. })
+        ));
+        // Exchange needs both directions.
+        let s2 = Schedule::new(3, vec![vec![Call::exchange(NodeId(0), NodeId(1))]]);
+        assert!(matches!(
+            s2.validate_telephone(&g),
+            Err(ScheduleError::MissingLink { .. })
+        ));
+    }
+
+    #[test]
+    fn incomplete_gossip_detected() {
+        let (g, _) = mgg4();
+        let s = Schedule::new(
+            4,
+            vec![vec![Call::exchange(NodeId(0), NodeId(2))]], // one round only
+        );
+        let err = s.validate_gossip(&g).unwrap_err();
+        assert!(matches!(err, ScheduleError::Incomplete { .. }));
+    }
+
+    #[test]
+    fn broadcast_binomial_tree_on_four_nodes() {
+        // Binomial broadcast: r1: 0->1; r2: 0->2, 1->3.
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3)]).unwrap();
+        let s = Schedule::new(
+            4,
+            vec![
+                vec![Call::send(NodeId(0), NodeId(1))],
+                vec![
+                    Call::send(NodeId(0), NodeId(2)),
+                    Call::send(NodeId(1), NodeId(3)),
+                ],
+            ],
+        );
+        s.validate_broadcast(&g, NodeId(0)).unwrap();
+    }
+
+    #[test]
+    fn uninformed_sender_rejected() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let s = Schedule::new(
+            3,
+            vec![
+                vec![Call::send(NodeId(1), NodeId(2))], // 1 not informed yet
+                vec![Call::send(NodeId(0), NodeId(1))],
+            ],
+        );
+        assert_eq!(
+            s.validate_broadcast(&g, NodeId(0)),
+            Err(ScheduleError::UninformedSender {
+                node: NodeId(1),
+                round: 0
+            })
+        );
+    }
+
+    #[test]
+    fn simultaneity_within_round() {
+        // In one round, a token cannot travel two hops: 0->1 and 1->2 in the
+        // same round must NOT give 2 the token of 0.
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        // Use two distinct rounds but checks the snapshot logic via gossip
+        // incompleteness: a single round with both calls (conflict-free it is
+        // not — node 1 is busy twice), so instead check propagate() directly
+        // through derive_routes on a legal two-round pipeline.
+        let s = Schedule::new(
+            3,
+            vec![
+                vec![Call::send(NodeId(0), NodeId(1))],
+                vec![Call::send(NodeId(1), NodeId(2))],
+            ],
+        );
+        s.validate_broadcast(&g, NodeId(0)).unwrap();
+        let routes = s.derive_routes();
+        assert_eq!(
+            routes[&(NodeId(0), NodeId(2))],
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn mgg4_routes_follow_schedule() {
+        let (_, s) = mgg4();
+        let routes = s.derive_routes();
+        // All 12 ordered pairs have routes.
+        assert_eq!(routes.len(), 12);
+        // Paper example: vertex 1 sends to vertex 4 via vertex 3 (0-based:
+        // 0 -> 3 via 2), because (0,2) exchange in round 1 then (2,3) in
+        // round 2.
+        assert_eq!(
+            routes[&(NodeId(0), NodeId(3))],
+            vec![NodeId(0), NodeId(2), NodeId(3)]
+        );
+        // Direct neighbors route directly.
+        assert_eq!(routes[&(NodeId(0), NodeId(2))], vec![NodeId(0), NodeId(2)]);
+        assert_eq!(routes[&(NodeId(0), NodeId(1))], vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn routes_are_paths_on_implementation_links() {
+        let (g, s) = mgg4();
+        for ((src, dst), path) in s.derive_routes() {
+            assert_eq!(*path.first().unwrap(), src);
+            assert_eq!(*path.last().unwrap(), dst);
+            for w in path.windows(2) {
+                assert!(
+                    g.has_edge(w[0], w[1]),
+                    "route hop {} -> {} not a link",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Call::send(NodeId(0), NodeId(1)).to_string(), "(0 -> 1)");
+        assert_eq!(
+            Call::exchange(NodeId(0), NodeId(1)).to_string(),
+            "(0 <-> 1)"
+        );
+        let e = ScheduleError::NodeBusy {
+            node: NodeId(2),
+            round: 1,
+        };
+        assert_eq!(e.to_string(), "node 2 participates in two calls in round 1");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests: every generated primitive is internally consistent.
+
+use noc_graph::NodeId;
+use noc_primitives::{Primitive, Schedule};
+use proptest::prelude::*;
+
+fn check_invariants(p: &Primitive) {
+    // Telephone model holds on the implementation graph.
+    p.schedule().validate_telephone(p.implementation()).unwrap();
+    // Every representation edge has a route; every route is a simple path
+    // over implementation links from src to dst.
+    for e in p.representation().edges() {
+        let route = p
+            .route(e.src, e.dst)
+            .unwrap_or_else(|| panic!("{}: no route {} -> {}", p.label(), e.src, e.dst));
+        assert_eq!(route.first(), Some(&e.src));
+        assert_eq!(route.last(), Some(&e.dst));
+        let unique: std::collections::BTreeSet<_> = route.iter().collect();
+        assert_eq!(unique.len(), route.len(), "route revisits a vertex");
+        for w in route.windows(2) {
+            assert!(p.implementation().has_edge(w[0], w[1]));
+        }
+        // Hop count bounded by the round count (a token moves at most one
+        // hop per round).
+        assert!(route.len() - 1 <= p.schedule().round_count());
+    }
+    // Diameter is the max hop count.
+    let max_hops = p
+        .routes()
+        .map(|(_, path)| path.len() - 1)
+        .max()
+        .unwrap_or(0);
+    assert_eq!(p.diameter_hops(), max_hops);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn gossip_invariants(n in 2usize..=16) {
+        let p = Primitive::gossip(n);
+        check_invariants(&p);
+        p.schedule().validate_gossip(p.implementation()).unwrap();
+        // Gossip time lower bound: ceil(log2 n) rounds.
+        let lb = (usize::BITS - (n - 1).leading_zeros()) as usize;
+        prop_assert!(p.schedule().round_count() >= lb);
+        // Our construction is within +2 of the lower bound.
+        prop_assert!(p.schedule().round_count() <= lb + 2);
+    }
+
+    #[test]
+    fn broadcast_invariants(targets in 1usize..=15) {
+        let p = Primitive::broadcast(targets);
+        check_invariants(&p);
+        p.schedule()
+            .validate_broadcast(p.implementation(), NodeId(0))
+            .unwrap();
+        // Broadcast completes in exactly ceil(log2 (targets + 1)) rounds.
+        let n = targets + 1;
+        let optimal = (usize::BITS - (n - 1).leading_zeros()) as usize;
+        prop_assert_eq!(p.schedule().round_count(), optimal);
+        // Binomial tree: minimum possible edges.
+        prop_assert_eq!(p.implementation().edge_count(), targets);
+    }
+
+    #[test]
+    fn ring_invariants(n in 2usize..=16) {
+        let p = Primitive::ring(n);
+        check_invariants(&p);
+        // Proper edge coloring: cycles need 2 rounds (even) or 3 (odd).
+        let expect = if n % 2 == 0 { 2 } else { 3 };
+        prop_assert_eq!(p.schedule().round_count(), expect);
+    }
+
+    #[test]
+    fn pipeline_invariants(n in 2usize..=16) {
+        let p = Primitive::pipeline(n);
+        check_invariants(&p);
+        prop_assert!(p.schedule().round_count() <= 2);
+    }
+
+    /// Each round of every built-in schedule is a matching: no node busy
+    /// twice (re-checked here independently of validate_telephone).
+    #[test]
+    fn rounds_are_matchings(n in 2usize..=12, kind in 0usize..4) {
+        let p = match kind {
+            0 => Primitive::gossip(n),
+            1 => Primitive::broadcast(n - 1),
+            2 => Primitive::ring(n),
+            _ => Primitive::pipeline(n),
+        };
+        for round in p.schedule().rounds() {
+            let mut busy = std::collections::BTreeSet::new();
+            for call in round {
+                prop_assert!(busy.insert(call.from));
+                prop_assert!(busy.insert(call.to));
+            }
+        }
+    }
+
+    /// Schedules never reference out-of-range nodes and respect their own
+    /// declared node counts.
+    #[test]
+    fn schedule_nodes_in_range(n in 2usize..=12) {
+        let p = Primitive::gossip(n);
+        let s: &Schedule = p.schedule();
+        prop_assert_eq!(s.node_count(), n);
+        for round in s.rounds() {
+            for call in round {
+                prop_assert!(call.from.index() < n);
+                prop_assert!(call.to.index() < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Packets, flits and traffic events.
+
+use noc_graph::NodeId;
+
+/// A request to send `payload_bits` from `src` to `dst`, released to the
+/// source network interface at `release_cycle`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficEvent {
+    /// Cycle at which the packet becomes available for injection.
+    pub release_cycle: u64,
+    /// Source core.
+    pub src: NodeId,
+    /// Destination core.
+    pub dst: NodeId,
+    /// Payload size in bits.
+    pub payload_bits: u64,
+}
+
+impl TrafficEvent {
+    /// Creates a traffic event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` (self traffic never enters the network) or
+    /// the payload is zero.
+    pub fn new(release_cycle: u64, src: NodeId, dst: NodeId, payload_bits: u64) -> Self {
+        assert_ne!(src, dst, "self-traffic is not routable");
+        assert!(payload_bits > 0, "payload must be non-empty");
+        TrafficEvent {
+            release_cycle,
+            src,
+            dst,
+            payload_bits,
+        }
+    }
+}
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitKind {
+    /// First flit; performs route acquisition (wormhole).
+    Head,
+    /// Middle flit.
+    Body,
+    /// Last flit; releases the wormhole locks. Single-flit packets use
+    /// `Tail` semantics with `is_head` set on the flit.
+    Tail,
+}
+
+/// One flow-control unit traversing the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet_id: usize,
+    /// Head/body/tail.
+    pub kind: FlitKind,
+    /// `true` for the first flit of a packet (head duties even when the
+    /// packet is a single flit, i.e. `kind == Tail`).
+    pub is_head: bool,
+    /// Index of the next route hop to take (0 = the first link).
+    pub hop: usize,
+}
+
+/// A packet in flight: route, virtual channels and bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Dense packet ID (index into the simulator's packet table).
+    pub id: usize,
+    /// Source core.
+    pub src: NodeId,
+    /// Destination core.
+    pub dst: NodeId,
+    /// Vertex route `src … dst`.
+    pub route: Vec<NodeId>,
+    /// Per-hop virtual channel indices (`route.len() - 1` entries).
+    pub vcs: Vec<usize>,
+    /// Number of flits (header + payload).
+    pub flits: usize,
+    /// Payload size in bits (for energy/throughput accounting).
+    pub payload_bits: u64,
+    /// Cycle the packet was released to the source interface.
+    pub release_cycle: u64,
+    /// Cycle the head flit entered the network, once injected.
+    pub inject_cycle: Option<u64>,
+    /// Cycle the tail flit was ejected at the destination, once delivered.
+    pub eject_cycle: Option<u64>,
+}
+
+impl Packet {
+    /// Latency from release to tail ejection, if delivered.
+    pub fn latency_cycles(&self) -> Option<u64> {
+        self.eject_cycle.map(|e| e - self.release_cycle)
+    }
+
+    /// In-network latency from injection to tail ejection, if delivered.
+    pub fn network_latency_cycles(&self) -> Option<u64> {
+        match (self.inject_cycle, self.eject_cycle) {
+            (Some(i), Some(e)) => Some(e - i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_event_validation() {
+        let e = TrafficEvent::new(5, NodeId(0), NodeId(3), 128);
+        assert_eq!(e.release_cycle, 5);
+        assert_eq!(e.payload_bits, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-traffic")]
+    fn self_traffic_rejected() {
+        TrafficEvent::new(0, NodeId(1), NodeId(1), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_payload_rejected() {
+        TrafficEvent::new(0, NodeId(0), NodeId(1), 0);
+    }
+
+    #[test]
+    fn packet_latencies() {
+        let mut p = Packet {
+            id: 0,
+            src: NodeId(0),
+            dst: NodeId(1),
+            route: vec![NodeId(0), NodeId(1)],
+            vcs: vec![0],
+            flits: 2,
+            payload_bits: 32,
+            release_cycle: 10,
+            inject_cycle: None,
+            eject_cycle: None,
+        };
+        assert_eq!(p.latency_cycles(), None);
+        p.inject_cycle = Some(12);
+        p.eject_cycle = Some(20);
+        assert_eq!(p.latency_cycles(), Some(10));
+        assert_eq!(p.network_latency_cycles(), Some(8));
+    }
+}

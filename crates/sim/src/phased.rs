@@ -1,0 +1,207 @@
+//! Barrier-synchronized phased execution.
+//!
+//! Application traces like the distributed AES block (Section 5.2) are
+//! sequences of compute/communicate phases: a round's MixColumns messages
+//! cannot be injected before its ShiftRows bytes arrived. [`Simulator::run_phases`]
+//! executes each phase's traffic to completion on an otherwise idle
+//! network, accumulating compute and communication cycles into a block
+//! makespan — the "cycles/block" number the paper measures on its FPGA
+//! prototypes.
+
+use noc_energy::EnergyBreakdown;
+
+use crate::{SimError, SimReport, Simulator, TrafficEvent};
+
+/// One compute-then-communicate phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Name for reporting.
+    pub label: String,
+    /// Local computation cycles preceding the communication.
+    pub compute_cycles: u64,
+    /// Messages released at the phase barrier (release cycles are relative
+    /// to the phase start; normally 0).
+    pub events: Vec<TrafficEvent>,
+}
+
+/// Aggregated results of a phased run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedReport {
+    /// Model name.
+    pub model_name: String,
+    /// Total makespan: compute + communication cycles.
+    pub total_cycles: u64,
+    /// Cycles spent in communication phases.
+    pub comm_cycles: u64,
+    /// Cycles spent in local computation.
+    pub compute_cycles: u64,
+    /// Packets delivered across all phases.
+    pub packets_delivered: usize,
+    /// Mean packet latency over all phases, cycles.
+    pub avg_packet_latency_cycles: f64,
+    /// Total payload bits moved.
+    pub payload_bits: u64,
+    /// Energy over all phases.
+    pub energy: EnergyBreakdown,
+    /// Clock frequency, Hz.
+    pub clock_hz: f64,
+    /// Per-phase reports, in order.
+    pub phase_reports: Vec<SimReport>,
+}
+
+impl PhasedReport {
+    /// Throughput for a payload of `payload_bits` per run of this trace —
+    /// the paper's `Θ = payload * f_clk / cycles` in Mbps (for AES:
+    /// 128-bit blocks).
+    pub fn throughput_mbps(&self, payload_bits: f64) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        payload_bits * self.clock_hz / self.total_cycles as f64 / 1e6
+    }
+
+    /// Average power over the whole run, watts.
+    pub fn avg_power_watts(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.energy.total().joules() * self.clock_hz / self.total_cycles as f64
+    }
+
+    /// Energy per run of the trace (for AES: energy per block).
+    pub fn energy_per_run(&self) -> noc_energy::Energy {
+        self.energy.total()
+    }
+}
+
+impl std::fmt::Display for PhasedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} cycles/run ({} comm + {} compute), latency {:.1} cy, energy {}",
+            self.model_name,
+            self.total_cycles,
+            self.comm_cycles,
+            self.compute_cycles,
+            self.avg_packet_latency_cycles,
+            self.energy.total()
+        )
+    }
+}
+
+impl Simulator<'_> {
+    /// Runs the phases back to back with barriers between them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first phase's [`SimError`], if any.
+    pub fn run_phases(&self, phases: &[Phase]) -> Result<PhasedReport, SimError> {
+        let mut comm_cycles = 0u64;
+        let mut compute_cycles = 0u64;
+        let mut packets = 0usize;
+        let mut latency_weighted = 0.0f64;
+        let mut payload_bits = 0u64;
+        let mut energy = EnergyBreakdown::default();
+        let mut phase_reports = Vec::with_capacity(phases.len());
+        let mut clock_hz = 0.0;
+        for phase in phases {
+            compute_cycles += phase.compute_cycles;
+            let report = self.run(phase.events.clone())?;
+            comm_cycles += report.total_cycles;
+            packets += report.packets_delivered;
+            latency_weighted += report.avg_packet_latency_cycles * report.packets_delivered as f64;
+            payload_bits += report.payload_bits;
+            energy.accumulate(report.energy);
+            clock_hz = report.clock_hz;
+            phase_reports.push(report);
+        }
+        // Routers burn idle energy during the compute gaps as well.
+        for v in 0..self.model().node_count() {
+            let radix = self.model().node_radix(noc_graph::NodeId(v));
+            energy.idle += self.energy_model().idle_energy(radix, compute_cycles);
+        }
+        Ok(PhasedReport {
+            model_name: self.model_name().to_string(),
+            total_cycles: comm_cycles + compute_cycles,
+            comm_cycles,
+            compute_cycles,
+            packets_delivered: packets,
+            avg_packet_latency_cycles: if packets == 0 {
+                0.0
+            } else {
+                latency_weighted / packets as f64
+            },
+            payload_bits,
+            energy,
+            clock_hz,
+            phase_reports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NocModel, SimConfig};
+    use noc_energy::{EnergyModel, TechnologyProfile};
+    use noc_graph::NodeId;
+
+    fn sim_phases(phases: &[Phase]) -> PhasedReport {
+        let model = NocModel::mesh(2, 2, 1.0);
+        Simulator::new(
+            &model,
+            SimConfig::default(),
+            EnergyModel::new(TechnologyProfile::cmos_180nm()),
+        )
+        .run_phases(phases)
+        .unwrap()
+    }
+
+    fn phase(label: &str, compute: u64, events: Vec<TrafficEvent>) -> Phase {
+        Phase {
+            label: label.into(),
+            compute_cycles: compute,
+            events,
+        }
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let e = |s: usize, d: usize| TrafficEvent::new(0, NodeId(s), NodeId(d), 32);
+        let report = sim_phases(&[
+            phase("a", 5, vec![e(0, 1)]),
+            phase("b", 3, vec![e(1, 3), e(2, 0)]),
+        ]);
+        assert_eq!(report.compute_cycles, 8);
+        assert_eq!(report.packets_delivered, 3);
+        assert_eq!(report.phase_reports.len(), 2);
+        assert_eq!(
+            report.total_cycles,
+            report.comm_cycles + report.compute_cycles
+        );
+        assert!(report.comm_cycles > 0);
+        assert!(report.energy.total().joules() > 0.0);
+    }
+
+    #[test]
+    fn compute_only_trace() {
+        let report = sim_phases(&[phase("quiet", 42, Vec::new())]);
+        assert_eq!(report.total_cycles, 42);
+        assert_eq!(report.comm_cycles, 0);
+        assert_eq!(report.packets_delivered, 0);
+        assert_eq!(report.avg_packet_latency_cycles, 0.0);
+    }
+
+    #[test]
+    fn throughput_and_power_helpers() {
+        let e = |s: usize, d: usize| TrafficEvent::new(0, NodeId(s), NodeId(d), 32);
+        let report = sim_phases(&[phase("a", 10, vec![e(0, 3)])]);
+        let mbps = report.throughput_mbps(128.0);
+        assert!(mbps > 0.0);
+        // 128 bits * 100 MHz / cycles / 1e6.
+        let expect = 128.0 * 100.0 / report.total_cycles as f64;
+        assert!((mbps - expect).abs() < 1e-9);
+        assert!(report.avg_power_watts() > 0.0);
+        assert!(report.to_string().contains("cycles/run"));
+    }
+}

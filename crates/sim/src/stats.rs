@@ -1,0 +1,196 @@
+//! Simulation reports: the quantities compared in Section 5.2.
+
+use noc_energy::EnergyBreakdown;
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Model name (`custom`, `mesh-4x4`, …).
+    pub model_name: String,
+    /// Cycles until the last tail flit ejected (the makespan; for the AES
+    /// experiment this is "cycles per block").
+    pub total_cycles: u64,
+    /// Packets offered.
+    pub packets_offered: usize,
+    /// Packets delivered (equals offered on success).
+    pub packets_delivered: usize,
+    /// Total payload bits delivered.
+    pub payload_bits: u64,
+    /// Mean latency from release to tail ejection, cycles.
+    pub avg_packet_latency_cycles: f64,
+    /// Mean in-network latency from injection to tail ejection, cycles.
+    pub avg_network_latency_cycles: f64,
+    /// Flits injected at sources.
+    pub flits_injected: u64,
+    /// Flits ejected at destinations.
+    pub flits_ejected: u64,
+    /// Energy dissipated, split into switch and link parts.
+    pub energy: EnergyBreakdown,
+    /// Clock frequency used for throughput/power conversion, Hz.
+    pub clock_hz: f64,
+}
+
+impl SimReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        model_name: String,
+        total_cycles: u64,
+        packets_offered: usize,
+        packets_delivered: usize,
+        payload_bits: u64,
+        latency_sum: u64,
+        network_latency_sum: u64,
+        flits_injected: u64,
+        flits_ejected: u64,
+        energy: EnergyBreakdown,
+        clock_hz: f64,
+    ) -> Self {
+        let avg = if packets_delivered == 0 {
+            0.0
+        } else {
+            latency_sum as f64 / packets_delivered as f64
+        };
+        let avg_net = if packets_delivered == 0 {
+            0.0
+        } else {
+            network_latency_sum as f64 / packets_delivered as f64
+        };
+        SimReport {
+            model_name,
+            total_cycles,
+            packets_offered,
+            packets_delivered,
+            payload_bits,
+            avg_packet_latency_cycles: avg,
+            avg_network_latency_cycles: avg_net,
+            flits_injected,
+            flits_ejected,
+            energy,
+            clock_hz,
+        }
+    }
+
+    /// Delivered payload throughput in bits per cycle.
+    pub fn throughput_bits_per_cycle(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.payload_bits as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Delivered payload throughput in Mbps at the model's clock — the
+    /// paper's `Θ = (128 bits/block) * f_clk / (cycles/block)` metric.
+    pub fn throughput_mbps(&self) -> f64 {
+        self.throughput_bits_per_cycle() * self.clock_hz / 1e6
+    }
+
+    /// Average power in watts: total energy over total wall-clock time.
+    pub fn avg_power_watts(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.energy.total().joules() * self.clock_hz / self.total_cycles as f64
+        }
+    }
+
+    /// Wall-clock duration of the run in seconds.
+    pub fn duration_seconds(&self) -> f64 {
+        self.total_cycles as f64 / self.clock_hz
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "[{}]", self.model_name)?;
+        writeln!(
+            f,
+            "  cycles: {}  packets: {}/{}  flits: {}",
+            self.total_cycles, self.packets_delivered, self.packets_offered, self.flits_ejected
+        )?;
+        writeln!(
+            f,
+            "  latency: {:.1} cycles (network {:.1})",
+            self.avg_packet_latency_cycles, self.avg_network_latency_cycles
+        )?;
+        writeln!(
+            f,
+            "  throughput: {:.1} Mbps @ {:.0} MHz",
+            self.throughput_mbps(),
+            self.clock_hz / 1e6
+        )?;
+        write!(
+            f,
+            "  energy: {}  avg power: {:.3} mW",
+            self.energy,
+            self.avg_power_watts() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_energy::Energy;
+
+    fn report() -> SimReport {
+        SimReport::assemble(
+            "test".into(),
+            200,
+            4,
+            4,
+            512,
+            40,
+            32,
+            20,
+            20,
+            EnergyBreakdown {
+                switch: Energy::from_picojoules(600.0),
+                link: Energy::from_picojoules(400.0),
+                idle: Energy::ZERO,
+            },
+            100.0e6,
+        )
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert_eq!(r.avg_packet_latency_cycles, 10.0);
+        assert_eq!(r.avg_network_latency_cycles, 8.0);
+        assert!((r.throughput_bits_per_cycle() - 2.56).abs() < 1e-12);
+        // 2.56 bits/cycle at 100 MHz = 256 Mbps.
+        assert!((r.throughput_mbps() - 256.0).abs() < 1e-9);
+        // 1000 pJ over 200 cycles at 10 ns/cycle = 1 nJ / 2 us = 0.5 mW.
+        assert!((r.avg_power_watts() - 0.5e-3).abs() < 1e-12);
+        assert!((r.duration_seconds() - 2.0e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_cycle_report_is_quiet() {
+        let r = SimReport::assemble(
+            "idle".into(),
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            EnergyBreakdown::default(),
+            100e6,
+        );
+        assert_eq!(r.throughput_bits_per_cycle(), 0.0);
+        assert_eq!(r.avg_power_watts(), 0.0);
+        assert_eq!(r.avg_packet_latency_cycles, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_figures() {
+        let s = report().to_string();
+        assert!(s.contains("cycles: 200"));
+        assert!(s.contains("256.0 Mbps"));
+        assert!(s.contains("avg power"));
+    }
+}

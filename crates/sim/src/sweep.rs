@@ -1,0 +1,153 @@
+//! Injection-rate sweeps: the latency-vs-offered-load curves standard in
+//! NoC evaluation (and the natural experiment for the routing-strategy
+//! future work of the paper's Section 6).
+
+use noc_energy::EnergyModel;
+
+use crate::{traffic, NocModel, SimConfig, SimError, Simulator};
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPoint {
+    /// Offered injection rate (packets per node per cycle).
+    pub injection_rate: f64,
+    /// Mean packet latency, cycles.
+    pub avg_latency_cycles: f64,
+    /// Delivered throughput, payload bits per cycle.
+    pub throughput_bits_per_cycle: f64,
+    /// Packets delivered at this point.
+    pub packets: usize,
+}
+
+/// Configuration of a [`sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Injection rates to sample (packets/node/cycle).
+    pub rates: Vec<f64>,
+    /// Cycles of traffic generated per point.
+    pub duration_cycles: u64,
+    /// Payload bits per packet.
+    pub payload_bits: u64,
+    /// Traffic seed.
+    pub seed: u64,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            rates: vec![0.02, 0.05, 0.10, 0.15, 0.20, 0.30],
+            duration_cycles: 500,
+            payload_bits: 64,
+            seed: 1,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Runs a uniform-random Bernoulli load sweep over `model`.
+///
+/// Each point generates fresh traffic at the given rate and simulates it to
+/// completion (closed makespan measurement: the curve turns upward as the
+/// network saturates).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] (e.g. an unroutable pair on a model
+/// without all-pairs routes).
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::{sweep, NocModel};
+/// use noc_energy::{EnergyModel, TechnologyProfile};
+///
+/// let model = NocModel::mesh(3, 3, 1.0);
+/// let config = sweep::SweepConfig {
+///     rates: vec![0.02, 0.2],
+///     duration_cycles: 100,
+///     ..Default::default()
+/// };
+/// let energy = EnergyModel::new(TechnologyProfile::cmos_180nm());
+/// let points = sweep::sweep(&model, &config, &energy)?;
+/// assert_eq!(points.len(), 2);
+/// // Latency grows with load.
+/// assert!(points[1].avg_latency_cycles >= points[0].avg_latency_cycles);
+/// # Ok::<(), noc_sim::SimError>(())
+/// ```
+pub fn sweep(
+    model: &NocModel,
+    config: &SweepConfig,
+    energy: &EnergyModel,
+) -> Result<Vec<LoadPoint>, SimError> {
+    let mut points = Vec::with_capacity(config.rates.len());
+    for &rate in &config.rates {
+        let events = traffic::bernoulli(
+            model.node_count(),
+            config.duration_cycles,
+            rate,
+            config.payload_bits,
+            config.seed,
+        );
+        let report = Simulator::new(model, config.sim, energy.clone()).run(events)?;
+        points.push(LoadPoint {
+            injection_rate: rate,
+            avg_latency_cycles: report.avg_packet_latency_cycles,
+            throughput_bits_per_cycle: report.throughput_bits_per_cycle(),
+            packets: report.packets_delivered,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_energy::TechnologyProfile;
+
+    fn energy() -> EnergyModel {
+        EnergyModel::new(TechnologyProfile::cmos_180nm())
+    }
+
+    #[test]
+    fn latency_is_monotone_in_load_on_mesh() {
+        let model = NocModel::mesh(4, 4, 1.0);
+        let config = SweepConfig {
+            rates: vec![0.02, 0.10, 0.25],
+            duration_cycles: 400,
+            ..Default::default()
+        };
+        let points = sweep(&model, &config, &energy()).unwrap();
+        assert_eq!(points.len(), 3);
+        assert!(points[0].avg_latency_cycles <= points[1].avg_latency_cycles);
+        assert!(points[1].avg_latency_cycles <= points[2].avg_latency_cycles);
+    }
+
+    #[test]
+    fn zero_rate_point_is_empty_but_valid() {
+        let model = NocModel::mesh(2, 2, 1.0);
+        let config = SweepConfig {
+            rates: vec![0.0],
+            duration_cycles: 50,
+            ..Default::default()
+        };
+        let points = sweep(&model, &config, &energy()).unwrap();
+        assert_eq!(points[0].packets, 0);
+        assert_eq!(points[0].avg_latency_cycles, 0.0);
+    }
+
+    #[test]
+    fn o1turn_and_xy_sweeps_both_complete() {
+        let config = SweepConfig {
+            rates: vec![0.05, 0.15],
+            duration_cycles: 200,
+            ..Default::default()
+        };
+        let xy = NocModel::mesh(4, 4, 1.0);
+        let o1 = NocModel::mesh_o1turn(4, 4, 1.0, 3);
+        let a = sweep(&xy, &config, &energy()).unwrap();
+        let b = sweep(&o1, &config, &energy()).unwrap();
+        assert_eq!(a[0].packets, b[0].packets); // same offered traffic
+    }
+}

@@ -1,0 +1,173 @@
+//! Traffic generators: synthetic workloads and ACG-driven traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use noc_graph::{Acg, NodeId};
+
+use crate::TrafficEvent;
+
+/// Uniform random traffic: `packets` events with sources and destinations
+/// drawn uniformly (src ≠ dst), all released at cycle 0, each carrying
+/// `payload_bits`. Deterministic per `seed`.
+///
+/// # Panics
+///
+/// Panics if `nodes < 2` or `payload_bits == 0`.
+pub fn uniform_random(
+    nodes: usize,
+    packets: usize,
+    payload_bits: u64,
+    seed: u64,
+) -> Vec<TrafficEvent> {
+    assert!(nodes >= 2, "uniform traffic needs at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..packets)
+        .map(|_| {
+            let src = rng.gen_range(0..nodes);
+            let mut dst = rng.gen_range(0..nodes - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            TrafficEvent::new(0, NodeId(src), NodeId(dst), payload_bits)
+        })
+        .collect()
+}
+
+/// Poisson-like Bernoulli injection: every cycle in `0..duration_cycles`,
+/// each node independently injects with probability `injection_rate` to a
+/// uniformly random other node. Deterministic per `seed`.
+///
+/// # Panics
+///
+/// Panics if `nodes < 2`, the rate is outside `[0, 1]`, or
+/// `payload_bits == 0`.
+pub fn bernoulli(
+    nodes: usize,
+    duration_cycles: u64,
+    injection_rate: f64,
+    payload_bits: u64,
+    seed: u64,
+) -> Vec<TrafficEvent> {
+    assert!(nodes >= 2, "traffic needs at least two nodes");
+    assert!(
+        (0.0..=1.0).contains(&injection_rate),
+        "injection rate must be a probability"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    for cycle in 0..duration_cycles {
+        for src in 0..nodes {
+            if rng.gen::<f64>() < injection_rate {
+                let mut dst = rng.gen_range(0..nodes - 1);
+                if dst >= src {
+                    dst += 1;
+                }
+                events.push(TrafficEvent::new(
+                    cycle,
+                    NodeId(src),
+                    NodeId(dst),
+                    payload_bits,
+                ));
+            }
+        }
+    }
+    events
+}
+
+/// One "iteration" of an application ACG: every ACG edge sends its volume
+/// as a single packet at cycle 0. The simplest trace for comparing two
+/// architectures on the same demands.
+pub fn acg_iteration(acg: &Acg) -> Vec<TrafficEvent> {
+    acg.demands()
+        .filter(|(_, d)| d.volume > 0.0)
+        .map(|(e, d)| TrafficEvent::new(0, e.src, e.dst, d.volume.ceil() as u64))
+        .collect()
+}
+
+/// `iterations` back-to-back ACG iterations spaced `period_cycles` apart
+/// (pipelined application runs).
+pub fn acg_periodic(acg: &Acg, iterations: usize, period_cycles: u64) -> Vec<TrafficEvent> {
+    (0..iterations)
+        .flat_map(|i| {
+            acg.demands()
+                .filter(|(_, d)| d.volume > 0.0)
+                .map(move |(e, d)| {
+                    TrafficEvent::new(
+                        i as u64 * period_cycles,
+                        e.src,
+                        e.dst,
+                        d.volume.ceil() as u64,
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_graph::DiGraph;
+
+    #[test]
+    fn uniform_has_no_self_traffic_and_is_deterministic() {
+        let a = uniform_random(8, 100, 64, 5);
+        let b = uniform_random(8, 100, 64, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        for e in &a {
+            assert_ne!(e.src, e.dst);
+            assert!(e.src.index() < 8 && e.dst.index() < 8);
+        }
+        let c = uniform_random(8, 100, 64, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bernoulli_rate_extremes() {
+        assert!(bernoulli(4, 100, 0.0, 32, 1).is_empty());
+        let full = bernoulli(4, 50, 1.0, 32, 1);
+        assert_eq!(full.len(), 4 * 50);
+    }
+
+    #[test]
+    fn bernoulli_rate_is_approximate() {
+        let events = bernoulli(10, 1000, 0.1, 32, 77);
+        let expected = 10.0 * 1000.0 * 0.1;
+        let actual = events.len() as f64;
+        assert!(
+            (actual - expected).abs() < expected * 0.2,
+            "got {actual}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn acg_iteration_covers_every_edge() {
+        let acg = Acg::builder(3)
+            .volume(0, 1, 64.0)
+            .volume(1, 2, 32.0)
+            .build();
+        let events = acg_iteration(&acg);
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.release_cycle == 0));
+        assert!(events.iter().any(|e| e.payload_bits == 64));
+    }
+
+    #[test]
+    fn acg_periodic_spaces_iterations() {
+        let acg = noc_graph::Acg::from_graph_uniform(
+            DiGraph::cycle(3),
+            noc_graph::EdgeDemand::from_volume(8.0),
+        );
+        let events = acg_periodic(&acg, 3, 100);
+        assert_eq!(events.len(), 9);
+        assert!(events.iter().any(|e| e.release_cycle == 200));
+    }
+
+    #[test]
+    fn zero_volume_edges_are_skipped() {
+        let acg = Acg::builder(3).volume(0, 1, 0.0).volume(1, 2, 8.0).build();
+        assert_eq!(acg_iteration(&acg).len(), 1);
+    }
+}

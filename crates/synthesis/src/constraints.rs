@@ -1,0 +1,238 @@
+//! Design-constraint checks (Section 4.2 of the paper).
+//!
+//! A decomposition is *legal* only if
+//!
+//! 1. **link bandwidth**: for every implementation channel, the aggregated
+//!    bandwidth of the ACG pairs mapped onto it does not exceed the
+//!    channel capacity the technology provides ("the bandwidth of `e_13^I`
+//!    should be larger than the sum of the bandwidth requirements of
+//!    `e_13` and `e_14`"), and
+//! 2. **bisection width**: the synthesized topology's bisection link count
+//!    fits the wiring budget ("comparing the bisection bandwidth of the
+//!    customized architecture with the maximum bisection bandwidth the
+//!    particular technology provides").
+
+use noc_energy::TechnologyProfile;
+use noc_graph::{Acg, NodeId};
+
+use crate::Architecture;
+
+/// A single constraint violation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConstraintViolation {
+    /// A channel's aggregated bandwidth demand exceeds its capacity.
+    LinkBandwidthExceeded {
+        /// The overloaded channel.
+        link: (NodeId, NodeId),
+        /// Aggregated demand, bits/s.
+        required_bps: f64,
+        /// Technology capacity, bits/s.
+        capacity_bps: f64,
+    },
+    /// The topology needs more bisection links than the technology allows.
+    BisectionExceeded {
+        /// Links crossing the balanced bisection.
+        required_links: usize,
+        /// Technology budget.
+        budget_links: usize,
+    },
+}
+
+impl std::fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintViolation::LinkBandwidthExceeded {
+                link,
+                required_bps,
+                capacity_bps,
+            } => write!(
+                f,
+                "channel {} -> {} needs {:.3e} bps but capacity is {:.3e} bps",
+                link.0, link.1, required_bps, capacity_bps
+            ),
+            ConstraintViolation::BisectionExceeded {
+                required_links,
+                budget_links,
+            } => write!(
+                f,
+                "bisection needs {required_links} links but the technology allows {budget_links}"
+            ),
+        }
+    }
+}
+
+/// The result of checking an architecture against a technology profile.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConstraintReport {
+    violations: Vec<ConstraintViolation>,
+}
+
+impl ConstraintReport {
+    /// `true` if every constraint holds.
+    pub fn is_satisfied(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations found (empty when satisfied).
+    pub fn violations(&self) -> &[ConstraintViolation] {
+        &self.violations
+    }
+}
+
+impl std::fmt::Display for ConstraintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_satisfied() {
+            write!(f, "all constraints satisfied")
+        } else {
+            writeln!(f, "{} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks the Section 4.2 constraints of `arch` against `profile`.
+///
+/// The ACG is accepted for interface symmetry with future checks (its
+/// demands are already aggregated onto the architecture's links).
+pub fn check(arch: &Architecture, _acg: &Acg, profile: &TechnologyProfile) -> ConstraintReport {
+    let mut violations = Vec::new();
+    let capacity = profile.link_bandwidth_bps();
+    for (link, info) in arch.links() {
+        if info.aggregated_bandwidth_bps > capacity {
+            violations.push(ConstraintViolation::LinkBandwidthExceeded {
+                link,
+                required_bps: info.aggregated_bandwidth_bps,
+                capacity_bps: capacity,
+            });
+        }
+    }
+    let stats = arch.stats();
+    if stats.bisection_links > profile.max_bisection_links() {
+        violations.push(ConstraintViolation::BisectionExceeded {
+            required_links: stats.bisection_links,
+            budget_links: profile.max_bisection_links(),
+        });
+    }
+    ConstraintReport { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, Decomposer, Objective};
+    use noc_energy::{Energy, EnergyModel, TechnologyProfile};
+    use noc_floorplan::Placement;
+    use noc_graph::DiGraph;
+    use noc_primitives::CommLibrary;
+
+    fn arch_for(acg: &Acg, profile: &TechnologyProfile) -> Architecture {
+        let lib = CommLibrary::standard();
+        let placement = Placement::grid(2, 2, 2.0, 2.0);
+        let cm = CostModel::new(
+            EnergyModel::new(profile.clone()),
+            placement.clone(),
+            Objective::Links,
+        );
+        let d = Decomposer::new(acg, &lib, cm).run().best.unwrap();
+        Architecture::synthesize(acg, &lib, &d, placement)
+    }
+
+    #[test]
+    fn modest_demands_satisfy_constraints() {
+        let profile = TechnologyProfile::cmos_180nm();
+        let acg =
+            Acg::from_graph_uniform(DiGraph::complete(4), noc_graph::EdgeDemand::new(8.0, 1.0e6));
+        let arch = arch_for(&acg, &profile);
+        let report = check(&arch, &acg, &profile);
+        assert!(report.is_satisfied(), "{report}");
+        assert_eq!(report.to_string(), "all constraints satisfied");
+    }
+
+    #[test]
+    fn oversubscribed_link_is_flagged() {
+        let profile = TechnologyProfile::builder("tiny-links")
+            .link_bandwidth_bps(1.0e6)
+            .build();
+        // Gossip with 1 Mbps per pair: two-hop routes aggregate > 1 Mbps on
+        // shared channels.
+        let acg =
+            Acg::from_graph_uniform(DiGraph::complete(4), noc_graph::EdgeDemand::new(8.0, 1.0e6));
+        let arch = arch_for(&acg, &profile);
+        let report = check(&arch, &acg, &profile);
+        assert!(!report.is_satisfied());
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, ConstraintViolation::LinkBandwidthExceeded { .. })));
+        assert!(report.to_string().contains("violation"));
+    }
+
+    #[test]
+    fn starved_bisection_is_flagged() {
+        let profile = TechnologyProfile::builder("one-wire")
+            .max_bisection_links(1)
+            .build();
+        let acg =
+            Acg::from_graph_uniform(DiGraph::complete(4), noc_graph::EdgeDemand::new(8.0, 1.0));
+        let arch = arch_for(&acg, &profile);
+        let report = check(&arch, &acg, &profile);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, ConstraintViolation::BisectionExceeded { .. })));
+    }
+
+    #[test]
+    fn decomposer_constraint_mode_rejects_infeasible_leaves() {
+        // With a 1-link bisection budget the full point-to-point remainder
+        // is infeasible, and so is the MGG4; the search should reject the
+        // infeasible leaves and report constraint rejections.
+        let profile = TechnologyProfile::builder("one-wire")
+            .max_bisection_links(1)
+            .build();
+        let acg =
+            Acg::from_graph_uniform(DiGraph::complete(4), noc_graph::EdgeDemand::new(8.0, 1.0));
+        let lib = CommLibrary::standard();
+        let placement = Placement::grid(2, 2, 2.0, 2.0);
+        let cm = CostModel::new(EnergyModel::new(profile), placement, Objective::Links);
+        let out = Decomposer::new(&acg, &lib, cm)
+            .config(crate::DecomposerConfig {
+                check_constraints: true,
+                ..Default::default()
+            })
+            .run();
+        assert!(out.stats.constraint_rejections > 0);
+        assert!(out.best.is_none(), "no legal decomposition should exist");
+    }
+
+    #[test]
+    fn hybrid_objective_is_usable_with_constraints() {
+        let profile = TechnologyProfile::cmos_180nm();
+        let acg =
+            Acg::from_graph_uniform(DiGraph::complete(4), noc_graph::EdgeDemand::new(8.0, 1.0e6));
+        let lib = CommLibrary::standard();
+        let placement = Placement::grid(2, 2, 2.0, 2.0);
+        let cm = CostModel::new(
+            EnergyModel::new(profile),
+            placement,
+            Objective::Hybrid {
+                link_equivalent: Energy::from_picojoules(500.0),
+            },
+        );
+        let out = Decomposer::new(&acg, &lib, cm)
+            .config(crate::DecomposerConfig {
+                check_constraints: true,
+                ..Default::default()
+            })
+            .run();
+        let best = out.best.unwrap();
+        // The hybrid link charge makes the 4-link MGG4 strictly cheaper
+        // than 12 dedicated links (wiring term dominates at 500 pJ/link).
+        assert_eq!(best.matchings.len(), 1);
+        assert_eq!(best.matchings[0].label, "MGG4");
+    }
+}

@@ -1,0 +1,634 @@
+//! The depth-first branch-and-bound decomposition algorithm
+//! (Sections 4.1–4.4, Figures 2 and 3 of the paper).
+//!
+//! The search walks a tree whose nodes are *remaining graphs*. At each node
+//! it enumerates, for every library primitive in order, the distinct
+//! subgraph images of the primitive's representation graph in the remaining
+//! graph (a *matching*, Definition 4), subtracts the image, and recurses.
+//! When no primitive matches, the node is a leaf: the decomposition is the
+//! path of matchings plus the remainder graph, and its cost is
+//! `Σ C(M_i) + C(R)` (Equation 3). A branch is cut when its current cost
+//! plus an admissible bound on completing the remaining graph cannot beat
+//! the best decomposition found so far.
+//!
+//! Because every matching subtracts its image, the images along a path are
+//! pairwise edge-disjoint — so a decomposition is a *set* of matchings, and
+//! any permutation of the same set reaches the same leaf. The search
+//! therefore enumerates matchings in canonical (primitive id, image) order
+//! only, which prunes the `k!` permutations of each `k`-matching
+//! decomposition without losing any leaf (an exact reduction the paper's
+//! Figure 3 pseudo-code leaves implicit).
+
+use std::time::{Duration, Instant};
+
+use noc_graph::{iso::Vf2, ops, Acg, DiGraph, Edge};
+use noc_primitives::{CommLibrary, PrimitiveId};
+
+use crate::{
+    constraints,
+    cost::{Cost, CostModel},
+    Architecture,
+};
+
+/// One matched primitive instance on the decomposition path.
+#[derive(Debug, Clone)]
+pub struct Matching {
+    /// Which library primitive matched.
+    pub primitive: PrimitiveId,
+    /// The primitive's label (`MGG4`, `G123`, …).
+    pub label: String,
+    /// The injective map from primitive vertices to ACG cores.
+    pub mapping: noc_graph::iso::Mapping,
+    /// This matching's cost contribution (Equation 5).
+    pub cost: Cost,
+}
+
+impl Matching {
+    /// The ACG edges this matching covers (the image of the representation
+    /// graph), sorted.
+    pub fn covered_edges(&self, library: &CommLibrary) -> Vec<Edge> {
+        self.mapping
+            .image_edges(library.get(self.primitive).representation())
+    }
+
+    /// Formats the matching one line in the paper's output style:
+    /// `1: MGG4,       Mapping: (1 1), (2 5), (3 9), (4 13)`.
+    pub fn paper_line(&self) -> String {
+        format!(
+            "{}: {},\tMapping: {}",
+            self.primitive.paper_id(),
+            self.label,
+            self.mapping.paper_format()
+        )
+    }
+}
+
+/// A complete decomposition: the root-to-leaf matchings plus the remainder
+/// graph that matched nothing (Equation 2: `G = Σ M_i(L_i) + R`).
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Matchings in the order they were subtracted.
+    pub matchings: Vec<Matching>,
+    /// The remaining graph (full vertex set, uncovered edges).
+    pub remainder: DiGraph,
+    /// Cost assigned to the remainder (dedicated point-to-point links).
+    pub remainder_cost: Cost,
+    /// Total decomposition cost (Equation 3).
+    pub total_cost: Cost,
+}
+
+impl Decomposition {
+    /// Renders the decomposition in the paper's output format, e.g. for the
+    /// AES ACG:
+    ///
+    /// ```text
+    /// COST: 28
+    /// 1: MGG4,    Mapping: (1 1), (2 5), (3 9), (4 13)
+    ///  1: MGG4,    Mapping: (1 2), (2 6), (3 10), (4 14)
+    ///  ...
+    ///        0: Remaining Graph: 9 -> 11, 10 -> 12, 11 -> 9, 12 -> 10
+    /// ```
+    ///
+    /// Vertices are printed 1-based as in the paper.
+    pub fn paper_report(&self) -> String {
+        let mut out = format!("COST: {}\n", self.total_cost);
+        for (depth, m) in self.matchings.iter().enumerate() {
+            out.push_str(&" ".repeat(depth));
+            out.push_str(&m.paper_line());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(self.matchings.len()));
+        if self.remainder.is_edgeless() {
+            out.push_str("0: Remaining Graph: (empty)\n");
+        } else {
+            let edges: Vec<String> = self
+                .remainder
+                .edges()
+                .map(|e| format!("{} -> {}", e.src.index() + 1, e.dst.index() + 1))
+                .collect();
+            out.push_str(&format!("0: Remaining Graph: {}\n", edges.join(", ")));
+        }
+        out
+    }
+
+    /// Returns the multiset of covered + remaining edges; equals the input
+    /// ACG edge set for any valid decomposition (tested property).
+    pub fn all_edges(&self, library: &CommLibrary) -> Vec<Edge> {
+        let mut edges: Vec<Edge> = self
+            .matchings
+            .iter()
+            .flat_map(|m| m.covered_edges(library))
+            .chain(self.remainder.edges())
+            .collect();
+        edges.sort();
+        edges
+    }
+}
+
+/// Search statistics for the runtime figures (Figures 4a/4b).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SearchStats {
+    /// Search-tree nodes expanded.
+    pub nodes_visited: u64,
+    /// Leaves (complete decompositions) evaluated.
+    pub leaves_evaluated: u64,
+    /// Branches cut by the lower bound.
+    pub branches_pruned: u64,
+    /// Leaves rejected by the Section 4.2 constraints.
+    pub constraint_rejections: u64,
+    /// `true` if the search hit the configured timeout.
+    pub timed_out: bool,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+}
+
+/// Outcome of a decomposition run.
+#[derive(Debug, Clone)]
+pub struct DecompositionOutcome {
+    /// The minimum-cost legal decomposition, if any leaf was reached.
+    pub best: Option<Decomposition>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// Tuning knobs for the branch-and-bound.
+#[derive(Debug, Clone)]
+pub struct DecomposerConfig {
+    /// Abort the search after this wall-clock budget, keeping the best
+    /// decomposition found so far (the paper's suggested time-out for
+    /// graphs with no library match, Section 5.1).
+    pub timeout: Option<Duration>,
+    /// Consider at most this many distinct images per primitive per node
+    /// (`None` = all).
+    ///
+    /// The default is `Some(1)`, which is what the paper's Figure 3
+    /// pseudo-code does: each tree node branches once per *library graph*
+    /// ("if **a** subgraph S in I is isomorphic to G"), subtracting the
+    /// first isomorphism found — see the three-way branching of Figure 2.
+    /// `None` explores every distinct image (an exhaustive extension;
+    /// slower but can find cheaper covers on irregular graphs).
+    pub max_matches_per_level: Option<usize>,
+    /// Cap on raw VF2 enumerations per call, bounding worst-case matcher
+    /// work before image deduplication.
+    pub max_raw_matches: usize,
+    /// Enable the admissible lower bound of Figure 3 (disable to measure
+    /// its effect — see the `ablation_bounding` bench).
+    pub use_lower_bound: bool,
+    /// Reject leaves violating link-bandwidth or bisection constraints
+    /// (Section 4.2) using the cost model's technology profile.
+    pub check_constraints: bool,
+    /// Enumerate matchings in canonical (primitive, image) order only,
+    /// collapsing the `k!` permutations of each matching set (an exact
+    /// reduction — see the module docs). Disable only to verify exactness
+    /// or measure the blowup.
+    pub use_canonical_ordering: bool,
+}
+
+impl Default for DecomposerConfig {
+    fn default() -> Self {
+        DecomposerConfig {
+            timeout: None,
+            max_matches_per_level: Some(1),
+            max_raw_matches: 100_000,
+            use_lower_bound: true,
+            check_constraints: false,
+            use_canonical_ordering: true,
+        }
+    }
+}
+
+/// The branch-and-bound decomposition engine; see the
+/// [crate example](crate).
+#[derive(Debug)]
+pub struct Decomposer<'a> {
+    acg: &'a Acg,
+    library: &'a CommLibrary,
+    cost_model: CostModel,
+    config: DecomposerConfig,
+}
+
+impl<'a> Decomposer<'a> {
+    /// Creates a decomposer with the default configuration.
+    pub fn new(acg: &'a Acg, library: &'a CommLibrary, cost_model: CostModel) -> Self {
+        Decomposer {
+            acg,
+            library,
+            cost_model,
+            config: DecomposerConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    #[must_use]
+    pub fn config(mut self, config: DecomposerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets a search timeout.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.config.timeout = Some(timeout);
+        self
+    }
+
+    /// Runs the search and returns the best legal decomposition plus
+    /// statistics.
+    pub fn run(&self) -> DecompositionOutcome {
+        let start = Instant::now();
+        let deadline = self.config.timeout.map(|t| start + t);
+        // Best link-compression ratio in the library, for the Links bound.
+        let best_ratio = self
+            .library
+            .iter()
+            .map(|(_, p)| {
+                let links: std::collections::BTreeSet<(usize, usize)> = p
+                    .implementation()
+                    .edges()
+                    .map(|e| {
+                        let (a, b) = (e.src.index(), e.dst.index());
+                        (a.min(b), a.max(b))
+                    })
+                    .collect();
+                p.representation().edge_count() as f64 / links.len().max(1) as f64
+            })
+            .fold(1.0_f64, f64::max);
+
+        let mut state = SearchState {
+            acg: self.acg,
+            library: self.library,
+            cost_model: &self.cost_model,
+            config: &self.config,
+            deadline,
+            best_ratio,
+            best: None,
+            best_cost: Cost::INFINITY,
+            stats: SearchStats::default(),
+            path: Vec::new(),
+        };
+        state.search(self.acg.graph().clone(), Cost(0.0), None);
+        let mut stats = state.stats;
+        stats.elapsed = start.elapsed();
+        DecompositionOutcome {
+            best: state.best,
+            stats,
+        }
+    }
+}
+
+struct SearchState<'a> {
+    acg: &'a Acg,
+    library: &'a CommLibrary,
+    cost_model: &'a CostModel,
+    config: &'a DecomposerConfig,
+    deadline: Option<Instant>,
+    best_ratio: f64,
+    best: Option<Decomposition>,
+    best_cost: Cost,
+    stats: SearchStats,
+    path: Vec<Matching>,
+}
+
+impl SearchState<'_> {
+    fn out_of_time(&mut self) -> bool {
+        if self.stats.timed_out {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.stats.timed_out = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn search(
+        &mut self,
+        remaining: DiGraph,
+        current: Cost,
+        min_key: Option<(PrimitiveId, Vec<Edge>)>,
+    ) {
+        self.stats.nodes_visited += 1;
+        if self.out_of_time() {
+            // Salvage: evaluate the current path as if it were a leaf so a
+            // timed-out search still returns something useful.
+            self.consider_leaf(&remaining, current);
+            return;
+        }
+
+        // `found_match` must reflect matches of ANY primitive (even those
+        // below the canonical ordering cut): a node is a leaf only if the
+        // remaining graph genuinely matches nothing (Figure 3 semantics).
+        let mut found_match = false;
+        for (id, primitive) in self.library.iter() {
+            let pattern = primitive.representation();
+            if pattern.edge_count() > remaining.edge_count()
+                || pattern.node_count() > remaining.node_count()
+            {
+                continue;
+            }
+            // Canonical ordering: only expand matchings whose
+            // (primitive, image) key exceeds the parent's. Primitives below
+            // the cut still count toward leaf detection (existence only).
+            let below_cut = min_key.as_ref().is_some_and(|(min_id, _)| id < *min_id);
+            if below_cut {
+                if !found_match {
+                    let mut probe = Vf2::new(pattern, &remaining);
+                    if let Some(d) = self.deadline {
+                        probe = probe.deadline(d);
+                    }
+                    if probe.exists() {
+                        found_match = true;
+                    }
+                }
+                continue;
+            }
+            let mut matcher =
+                Vf2::new(pattern, &remaining).max_matches(self.config.max_raw_matches);
+            if let Some(d) = self.deadline {
+                matcher = matcher.deadline(d);
+            }
+            let images = matcher.distinct_images();
+            if !images.matches.is_empty() {
+                found_match = true;
+            }
+            // Filter by the canonical key first, then apply the per-level
+            // cap, so capped searches still advance past the parent's image.
+            let eligible = images.matches.into_iter().filter_map(|mapping| {
+                let covered = mapping.image_edges(pattern);
+                if let Some((min_id, min_image)) = &min_key {
+                    if id == *min_id && covered <= *min_image {
+                        return None;
+                    }
+                }
+                Some((mapping, covered))
+            });
+            let considered: Box<dyn Iterator<Item = _>> = match self.config.max_matches_per_level {
+                Some(cap) => Box::new(eligible.take(cap)),
+                None => Box::new(eligible),
+            };
+            for (mapping, covered) in considered {
+                let m_cost = self.cost_model.matching_cost(primitive, &mapping, self.acg);
+                let next = ops::subtract_edges(&remaining, covered.iter().copied())
+                    .expect("matched image is a subgraph of the remaining graph");
+                let new_cost = current.saturating_add(m_cost);
+                if self.config.use_lower_bound {
+                    let bound = new_cost.saturating_add(self.cost_model.lower_bound(
+                        &next,
+                        self.acg,
+                        self.best_ratio,
+                    ));
+                    if bound.value() >= self.best_cost.value() {
+                        self.stats.branches_pruned += 1;
+                        continue;
+                    }
+                }
+                self.path.push(Matching {
+                    primitive: id,
+                    label: primitive.label().to_string(),
+                    mapping,
+                    cost: m_cost,
+                });
+                let child_key = if self.config.use_canonical_ordering {
+                    Some((id, covered))
+                } else {
+                    None
+                };
+                self.search(next, new_cost, child_key);
+                self.path.pop();
+                if self.stats.timed_out {
+                    return;
+                }
+            }
+        }
+
+        if !found_match {
+            self.consider_leaf(&remaining, current);
+        }
+    }
+
+    fn consider_leaf(&mut self, remaining: &DiGraph, current: Cost) {
+        self.stats.leaves_evaluated += 1;
+        let remainder_cost = self.cost_model.remainder_cost(remaining, self.acg);
+        let total = current.saturating_add(remainder_cost);
+        if total.value() >= self.best_cost.value() {
+            return;
+        }
+        let candidate = Decomposition {
+            matchings: self.path.clone(),
+            remainder: remaining.clone(),
+            remainder_cost,
+            total_cost: total,
+        };
+        if self.config.check_constraints {
+            let arch = Architecture::synthesize(
+                self.acg,
+                self.library,
+                &candidate,
+                self.cost_model.placement().clone(),
+            );
+            let report =
+                constraints::check(&arch, self.acg, self.cost_model.energy_model().profile());
+            if !report.is_satisfied() {
+                self.stats.constraint_rejections += 1;
+                return;
+            }
+        }
+        self.best_cost = total;
+        self.best = Some(candidate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Objective;
+    use noc_energy::{EnergyModel, TechnologyProfile};
+    use noc_floorplan::Placement;
+    use noc_graph::{EdgeDemand, NodeId};
+
+    fn cost_model(objective: Objective, n: usize) -> CostModel {
+        let side = (n as f64).sqrt().ceil() as usize;
+        CostModel::new(
+            EnergyModel::new(TechnologyProfile::cmos_180nm()),
+            Placement::grid(side, side.max(1), 2.0, 2.0),
+            objective,
+        )
+    }
+
+    fn decompose(acg: &Acg, lib: &CommLibrary, objective: Objective) -> DecompositionOutcome {
+        let cm = cost_model(objective, acg.core_count());
+        Decomposer::new(acg, lib, cm).run()
+    }
+
+    #[test]
+    fn pure_gossip_acg_is_one_mgg4() {
+        let acg = Acg::from_graph_uniform(DiGraph::complete(4), EdgeDemand::from_volume(8.0));
+        let lib = CommLibrary::standard();
+        let out = decompose(&acg, &lib, Objective::Links);
+        let best = out.best.unwrap();
+        assert_eq!(best.matchings.len(), 1);
+        assert_eq!(best.matchings[0].label, "MGG4");
+        assert!(best.remainder.is_edgeless());
+        assert_eq!(best.total_cost.value(), 4.0); // 4 physical links
+        assert!(!out.stats.timed_out);
+    }
+
+    #[test]
+    fn loop_acg_decomposes_to_l4() {
+        let acg = Acg::from_graph_uniform(DiGraph::cycle(4), EdgeDemand::from_volume(8.0));
+        let lib = CommLibrary::standard();
+        let out = decompose(&acg, &lib, Objective::Links);
+        let best = out.best.unwrap();
+        assert_eq!(best.matchings.len(), 1);
+        assert_eq!(best.matchings[0].label, "L4");
+        assert!(best.remainder.is_edgeless());
+    }
+
+    #[test]
+    fn broadcast_acg_decomposes_to_g123() {
+        let acg = Acg::from_graph_uniform(DiGraph::out_star(4), EdgeDemand::from_volume(8.0));
+        let lib = CommLibrary::standard();
+        let out = decompose(&acg, &lib, Objective::Links);
+        let best = out.best.unwrap();
+        assert_eq!(best.matchings.len(), 1);
+        assert_eq!(best.matchings[0].label, "G123");
+    }
+
+    #[test]
+    fn unmatched_graph_is_all_remainder() {
+        // Two antiparallel edges: no standard primitive matches.
+        let acg = Acg::builder(4).volume(0, 1, 1.0).volume(1, 0, 1.0).build();
+        let lib = CommLibrary::standard();
+        let out = decompose(&acg, &lib, Objective::Links);
+        let best = out.best.unwrap();
+        assert!(best.matchings.is_empty());
+        assert_eq!(best.remainder.edge_count(), 2);
+        assert_eq!(best.total_cost.value(), 2.0); // two dedicated directed links
+    }
+
+    #[test]
+    fn edges_are_conserved() {
+        // Gossip + a stray edge.
+        let mut g = DiGraph::complete(4);
+        let mut big = DiGraph::new(6);
+        for e in g.edges() {
+            big.add_edge(e.src, e.dst);
+        }
+        big.add_edge(NodeId(4), NodeId(5));
+        g = big;
+        let acg = Acg::from_graph_uniform(g.clone(), EdgeDemand::from_volume(1.0));
+        let lib = CommLibrary::standard();
+        let out = decompose(&acg, &lib, Objective::Links);
+        let best = out.best.unwrap();
+        assert_eq!(best.all_edges(&lib), g.edge_vec());
+    }
+
+    #[test]
+    fn cost_totals_are_consistent() {
+        let acg = Acg::from_graph_uniform(DiGraph::complete(4), EdgeDemand::from_volume(8.0));
+        let lib = CommLibrary::standard();
+        for objective in [Objective::Links, Objective::Energy] {
+            let out = decompose(&acg, &lib, objective);
+            let best = out.best.unwrap();
+            let sum: f64 = best.matchings.iter().map(|m| m.cost.value()).sum::<f64>()
+                + best.remainder_cost.value();
+            assert!((best.total_cost.value() - sum).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bound_prunes_without_changing_result() {
+        let mut g = DiGraph::complete(4);
+        // Add a loop on the other 4 vertices.
+        let mut big = DiGraph::new(8);
+        for e in g.edges() {
+            big.add_edge(e.src, e.dst);
+        }
+        for i in 4..8 {
+            big.add_edge(NodeId(i), NodeId(4 + (i + 1) % 4));
+        }
+        g = big;
+        let acg = Acg::from_graph_uniform(g, EdgeDemand::from_volume(1.0));
+        let lib = CommLibrary::standard();
+        let cm = cost_model(Objective::Links, 8);
+
+        let with = Decomposer::new(&acg, &lib, cm.clone()).run();
+        let without = Decomposer::new(&acg, &lib, cm)
+            .config(DecomposerConfig {
+                use_lower_bound: false,
+                ..DecomposerConfig::default()
+            })
+            .run();
+        let (b1, b2) = (with.best.unwrap(), without.best.unwrap());
+        assert_eq!(b1.total_cost.value(), b2.total_cost.value());
+        assert!(with.stats.nodes_visited <= without.stats.nodes_visited);
+        assert!(with.stats.branches_pruned > 0);
+    }
+
+    #[test]
+    fn timeout_returns_partial_result() {
+        // A dense graph with an immediate timeout still yields a (possibly
+        // all-remainder) decomposition.
+        let acg = Acg::from_graph_uniform(DiGraph::complete(8), EdgeDemand::from_volume(1.0));
+        let lib = CommLibrary::extended();
+        let cm = cost_model(Objective::Links, 8);
+        let out = Decomposer::new(&acg, &lib, cm)
+            .timeout(Duration::from_millis(0))
+            .run();
+        assert!(out.stats.timed_out);
+        assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn match_cap_limits_branching() {
+        let acg = Acg::from_graph_uniform(DiGraph::complete(5), EdgeDemand::from_volume(1.0));
+        let lib = CommLibrary::standard();
+        let cm = cost_model(Objective::Links, 5);
+        let capped = Decomposer::new(&acg, &lib, cm.clone()).run(); // default cap = 1
+        let full = Decomposer::new(&acg, &lib, cm)
+            .config(DecomposerConfig {
+                max_matches_per_level: None,
+                ..DecomposerConfig::default()
+            })
+            .run();
+        assert!(capped.stats.nodes_visited <= full.stats.nodes_visited);
+        assert!(capped.best.is_some());
+    }
+
+    #[test]
+    fn paper_report_format() {
+        let acg = Acg::from_graph_uniform(DiGraph::complete(4), EdgeDemand::from_volume(8.0));
+        let lib = CommLibrary::standard();
+        let out = decompose(&acg, &lib, Objective::Links);
+        let report = out.best.unwrap().paper_report();
+        assert!(report.starts_with("COST: 4\n"));
+        assert!(report.contains("1: MGG4,\tMapping: (1 1), (2 2), (3 3), (4 4)"));
+        assert!(report.contains("0: Remaining Graph: (empty)"));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let acg = Acg::from_graph_uniform(DiGraph::complete(4), EdgeDemand::from_volume(8.0));
+        let lib = CommLibrary::standard();
+        let a = decompose(&acg, &lib, Objective::Links).best.unwrap();
+        let b = decompose(&acg, &lib, Objective::Links).best.unwrap();
+        assert_eq!(a.paper_report(), b.paper_report());
+    }
+
+    #[test]
+    fn energy_objective_prefers_short_links() {
+        // A 4-cycle placed on a line: the L4 loop must route the wrap-around
+        // edge across the whole chip, while the remainder solution uses the
+        // same direct links. Under Energy the costs tie, so the decomposition
+        // with L4 still wins no extra cost... verify the search simply
+        // completes and produces a finite cost.
+        let acg = Acg::from_graph_uniform(DiGraph::cycle(4), EdgeDemand::from_volume(8.0));
+        let lib = CommLibrary::standard();
+        let out = decompose(&acg, &lib, Objective::Energy);
+        let best = out.best.unwrap();
+        assert!(best.total_cost.value().is_finite());
+        assert!(best.total_cost.value() > 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the branch-and-bound search itself: the pruning
+//! devices (lower bound, canonical ordering) must be *exact* — they may
+//! only remove redundant work, never change the optimum.
+
+use noc_energy::{EnergyModel, TechnologyProfile};
+use noc_floorplan::Placement;
+use noc_graph::{Acg, DiGraph, EdgeDemand, NodeId};
+use noc_primitives::CommLibrary;
+use noc_synthesis::{CostModel, Decomposer, DecomposerConfig, Objective};
+use proptest::prelude::*;
+
+/// Small random ACGs dense enough to contain primitives but small enough
+/// for exhaustive search.
+fn arb_small_acg() -> impl Strategy<Value = Acg> {
+    (5usize..=7, 0u64..500).prop_map(|(n, seed)| {
+        // Deterministic pseudo-random edges from the seed.
+        let mut g = DiGraph::new(n);
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && next() % 100 < 38 {
+                    g.add_edge(NodeId(u), NodeId(v));
+                }
+            }
+        }
+        Acg::from_graph_uniform(g, EdgeDemand::from_volume(8.0))
+    })
+}
+
+fn cost_model(n: usize, objective: Objective) -> CostModel {
+    let side = (n as f64).sqrt().ceil() as usize;
+    CostModel::new(
+        EnergyModel::new(TechnologyProfile::cmos_180nm()),
+        Placement::grid(side, side, 2.0, 2.0),
+        objective,
+    )
+}
+
+fn run(acg: &Acg, lib: &CommLibrary, config: DecomposerConfig, objective: Objective) -> f64 {
+    Decomposer::new(acg, lib, cost_model(acg.core_count(), objective))
+        .config(config)
+        .run()
+        .best
+        .expect("unconstrained search reaches a leaf")
+        .total_cost
+        .value()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The lower bound never changes the optimum of the exhaustive search.
+    #[test]
+    fn bound_is_exact(acg in arb_small_acg()) {
+        let lib = CommLibrary::standard();
+        let exhaustive = DecomposerConfig {
+            max_matches_per_level: None,
+            ..DecomposerConfig::default()
+        };
+        let with = run(&acg, &lib, exhaustive.clone(), Objective::Links);
+        let without = run(
+            &acg,
+            &lib,
+            DecomposerConfig { use_lower_bound: false, ..exhaustive },
+            Objective::Links,
+        );
+        prop_assert_eq!(with, without);
+    }
+
+    /// Canonical sibling ordering never changes the optimum either — it
+    /// only collapses permutations of the same matching set.
+    #[test]
+    fn canonical_ordering_is_exact(acg in arb_small_acg()) {
+        let lib = CommLibrary::standard();
+        let base = DecomposerConfig {
+            max_matches_per_level: None,
+            use_lower_bound: false, // isolate the ordering's effect
+            ..DecomposerConfig::default()
+        };
+        let canonical = run(&acg, &lib, base.clone(), Objective::Links);
+        let unordered = run(
+            &acg,
+            &lib,
+            DecomposerConfig { use_canonical_ordering: false, ..base },
+            Objective::Links,
+        );
+        prop_assert_eq!(canonical, unordered);
+    }
+
+    /// Canonical ordering visits no more nodes than the unordered search.
+    #[test]
+    fn canonical_ordering_shrinks_the_tree(acg in arb_small_acg()) {
+        let lib = CommLibrary::standard();
+        let base = DecomposerConfig {
+            max_matches_per_level: None,
+            use_lower_bound: false,
+            ..DecomposerConfig::default()
+        };
+        let cm = cost_model(acg.core_count(), Objective::Links);
+        let canonical = Decomposer::new(&acg, &lib, cm.clone())
+            .config(base.clone())
+            .run()
+            .stats
+            .nodes_visited;
+        let unordered = Decomposer::new(&acg, &lib, cm)
+            .config(DecomposerConfig { use_canonical_ordering: false, ..base })
+            .run()
+            .stats
+            .nodes_visited;
+        prop_assert!(canonical <= unordered);
+    }
+
+    /// The paper's first-match branching never beats the exhaustive search
+    /// (it may tie or lose, never win).
+    #[test]
+    fn exhaustive_at_least_as_good_as_first_match(acg in arb_small_acg()) {
+        let lib = CommLibrary::standard();
+        let first = run(&acg, &lib, DecomposerConfig::default(), Objective::Links);
+        let exhaustive = run(
+            &acg,
+            &lib,
+            DecomposerConfig { max_matches_per_level: None, ..DecomposerConfig::default() },
+            Objective::Links,
+        );
+        prop_assert!(exhaustive <= first);
+    }
+
+    /// Under the Energy objective the optimum is also bound-independent.
+    #[test]
+    fn energy_bound_is_exact(acg in arb_small_acg()) {
+        let lib = CommLibrary::standard();
+        let exhaustive = DecomposerConfig {
+            max_matches_per_level: None,
+            ..DecomposerConfig::default()
+        };
+        let with = run(&acg, &lib, exhaustive.clone(), Objective::Energy);
+        let without = run(
+            &acg,
+            &lib,
+            DecomposerConfig { use_lower_bound: false, ..exhaustive },
+            Objective::Energy,
+        );
+        prop_assert!((with - without).abs() <= 1e-18 + with.abs() * 1e-12);
+    }
+}

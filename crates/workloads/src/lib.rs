@@ -1,0 +1,39 @@
+//! Benchmark workload generators for the synthesis experiments.
+//!
+//! The paper evaluates its decomposition algorithm on two families of
+//! random benchmarks (Section 5.1):
+//!
+//! * graphs produced by **TGFF** ("Task Graphs For Free", ref. [17]) —
+//!   series-parallel task DAGs up to 18 nodes, including an automotive
+//!   benchmark (Figure 4a); and
+//! * larger random graphs produced with **Pajek** (ref. [14]) up to 40
+//!   nodes (Figure 4b).
+//!
+//! Both tools are re-implemented here as seeded, deterministic generators
+//! (see the substitution notes in `DESIGN.md`):
+//!
+//! * [`tgff`] — fan-out/fan-in task-DAG generation in the TGFF style plus
+//!   an 18-node automotive-like benchmark;
+//! * [`pajek`] — Erdős–Rényi digraphs, *planted* graphs (unions of
+//!   embedded communication primitives with optional noise, the kind of
+//!   structure the paper's Figure 5 example exhibits), and the exact
+//!   8-node Figure 5 benchmark reconstructed from the paper's printed
+//!   decomposition output.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_workloads::{tgff, TgffConfig};
+//!
+//! let acg = tgff(&TgffConfig { tasks: 18, seed: 7, ..TgffConfig::default() });
+//! assert_eq!(acg.core_count(), 18);
+//! assert!(acg.graph().edge_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod pajek;
+mod tgff;
+
+pub use tgff::{automotive_18, multimedia_16, tgff, TgffConfig};

@@ -1,0 +1,242 @@
+//! Pajek-style random graph generation (Figure 4b of the paper) and the
+//! reconstructed Figure 5 benchmark.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use noc_graph::{Acg, DiGraph, NodeId};
+
+/// Erdős–Rényi digraph `G(n, p)`: every ordered pair is an edge with
+/// probability `p`, each carrying `volume` bits. Deterministic per `seed`.
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability.
+pub fn erdos_renyi(n: usize, p: f64, volume: f64, seed: u64) -> Acg {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = Acg::builder(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen::<f64>() < p {
+                builder = builder.volume(u, v, volume);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Parameters for [`planted`] graphs: unions of embedded communication
+/// primitives plus noise. This is the structure the paper's random
+/// benchmarks exhibit — the Figure 5 example decomposes completely into
+/// one gossip and four broadcasts, which a uniform random graph would
+/// essentially never do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of embedded 4-node gossip cliques.
+    pub gossip4: usize,
+    /// Number of embedded one-to-four broadcast stars.
+    pub broadcast4: usize,
+    /// Number of embedded one-to-three broadcast stars.
+    pub broadcast3: usize,
+    /// Number of embedded 4-node loops.
+    pub loops4: usize,
+    /// Probability of each additional noise edge.
+    pub noise_prob: f64,
+    /// Volume per edge, bits.
+    pub volume: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        PlantedConfig {
+            n: 12,
+            gossip4: 1,
+            broadcast4: 1,
+            broadcast3: 2,
+            loops4: 1,
+            noise_prob: 0.0,
+            volume: 8.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a planted graph per `config`. Overlapping embeddings merge
+/// edges (the decomposition then has fewer exact covers — harder inputs).
+///
+/// # Panics
+///
+/// Panics if `n < 5` (the largest primitive needs 5 vertices).
+pub fn planted(config: &PlantedConfig) -> Acg {
+    assert!(config.n >= 5, "planted graphs need at least 5 vertices");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.n;
+    let mut graph = DiGraph::new(n);
+
+    let pick_distinct = |rng: &mut StdRng, k: usize| -> Vec<usize> {
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let v = rng.gen_range(0..n);
+            if !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        chosen
+    };
+
+    for _ in 0..config.gossip4 {
+        let vs = pick_distinct(&mut rng, 4);
+        for &a in &vs {
+            for &b in &vs {
+                if a != b {
+                    graph.add_edge(NodeId(a), NodeId(b));
+                }
+            }
+        }
+    }
+    for _ in 0..config.broadcast4 {
+        let vs = pick_distinct(&mut rng, 5);
+        for &t in &vs[1..] {
+            graph.add_edge(NodeId(vs[0]), NodeId(t));
+        }
+    }
+    for _ in 0..config.broadcast3 {
+        let vs = pick_distinct(&mut rng, 4);
+        for &t in &vs[1..] {
+            graph.add_edge(NodeId(vs[0]), NodeId(t));
+        }
+    }
+    for _ in 0..config.loops4 {
+        let vs = pick_distinct(&mut rng, 4);
+        for i in 0..4 {
+            graph.add_edge(NodeId(vs[i]), NodeId(vs[(i + 1) % 4]));
+        }
+    }
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen::<f64>() < config.noise_prob {
+                graph.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+    }
+    Acg::from_graph_uniform(graph, noc_graph::EdgeDemand::from_volume(config.volume))
+}
+
+/// The 8-node random benchmark of the paper's Figure 5, reconstructed from
+/// the printed decomposition output (the matches are edge-disjoint, so
+/// their union *is* the input graph):
+///
+/// ```text
+/// 1: MGG4,  Mapping: (1 1), (2 2), (3 5), (4 6)
+///  3: G123, Mapping: (1 3), (2 2), (3 5), (4 6)
+///   3: G123, Mapping: (1 7), (2 3), (3 5), (4 6)
+///    2: G124, Mapping: (1 8), (2 1), (3 3), (4 6), (5 7)
+///     3: G123, Mapping: (1 4), (2 5), (3 6), (4 7)
+/// ```
+///
+/// 25 edges: a gossip clique on vertices {1, 2, 5, 6} (1-based) plus four
+/// broadcast stars. The paper notes "there is no remaining graph after
+/// these matches are found".
+pub fn fig5_benchmark() -> Acg {
+    let mut graph = DiGraph::new(8);
+    // MGG4 on 0-based {0, 1, 4, 5}.
+    for &a in &[0usize, 1, 4, 5] {
+        for &b in &[0usize, 1, 4, 5] {
+            if a != b {
+                graph.add_edge(NodeId(a), NodeId(b));
+            }
+        }
+    }
+    // G123 stars: anchor -> targets (0-based).
+    for (anchor, targets) in [(2usize, [1usize, 4, 5]), (6, [2, 4, 5]), (3, [4, 5, 6])] {
+        for t in targets {
+            graph.add_edge(NodeId(anchor), NodeId(t));
+        }
+    }
+    // G124 star: anchor 7 -> {0, 2, 5, 6}.
+    for t in [0usize, 2, 5, 6] {
+        graph.add_edge(NodeId(7), NodeId(t));
+    }
+    Acg::from_graph_uniform(graph, noc_graph::EdgeDemand::from_volume(8.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = erdos_renyi(6, 0.0, 1.0, 1);
+        assert!(empty.graph().is_edgeless());
+        let full = erdos_renyi(6, 1.0, 1.0, 1);
+        assert_eq!(full.graph().edge_count(), 30);
+    }
+
+    #[test]
+    fn erdos_renyi_density_tracks_p() {
+        let acg = erdos_renyi(20, 0.25, 1.0, 42);
+        let m = acg.graph().edge_count() as f64;
+        let expected = 20.0 * 19.0 * 0.25;
+        assert!((m - expected).abs() < expected * 0.35, "m = {m}");
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic() {
+        assert_eq!(erdos_renyi(10, 0.3, 2.0, 7), erdos_renyi(10, 0.3, 2.0, 7));
+        assert_ne!(erdos_renyi(10, 0.3, 2.0, 7), erdos_renyi(10, 0.3, 2.0, 8));
+    }
+
+    #[test]
+    fn planted_contains_its_gossip() {
+        let acg = planted(&PlantedConfig {
+            n: 8,
+            gossip4: 1,
+            broadcast4: 0,
+            broadcast3: 0,
+            loops4: 0,
+            noise_prob: 0.0,
+            volume: 1.0,
+            seed: 11,
+        });
+        // Exactly one K4: 12 edges.
+        assert_eq!(acg.graph().edge_count(), 12);
+        let pattern = DiGraph::complete(4);
+        assert!(noc_graph::iso::Vf2::new(&pattern, acg.graph()).exists());
+    }
+
+    #[test]
+    fn planted_sizes_grow_with_instances() {
+        let small = planted(&PlantedConfig::default());
+        let big = planted(&PlantedConfig {
+            gossip4: 2,
+            loops4: 2,
+            n: 16,
+            ..PlantedConfig::default()
+        });
+        assert!(big.graph().edge_count() >= small.graph().edge_count());
+    }
+
+    #[test]
+    fn fig5_benchmark_matches_paper_structure() {
+        let acg = fig5_benchmark();
+        assert_eq!(acg.core_count(), 8);
+        assert_eq!(acg.graph().edge_count(), 25);
+        // The gossip clique on 1-based {1, 2, 5, 6}.
+        for &a in &[0usize, 1, 4, 5] {
+            for &b in &[0usize, 1, 4, 5] {
+                if a != b {
+                    assert!(acg.graph().has_edge(NodeId(a), NodeId(b)));
+                }
+            }
+        }
+        // The paper's first G123: 1-based vertex 3 broadcasts to 2, 5, 6.
+        assert!(acg.graph().has_edge(NodeId(2), NodeId(1)));
+        assert!(acg.graph().has_edge(NodeId(2), NodeId(4)));
+        assert!(acg.graph().has_edge(NodeId(2), NodeId(5)));
+    }
+}

@@ -1,0 +1,354 @@
+//! TGFF-style task graph generation.
+//!
+//! TGFF (Dick, Rhodes & Wolf, 1998) grows pseudo-random task DAGs by
+//! repeatedly expanding a frontier with bounded fan-out and fan-in. This
+//! module reproduces that style: a single-root DAG grown by seeded random
+//! expansion, with communication volumes drawn from a configurable range.
+
+// Index loops below walk several parallel arrays; indexing is clearer.
+#![allow(clippy::needless_range_loop)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use noc_graph::Acg;
+
+/// Parameters of the TGFF-style generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TgffConfig {
+    /// Number of tasks (vertices).
+    pub tasks: usize,
+    /// Maximum out-degree of any task.
+    pub max_out_degree: usize,
+    /// Maximum in-degree of any task.
+    pub max_in_degree: usize,
+    /// Probability of adding a cross edge between existing tasks after the
+    /// tree growth phase (introduces re-convergence, like TGFF's
+    /// `prob_multi`).
+    pub cross_edge_prob: f64,
+    /// Communication volume range in bits, inclusive.
+    pub volume_range: (f64, f64),
+    /// RNG seed (graphs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for TgffConfig {
+    fn default() -> Self {
+        TgffConfig {
+            tasks: 12,
+            max_out_degree: 3,
+            max_in_degree: 3,
+            cross_edge_prob: 0.15,
+            volume_range: (16.0, 256.0),
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a TGFF-style task DAG as an [`Acg`].
+///
+/// The graph is connected (every task reachable from the root), acyclic,
+/// and respects the configured degree bounds.
+///
+/// # Panics
+///
+/// Panics if `tasks == 0` or the volume range is inverted.
+pub fn tgff(config: &TgffConfig) -> Acg {
+    assert!(config.tasks > 0, "need at least one task");
+    assert!(
+        config.volume_range.0 <= config.volume_range.1 && config.volume_range.0 >= 0.0,
+        "invalid volume range"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.tasks;
+    let mut out_deg = vec![0usize; n];
+    let mut in_deg = vec![0usize; n];
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+
+    // Growth phase: attach each new task under an existing one with spare
+    // out-degree (biased to recent tasks for the pipeline feel of TGFF).
+    for v in 1..n {
+        let candidates: Vec<usize> = (0..v)
+            .filter(|&u| out_deg[u] < config.max_out_degree)
+            .collect();
+        let parent = if candidates.is_empty() {
+            v - 1 // degenerate config: chain regardless of the bound
+        } else {
+            // Bias toward the most recently added half.
+            let lo = candidates.len() / 2;
+            let idx = if rng.gen_bool(0.7) && lo < candidates.len() {
+                rng.gen_range(lo..candidates.len())
+            } else {
+                rng.gen_range(0..candidates.len())
+            };
+            candidates[idx]
+        };
+        edges.push((parent, v));
+        out_deg[parent] += 1;
+        in_deg[v] += 1;
+    }
+
+    // Cross edges: forward only (keeps the DAG acyclic).
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if edges.contains(&(u, v)) {
+                continue;
+            }
+            if out_deg[u] < config.max_out_degree
+                && in_deg[v] < config.max_in_degree
+                && rng.gen::<f64>() < config.cross_edge_prob
+            {
+                edges.push((u, v));
+                out_deg[u] += 1;
+                in_deg[v] += 1;
+            }
+        }
+    }
+
+    let mut builder = Acg::builder(n);
+    for i in 0..n {
+        builder = builder.name(i, format!("task{i}"));
+    }
+    for (u, v) in edges {
+        let vol = rng.gen_range(config.volume_range.0..=config.volume_range.1);
+        builder = builder.volume(u, v, vol.round());
+    }
+    builder.build()
+}
+
+/// An 18-node automotive-style benchmark in the spirit of the TGFF-based
+/// E3S suite the paper cites for Figure 4a: sensor front-ends fanning into
+/// fusion stages, a control pipeline, and actuator fan-out.
+///
+/// Deterministic (no RNG): 18 tasks, 22 edges.
+pub fn automotive_18() -> Acg {
+    let names = [
+        "wheel-fl",
+        "wheel-fr",
+        "wheel-rl",
+        "wheel-rr", // 0-3: wheel sensors
+        "accel",
+        "gyro", // 4-5: inertial
+        "abs-fuse",
+        "esp-fuse", // 6-7: fusion
+        "engine-map",
+        "throttle", // 8-9
+        "ecu",      // 10: central control
+        "brake-fl",
+        "brake-fr",
+        "brake-rl",
+        "brake-rr", // 11-14: actuators
+        "dash",
+        "logger",
+        "can-gw", // 15-17: telemetry
+    ];
+    let mut builder = Acg::builder(18);
+    for (i, name) in names.iter().enumerate() {
+        builder = builder.name(i, *name);
+    }
+    let edges: [(usize, usize, f64); 22] = [
+        (0, 6, 64.0),
+        (1, 6, 64.0),
+        (2, 6, 64.0),
+        (3, 6, 64.0),
+        (4, 7, 96.0),
+        (5, 7, 96.0),
+        (6, 7, 128.0),
+        (7, 10, 160.0),
+        (8, 9, 64.0),
+        (9, 10, 96.0),
+        (10, 11, 48.0),
+        (10, 12, 48.0),
+        (10, 13, 48.0),
+        (10, 14, 48.0),
+        (10, 15, 32.0),
+        (10, 16, 32.0),
+        (10, 17, 64.0),
+        (6, 10, 80.0),
+        (8, 10, 64.0),
+        (15, 17, 16.0),
+        (16, 17, 16.0),
+        (7, 16, 32.0),
+    ];
+    for (u, v, vol) in edges {
+        builder = builder.volume(u, v, vol);
+    }
+    builder.build()
+}
+
+/// A 16-core multimedia-decoder-style benchmark (VOPD-like pipeline):
+/// variable-length decode feeding inverse scan/quantization/DCT stages,
+/// a motion-compensation loop with frame memories, and an output stage.
+/// The volume *ratios* follow the video-decoder benchmarks common in the
+/// NoC mapping literature (heavy DCT-path traffic, light control edges);
+/// the absolute numbers are per macroblock in bits.
+///
+/// Deterministic: 16 cores, 20 edges.
+pub fn multimedia_16() -> Acg {
+    let names = [
+        "vld",        // 0: variable-length decoder
+        "run-dec",    // 1: run-length decoder
+        "inv-scan",   // 2: inverse scan
+        "acdc-pred",  // 3: AC/DC prediction
+        "iquant",     // 4: inverse quantization
+        "idct",       // 5: inverse DCT
+        "upsamp",     // 6: up-sampler
+        "vop-rec",    // 7: VOP reconstruction
+        "padding",    // 8
+        "vop-mem",    // 9: reconstructed frame memory
+        "stripe-mem", // 10
+        "mem-ctl",    // 11
+        "arm",        // 12: control CPU
+        "demux",      // 13: input demultiplexer
+        "disp-ctl",   // 14: display controller
+        "dac",        // 15: video DAC
+    ];
+    let mut builder = Acg::builder(16);
+    for (i, name) in names.iter().enumerate() {
+        builder = builder.name(i, *name);
+    }
+    let edges: [(usize, usize, f64); 20] = [
+        (13, 0, 70.0),   // demux -> vld
+        (0, 1, 70.0),    // vld -> run-dec
+        (1, 2, 362.0),   // run-dec -> inv-scan
+        (2, 3, 362.0),   // inv-scan -> acdc-pred
+        (3, 4, 357.0),   // acdc-pred -> iquant
+        (3, 10, 49.0),   // acdc-pred -> stripe-mem
+        (10, 3, 27.0),   // stripe-mem -> acdc-pred
+        (4, 5, 353.0),   // iquant -> idct
+        (5, 6, 300.0),   // idct -> upsamp
+        (6, 7, 313.0),   // upsamp -> vop-rec
+        (7, 8, 313.0),   // vop-rec -> padding
+        (8, 9, 313.0),   // padding -> vop-mem
+        (9, 7, 500.0),   // vop-mem -> vop-rec (reference frames)
+        (9, 11, 94.0),   // vop-mem -> mem-ctl
+        (11, 9, 94.0),   // mem-ctl -> vop-mem
+        (12, 11, 16.0),  // arm -> mem-ctl (control)
+        (11, 12, 16.0),  // mem-ctl -> arm
+        (12, 13, 16.0),  // arm -> demux
+        (9, 14, 313.0),  // vop-mem -> disp-ctl
+        (14, 15, 313.0), // disp-ctl -> dac
+    ];
+    for (u, v, vol) in edges {
+        builder = builder.volume(u, v, vol);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_graph::{algo, NodeId};
+
+    #[test]
+    fn generates_requested_size() {
+        for tasks in [1usize, 5, 12, 18] {
+            let acg = tgff(&TgffConfig {
+                tasks,
+                ..TgffConfig::default()
+            });
+            assert_eq!(acg.core_count(), tasks);
+            if tasks > 1 {
+                assert!(acg.graph().edge_count() >= tasks - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn graphs_are_acyclic_dags() {
+        for seed in 0..10 {
+            let acg = tgff(&TgffConfig {
+                tasks: 15,
+                seed,
+                ..TgffConfig::default()
+            });
+            assert!(
+                algo::find_cycle(acg.graph()).is_none(),
+                "seed {seed} produced a cycle"
+            );
+        }
+    }
+
+    #[test]
+    fn graphs_are_weakly_connected() {
+        for seed in 0..10 {
+            let acg = tgff(&TgffConfig {
+                tasks: 18,
+                seed,
+                ..TgffConfig::default()
+            });
+            assert!(algo::is_weakly_connected(acg.graph()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn degree_bounds_respected() {
+        let cfg = TgffConfig {
+            tasks: 25,
+            max_out_degree: 2,
+            max_in_degree: 2,
+            cross_edge_prob: 0.5,
+            seed: 3,
+            ..TgffConfig::default()
+        };
+        let acg = tgff(&cfg);
+        for v in acg.graph().nodes() {
+            assert!(acg.graph().out_degree(v) <= 2, "vertex {v} out-degree");
+            // In-degree bound applies to cross edges only; growth gives 1.
+            assert!(acg.graph().in_degree(v) <= 3, "vertex {v} in-degree");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TgffConfig {
+            tasks: 14,
+            seed: 9,
+            ..TgffConfig::default()
+        };
+        assert_eq!(tgff(&cfg), tgff(&cfg));
+        let other = tgff(&TgffConfig {
+            seed: 10,
+            ..cfg.clone()
+        });
+        assert_ne!(tgff(&cfg), other);
+    }
+
+    #[test]
+    fn volumes_within_range() {
+        let acg = tgff(&TgffConfig {
+            tasks: 10,
+            volume_range: (8.0, 16.0),
+            seed: 4,
+            ..TgffConfig::default()
+        });
+        for (_, d) in acg.demands() {
+            assert!(d.volume >= 8.0 && d.volume <= 16.0);
+        }
+    }
+
+    #[test]
+    fn multimedia_benchmark_shape() {
+        let acg = multimedia_16();
+        assert_eq!(acg.core_count(), 16);
+        assert_eq!(acg.graph().edge_count(), 20);
+        assert!(algo::is_weakly_connected(acg.graph()));
+        // The motion-compensation loop makes it cyclic (unlike plain DAGs).
+        assert!(algo::find_cycle(acg.graph()).is_some());
+        assert_eq!(acg.core_name(NodeId(5)), "idct");
+        // The frame memory is the traffic hub.
+        assert!(acg.volume(NodeId(9), NodeId(7)) == 500.0);
+    }
+
+    #[test]
+    fn automotive_benchmark_shape() {
+        let acg = automotive_18();
+        assert_eq!(acg.core_count(), 18);
+        assert_eq!(acg.graph().edge_count(), 22);
+        assert!(algo::find_cycle(acg.graph()).is_none());
+        assert!(algo::is_weakly_connected(acg.graph()));
+        assert_eq!(acg.core_name(NodeId(10)), "ecu");
+        // The ECU is the fan-out hub.
+        assert_eq!(acg.graph().out_degree(NodeId(10)), 7);
+    }
+}

@@ -1,0 +1,79 @@
+//! The paper's Section 6 future-work directions, implemented:
+//!
+//! 1. **Floorplan co-optimization** — "relax the initial floorplan
+//!    information and solve the optimization problem for the general
+//!    case": alternate floorplanning and decomposition, feeding the
+//!    synthesized architecture's link traffic back into the wirelength
+//!    objective.
+//! 2. **Stochastic routing** — "the possibility of using adaptive or
+//!    stochastic routing strategies should be investigated": the O1TURN
+//!    oblivious scheme (per-packet XY/YX choice on separate VC layers)
+//!    compared against deterministic XY on adversarial transpose traffic.
+//!
+//! Run with: `cargo run --release --example future_work`
+
+use noc::prelude::*;
+use noc::sim::{NocModel as Model, TrafficEvent};
+
+fn main() {
+    // ---- 1. floorplan co-optimization --------------------------------
+    println!("=== future work 1: floorplan <-> decomposition co-optimization ===");
+    let acg = Acg::from_graph_uniform(
+        noc::graph::DiGraph::complete(4),
+        EdgeDemand::from_volume(1024.0),
+    );
+    let flow = SynthesisFlow::new(acg)
+        .objective(Objective::Energy)
+        .seed(11);
+    let (best, history) = flow.run_co_optimized(5).unwrap();
+    println!("energy-cost history per round:");
+    for (round, cost) in history.iter().enumerate() {
+        println!(
+            "  round {round}: {:.4} nJ{}",
+            cost * 1e9,
+            if *cost <= history.iter().cloned().fold(f64::INFINITY, f64::min) + 1e-18 {
+                "   <- best"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "best chip: {:.2} mm^2, total wire {:.1} mm\n",
+        best.placement.chip_area_mm2(),
+        best.architecture.stats().total_wire_mm
+    );
+
+    // ---- 2. stochastic routing ----------------------------------------
+    println!("=== future work 2: stochastic (O1TURN) routing vs XY ===");
+    let xy = Model::mesh(6, 6, 1.0);
+    let o1turn = Model::mesh_o1turn(6, 6, 1.0, 7);
+    // Adversarial transpose traffic: (x, y) -> (y, x) concentrates load on
+    // the diagonal under deterministic XY.
+    let mut events = Vec::new();
+    for x in 0..6usize {
+        for y in 0..6usize {
+            if x != y {
+                for k in 0..4u64 {
+                    events.push(TrafficEvent::new(
+                        4 * k,
+                        NodeId(y * 6 + x),
+                        NodeId(x * 6 + y),
+                        128,
+                    ));
+                }
+            }
+        }
+    }
+    let energy = EnergyModel::new(TechnologyProfile::cmos_180nm());
+    for model in [&xy, &o1turn] {
+        let report = Simulator::new(model, SimConfig::default(), energy.clone())
+            .run(events.clone())
+            .unwrap();
+        println!(
+            "  {:<18} makespan {:>5} cycles, avg latency {:>6.1} cycles",
+            report.model_name, report.total_cycles, report.avg_packet_latency_cycles
+        );
+    }
+    println!("(O1TURN spreads the transpose load across both dimension orders)");
+}

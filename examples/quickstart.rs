@@ -1,0 +1,73 @@
+//! Quickstart: synthesize a customized NoC for a small application.
+//!
+//! Builds an 8-core application characterization graph (a gossip cluster
+//! feeding a broadcast tree), runs the full synthesis flow — floorplan,
+//! branch-and-bound decomposition, architecture gluing — and prints the
+//! paper-format decomposition, the architecture statistics and a quick
+//! simulation of one application iteration.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use noc::prelude::*;
+use noc::sim::traffic;
+
+fn main() {
+    // 1. Describe the application: cores and communication demands.
+    //    Cores 0-3 exchange state all-to-all (a gossip pattern); core 0
+    //    then broadcasts results to cores 4-6; core 7 logs from core 4.
+    let mut builder = Acg::builder(8)
+        .name(0, "dsp0")
+        .name(1, "dsp1")
+        .name(2, "dsp2")
+        .name(3, "dsp3")
+        .name(4, "cpu")
+        .name(5, "mem")
+        .name(6, "io")
+        .name(7, "log");
+    for a in 0..4 {
+        for b in 0..4 {
+            if a != b {
+                builder = builder.demand(a, b, 256.0, 1.0e6);
+            }
+        }
+    }
+    for target in 4..7 {
+        builder = builder.demand(0, target, 512.0, 2.0e6);
+    }
+    builder = builder.demand(4, 7, 128.0, 0.5e6);
+    let acg = builder.build();
+
+    // 2. Run the synthesis flow with the paper's defaults (standard
+    //    library, 180 nm technology, link-count objective).
+    let result = SynthesisFlow::new(acg.clone())
+        .seed(42)
+        .run()
+        .expect("synthesis always succeeds without constraint enforcement");
+
+    println!("=== decomposition (paper format) ===");
+    println!("{}", result.paper_report());
+
+    let stats = result.architecture.stats();
+    println!("=== synthesized architecture ===");
+    println!("channels:        {}", stats.channels);
+    println!("physical links:  {}", stats.physical_links);
+    println!("total wire:      {:.1} mm", stats.total_wire_mm);
+    println!("avg route hops:  {:.2}", stats.avg_route_hops);
+    println!("max route hops:  {}", stats.max_route_hops);
+    println!("bisection links: {}", stats.bisection_links);
+    println!(
+        "deadlock-free:   {}",
+        result.architecture.is_deadlock_free()
+    );
+    println!("constraints:     {}", result.constraints);
+    println!();
+
+    // 3. Simulate one iteration of the application on the result.
+    let model = result.noc_model();
+    let energy = EnergyModel::new(TechnologyProfile::cmos_180nm());
+    let report = Simulator::new(&model, SimConfig::default(), energy)
+        .run(traffic::acg_iteration(&acg))
+        .expect("synthesized networks route all ACG traffic");
+    println!("=== one application iteration on the synthesized NoC ===");
+    println!("{report}");
+}

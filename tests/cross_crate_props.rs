@@ -1,0 +1,142 @@
+//! Cross-crate property tests: invariants that must hold for *any*
+//! application graph across the whole pipeline.
+
+use noc::prelude::*;
+use noc::sim::traffic;
+use noc::workloads::pajek;
+use proptest::prelude::*;
+
+fn arb_planted_acg() -> impl Strategy<Value = Acg> {
+    (6usize..=14, 0u64..200, 0usize..=2, 0usize..=2, 0usize..=2).prop_map(
+        |(n, seed, gossips, bcasts, loops)| {
+            pajek::planted(&pajek::PlantedConfig {
+                n,
+                gossip4: gossips,
+                broadcast4: bcasts,
+                broadcast3: 1,
+                loops4: loops,
+                noise_prob: 0.05,
+                volume: 8.0,
+                seed,
+            })
+        },
+    )
+}
+
+fn grid_flow(acg: &Acg) -> noc::FlowResult {
+    let side = (acg.core_count() as f64).sqrt().ceil() as usize;
+    SynthesisFlow::new(acg.clone())
+        .placement(Placement::grid(side, side, 2.0, 2.0))
+        .run()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Decompositions conserve edges: covered + remainder = the input ACG,
+    /// with no edge lost or duplicated.
+    #[test]
+    fn decomposition_conserves_edges(acg in arb_planted_acg()) {
+        let result = grid_flow(&acg);
+        prop_assert_eq!(
+            result.decomposition.all_edges(&CommLibrary::standard()),
+            acg.graph().edge_vec()
+        );
+    }
+
+    /// Total cost always equals the sum of matching costs plus the
+    /// remainder cost (Equation 3).
+    #[test]
+    fn cost_is_additive(acg in arb_planted_acg()) {
+        let result = grid_flow(&acg);
+        let d = &result.decomposition;
+        let sum: f64 = d.matchings.iter().map(|m| m.cost.value()).sum::<f64>()
+            + d.remainder_cost.value();
+        prop_assert!((d.total_cost.value() - sum).abs() < 1e-9);
+    }
+
+    /// Every ACG pair has a route on the synthesized architecture, running
+    /// entirely over instantiated channels from src to dst.
+    #[test]
+    fn architecture_routes_are_valid(acg in arb_planted_acg()) {
+        let result = grid_flow(&acg);
+        for (e, _) in acg.demands() {
+            let route = result.architecture.route(e.src, e.dst)
+                .unwrap_or_else(|| panic!("no route for {e}"));
+            prop_assert_eq!(route[0], e.src);
+            prop_assert_eq!(*route.last().unwrap(), e.dst);
+            for w in route.windows(2) {
+                prop_assert!(result.architecture.topology().has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    /// Per-VC channel ordering: the VC assignment is non-decreasing along
+    /// every route (the deadlock-freedom invariant).
+    #[test]
+    fn vc_assignment_is_monotone(acg in arb_planted_acg()) {
+        let result = grid_flow(&acg);
+        let (assignment, vcs) = result.architecture.assign_virtual_channels();
+        prop_assert!(vcs >= 1);
+        for seq in assignment.values() {
+            for w in seq.windows(2) {
+                prop_assert!(w[1] >= w[0]);
+            }
+        }
+    }
+
+    /// The simulator conserves flits and delivers every packet of an ACG
+    /// iteration on the synthesized network.
+    #[test]
+    fn simulation_conserves_flits(acg in arb_planted_acg()) {
+        prop_assume!(acg.graph().edge_count() > 0);
+        let result = grid_flow(&acg);
+        let model = result.noc_model();
+        let energy = EnergyModel::new(TechnologyProfile::cmos_180nm());
+        let report = Simulator::new(&model, SimConfig::default(), energy)
+            .run(traffic::acg_iteration(&acg))
+            .unwrap();
+        prop_assert_eq!(report.packets_delivered, acg.graph().edge_count());
+        prop_assert_eq!(report.flits_injected, report.flits_ejected);
+        // Energy is monotone in volume: strictly positive here.
+        prop_assert!(report.energy.total().joules() > 0.0);
+    }
+
+    /// Mesh and custom architectures deliver identical payloads for the
+    /// same traffic (delivery is architecture-independent).
+    #[test]
+    fn delivery_is_architecture_independent(acg in arb_planted_acg()) {
+        prop_assume!(acg.graph().edge_count() > 0);
+        let result = grid_flow(&acg);
+        let custom = result.noc_model();
+        let side = (acg.core_count() as f64).sqrt().ceil() as usize;
+        let mesh = NocModel::mesh(side, side.max(1), 2.0);
+        // Mesh may have more nodes than the ACG; traffic only uses ACG ids.
+        let energy = EnergyModel::new(TechnologyProfile::cmos_180nm());
+        let events = traffic::acg_iteration(&acg);
+        let custom_report = Simulator::new(&custom, SimConfig::default(), energy.clone())
+            .run(events.clone())
+            .unwrap();
+        let mesh_report = Simulator::new(&mesh, SimConfig::default(), energy)
+            .run(events)
+            .unwrap();
+        prop_assert_eq!(custom_report.payload_bits, mesh_report.payload_bits);
+        prop_assert_eq!(custom_report.packets_delivered, mesh_report.packets_delivered);
+    }
+
+    /// The branch-and-bound never returns a worse decomposition than the
+    /// trivial all-remainder one.
+    #[test]
+    fn never_worse_than_all_remainder(acg in arb_planted_acg()) {
+        let result = grid_flow(&acg);
+        // All-remainder cost under Links = directed edge count.
+        let trivial = acg.graph().edge_count() as f64;
+        prop_assert!(
+            result.decomposition.total_cost.value() <= trivial + 1e-9,
+            "cost {} worse than trivial {}",
+            result.decomposition.total_cost.value(),
+            trivial
+        );
+    }
+}

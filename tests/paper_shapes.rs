@@ -1,0 +1,227 @@
+//! Paper-shape assertions: every table and figure of the evaluation
+//! section must reproduce in *shape* — who wins, by roughly what factor,
+//! and the exact decomposition structures the paper prints.
+
+use std::time::Instant;
+
+use noc::prelude::*;
+use noc::workloads::{automotive_18, pajek, tgff, TgffConfig};
+
+fn grid_flow(acg: Acg) -> noc::FlowResult {
+    let side = (acg.core_count() as f64).sqrt().ceil() as usize;
+    SynthesisFlow::new(acg)
+        .placement(Placement::grid(side, side, 2.0, 2.0))
+        .run()
+        .unwrap()
+}
+
+/// Section 5.2: the AES ACG decomposition printed by the paper —
+/// four MGG4 column gossips, two L4 row loops, the shift-by-2 row as the
+/// remainder, total COST 28.
+#[test]
+fn aes_decomposition_matches_paper() {
+    let result = grid_flow(noc::aes::aes_acg(0.0));
+    let d = &result.decomposition;
+    assert_eq!(d.total_cost.value(), 28.0, "paper prints COST: 28");
+
+    let labels: Vec<&str> = d.matchings.iter().map(|m| m.label.as_str()).collect();
+    assert_eq!(labels, vec!["MGG4", "MGG4", "MGG4", "MGG4", "L4", "L4"]);
+
+    // The four gossips cover exactly the four columns, first column first
+    // (the paper's mapping: "(1 1), (2 5), (3 9), (4 13)" in 1-based IDs).
+    for (c, matching) in d.matchings[..4].iter().enumerate() {
+        let mut cores: Vec<usize> = matching
+            .mapping
+            .images()
+            .iter()
+            .map(|v| v.index())
+            .collect();
+        cores.sort_unstable();
+        assert_eq!(cores, vec![c, c + 4, c + 8, c + 12], "column {c}");
+    }
+    // The loops cover rows 1 and 3 (0-based): nodes 4-7 and 12-15.
+    let mut loop_rows: Vec<Vec<usize>> = d.matchings[4..]
+        .iter()
+        .map(|m| {
+            let mut v: Vec<usize> = m.mapping.images().iter().map(|v| v.index()).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    loop_rows.sort();
+    assert_eq!(loop_rows, vec![vec![4, 5, 6, 7], vec![12, 13, 14, 15]]);
+
+    // The remainder is the shift-by-2 row: 9->11, 10->12, 11->9, 12->10 in
+    // the paper's 1-based labels = 8->10, 9->11, 10->8, 11->9 here.
+    let rem: Vec<(usize, usize)> = d
+        .remainder
+        .edges()
+        .map(|e| (e.src.index(), e.dst.index()))
+        .collect();
+    assert_eq!(rem, vec![(8, 10), (9, 11), (10, 8), (11, 9)]);
+}
+
+/// Figure 5: the 8-node random benchmark decomposes completely — one MGG4,
+/// three G123, one G124, no remainder — with the exact mappings printed in
+/// the paper.
+#[test]
+fn fig5_planted_decomposition() {
+    let result = grid_flow(pajek::fig5_benchmark());
+    let d = &result.decomposition;
+    assert!(d.remainder.is_edgeless(), "paper: no remaining graph");
+    let mut labels: Vec<&str> = d.matchings.iter().map(|m| m.label.as_str()).collect();
+    labels.sort_unstable();
+    assert_eq!(labels, vec!["G123", "G123", "G123", "G124", "MGG4"]);
+
+    // Exact mappings from the paper's output (1-based there, 0-based here).
+    let report = d.paper_report();
+    assert!(report.contains("1: MGG4,\tMapping: (1 1), (2 2), (3 5), (4 6)"));
+    assert!(report.contains("2: G124,\tMapping: (1 8), (2 1), (3 3), (4 6), (5 7)"));
+    assert!(report.contains("3: G123,\tMapping: (1 3), (2 2), (3 5), (4 6)"));
+    assert!(report.contains("3: G123,\tMapping: (1 7), (2 3), (3 5), (4 6)"));
+    assert!(report.contains("3: G123,\tMapping: (1 4), (2 5), (3 6), (4 7)"));
+}
+
+/// Figure 4a: TGFF graphs up to 18 nodes decompose within the paper's
+/// runtime envelope (0.3 s for the 18-node automotive benchmark, measured
+/// in Matlab — our Rust implementation must be far inside it).
+#[test]
+fn fig4a_tgff_runtime_envelope() {
+    for tasks in [5usize, 10, 15, 18] {
+        let acg = tgff(&TgffConfig {
+            tasks,
+            seed: tasks as u64,
+            ..TgffConfig::default()
+        });
+        let t0 = Instant::now();
+        let _ = grid_flow(acg);
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed.as_millis() < 300,
+            "{tasks}-node TGFF graph took {elapsed:?} (paper envelope 0.3 s)"
+        );
+    }
+    let t0 = Instant::now();
+    let _ = grid_flow(automotive_18());
+    assert!(
+        t0.elapsed().as_millis() < 300,
+        "automotive benchmark too slow"
+    );
+}
+
+/// Figure 4b: Pajek graphs up to 40 nodes within the paper's 3-minute
+/// envelope, and runtime grows with node count.
+#[test]
+fn fig4b_pajek_runtime_envelope() {
+    let mut times = Vec::new();
+    for n in [10usize, 25, 40] {
+        let acg = pajek::planted(&pajek::PlantedConfig {
+            n,
+            gossip4: n / 8,
+            broadcast4: n / 10,
+            broadcast3: n / 8,
+            loops4: n / 10,
+            noise_prob: 0.01,
+            volume: 8.0,
+            seed: 7,
+        });
+        let t0 = Instant::now();
+        let _ = grid_flow(acg);
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed.as_secs() < 180,
+            "{n}-node Pajek graph took {elapsed:?} (paper envelope 3 min)"
+        );
+        times.push(elapsed);
+    }
+    assert!(
+        times[2] > times[0],
+        "runtime should grow with graph size: {times:?}"
+    );
+}
+
+/// Section 5.2 prototype comparison: the customized architecture beats the
+/// standard mesh on every axis the paper reports, within loose factor
+/// bands around the published numbers.
+#[test]
+fn aes_prototype_comparison_shape() {
+    let cmp = AesPrototype::new().run().unwrap();
+
+    // Cycles/block: paper 271 -> 199 (-26.6%). Accept a 10-40% reduction.
+    let cycle_reduction = 1.0 - cmp.custom.total_cycles as f64 / cmp.mesh.total_cycles as f64;
+    assert!(
+        (0.10..=0.40).contains(&cycle_reduction),
+        "cycles/block reduction {cycle_reduction:.3} out of band (paper 0.266)"
+    );
+
+    // Throughput: paper +36%. Accept +15% .. +60%.
+    let tput = cmp.throughput_gain();
+    assert!(
+        (0.15..=0.60).contains(&tput),
+        "throughput gain {tput:.3} out of band (paper 0.36)"
+    );
+
+    // Latency: paper -17%. Accept any genuine reduction up to 50%.
+    let lat = cmp.latency_reduction();
+    assert!(
+        (0.05..=0.50).contains(&lat),
+        "latency reduction {lat:.3} out of band (paper 0.17)"
+    );
+
+    // Power: paper -33%. Our dynamic+idle model reproduces the direction
+    // with a smaller magnitude; require a genuine reduction.
+    let power = cmp.power_reduction();
+    assert!(power > 0.05, "power must drop (paper -33%), got {power:.3}");
+
+    // Energy/block: paper -51%; accept -20% .. -60%.
+    let energy = cmp.energy_reduction();
+    assert!(
+        (0.20..=0.60).contains(&energy),
+        "energy reduction {energy:.3} out of band (paper 0.51)"
+    );
+
+    // Absolute mesh numbers stay in the paper's regime.
+    assert!(
+        (150..=400).contains(&cmp.mesh.total_cycles),
+        "mesh cycles/block {} far from paper's 271",
+        cmp.mesh.total_cycles
+    );
+    let mesh_uj = cmp.mesh.energy_per_run().microjoules();
+    assert!(
+        (2.5..=10.0).contains(&mesh_uj),
+        "mesh energy {mesh_uj:.2} uJ far from paper's 5.1 uJ"
+    );
+}
+
+/// The decomposition output format itself (the paper prints primitive IDs,
+/// labels and 1-based mappings).
+#[test]
+fn paper_output_format() {
+    let result = grid_flow(noc::aes::aes_acg(0.0));
+    let report = result.paper_report();
+    assert!(report.starts_with("COST: 28\n"));
+    assert!(report.contains("1: MGG4,\tMapping: (1 1), (2 5), (3 9), (4 13)"));
+    assert!(report.contains("0: Remaining Graph: 9 -> 11, 10 -> 12, 11 -> 9, 12 -> 10"));
+}
+
+/// Section 4.3: the hop count of any synthesized architecture is bounded
+/// by the largest diameter in the communication library.
+#[test]
+fn architecture_hops_bounded_by_library_diameter() {
+    let lib = CommLibrary::standard();
+    let bound = lib.max_diameter_hops();
+    for seed in 0..4 {
+        let acg = pajek::planted(&pajek::PlantedConfig {
+            n: 12,
+            seed,
+            ..pajek::PlantedConfig::default()
+        });
+        let result = grid_flow(acg);
+        let stats = result.architecture.stats();
+        assert!(
+            stats.max_route_hops <= bound,
+            "seed {seed}: {} hops exceeds library diameter {bound}",
+            stats.max_route_hops
+        );
+    }
+}
