@@ -1,0 +1,81 @@
+//! Sequential vs parallel decomposition runtime on the Figure 4b size
+//! sweep (10–40-node Pajek-style graphs), the perf trajectory of the
+//! explicit-frontier engine.
+//!
+//! Besides the usual criterion output, this bench writes
+//! `BENCH_decompose.json` at the repository root: per-size mean runtimes
+//! for the sequential and the parallel engine plus the speedup, so the
+//! numbers are tracked in-tree across PRs.
+//!
+//! Run with: `cargo bench --bench decompose_scaling`
+
+use criterion::{BenchmarkId, Criterion};
+use noc_bench::{fig4b_workload, parallel_config, timed_decomposition_with, FIG4B_SIZES};
+
+const SEED: u64 = 7;
+
+fn bench_decompose_scaling(c: &mut Criterion) {
+    for (label, threads) in [("decompose_seq", 1usize), ("decompose_par", 0usize)] {
+        let mut group = c.benchmark_group(label);
+        group.sample_size(10);
+        group.measurement_time(std::time::Duration::from_millis(750));
+        for n in FIG4B_SIZES {
+            let acg = fig4b_workload(n, SEED);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &acg, |b, acg| {
+                b.iter(|| {
+                    timed_decomposition_with(acg, parallel_config(threads))
+                        .0
+                        .decomposition
+                        .total_cost
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn main() {
+    // Cross-check before timing: both engines must prove the same optimum
+    // on every swept size.
+    for n in FIG4B_SIZES {
+        let acg = fig4b_workload(n, SEED);
+        let (seq, _) = timed_decomposition_with(&acg, parallel_config(1));
+        let (par, _) = timed_decomposition_with(&acg, parallel_config(0));
+        assert_eq!(
+            seq.decomposition.total_cost.value(),
+            par.decomposition.total_cost.value(),
+            "engine disagreement at n = {n}"
+        );
+    }
+
+    let mut criterion = Criterion::default();
+    bench_decompose_scaling(&mut criterion);
+
+    let mean_of = |id: String| {
+        criterion
+            .results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.mean_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let mut rows = Vec::new();
+    for n in FIG4B_SIZES {
+        let seq_ns = mean_of(format!("decompose_seq/{n}"));
+        let par_ns = mean_of(format!("decompose_par/{n}"));
+        rows.push(format!(
+            "    {{\"n\": {n}, \"seed\": {SEED}, \"seq_ms\": {:.4}, \"par_ms\": {:.4}, \"speedup\": {:.3}}}",
+            seq_ns / 1e6,
+            par_ns / 1e6,
+            seq_ns / par_ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"decompose_scaling\",\n  \"workload\": \"fig4b_pajek_planted\",\n  \"hardware_threads\": {},\n  \"unit\": \"milliseconds_mean_per_decomposition\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decompose.json");
+    std::fs::write(path, &json).expect("write BENCH_decompose.json");
+    println!("\nwrote {path}");
+}

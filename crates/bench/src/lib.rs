@@ -60,14 +60,35 @@ pub fn fig5_workload() -> Acg {
 /// floorplan is a precomputed grid ("the core coordinates are given as
 /// inputs to the algorithm"), so only the search is timed.
 pub fn timed_decomposition(acg: &Acg) -> (noc::FlowResult, Duration) {
+    timed_decomposition_with(acg, DecomposerConfig::default())
+}
+
+/// [`timed_decomposition`] under an explicit engine configuration —
+/// expansion order, thread count, cache settings (for the
+/// sequential-vs-parallel scaling studies, see the `decompose_scaling`
+/// bench).
+pub fn timed_decomposition_with(
+    acg: &Acg,
+    config: DecomposerConfig,
+) -> (noc::FlowResult, Duration) {
     let side = (acg.core_count() as f64).sqrt().ceil() as usize;
     let placement = Placement::grid(side, side, 2.0, 2.0);
     let t0 = Instant::now();
     let result = SynthesisFlow::new(acg.clone())
         .placement(placement)
+        .decomposer_config(config)
         .run()
         .expect("decomposition always succeeds without constraints");
     (result, t0.elapsed())
+}
+
+/// A [`DecomposerConfig`] for the parallel engine: `threads` workers
+/// (`0` = one per hardware thread), depth-first subtree order.
+pub fn parallel_config(threads: usize) -> DecomposerConfig {
+    DecomposerConfig {
+        threads,
+        ..DecomposerConfig::default()
+    }
 }
 
 /// Decomposition under an explicit config (for the ablation studies).
@@ -104,6 +125,30 @@ mod tests {
         let (result, elapsed) = timed_decomposition(&fig5_workload());
         assert!(result.decomposition.remainder.is_edgeless());
         assert!(elapsed.as_secs() < 60);
+    }
+
+    #[test]
+    fn parallel_and_sequential_costs_agree_on_paper_workloads() {
+        // The ISSUE/acceptance check: identical best costs on Figure 5 and
+        // the Figure 4a automotive benchmark, and the match cache warm on
+        // at least one paper workload.
+        // Explicit thread counts: `parallel_config(0)` resolves to the
+        // hardware thread count, which is 1 on single-core containers and
+        // would compare the sequential engine to itself.
+        for acg in [fig5_workload(), fig4a_automotive()] {
+            let (seq, _) = timed_decomposition(&acg);
+            let (par, _) = timed_decomposition_with(&acg, parallel_config(4));
+            assert_eq!(
+                seq.decomposition.total_cost.value(),
+                par.decomposition.total_cost.value()
+            );
+        }
+        let noncanonical = DecomposerConfig {
+            use_canonical_ordering: false,
+            ..DecomposerConfig::default()
+        };
+        let (result, _) = timed_decomposition_with(&fig5_workload(), noncanonical);
+        assert!(result.stats.cache_hits > 0, "stats: {:?}", result.stats);
     }
 
     #[test]

@@ -127,6 +127,52 @@ impl BitSet {
             bits: self.words.first().copied().unwrap_or(0),
         }
     }
+
+    /// The backing words, least-significant word first.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// A capacity-independent, hashable key for the set's *contents*.
+    ///
+    /// [`BitSet`]'s derived `Eq`/`Hash` include the capacity, so two sets
+    /// holding the same values at different capacities compare unequal.
+    /// The stable key trims trailing zero words, making it a function of
+    /// the member values alone — the property a cache keyed by "which
+    /// edges remain" needs (see the decomposition engine's match cache).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc_graph::BitSet;
+    ///
+    /// let mut small = BitSet::new(10);
+    /// let mut large = BitSet::new(1000);
+    /// small.insert(3);
+    /// large.insert(3);
+    /// assert_ne!(small, large); // capacities differ
+    /// assert_eq!(small.stable_key(), large.stable_key()); // contents agree
+    /// ```
+    pub fn stable_key(&self) -> BitSetKey {
+        let mut end = self.words.len();
+        while end > 0 && self.words[end - 1] == 0 {
+            end -= 1;
+        }
+        BitSetKey(self.words[..end].to_vec().into_boxed_slice())
+    }
+}
+
+/// A capacity-independent content key produced by [`BitSet::stable_key`];
+/// implements `Hash`/`Eq`, so it can key hash maps (e.g. the decomposition
+/// engine's VF2 match cache).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSetKey(Box<[u64]>);
+
+impl BitSetKey {
+    /// The trimmed backing words, least-significant word first.
+    pub fn words(&self) -> &[u64] {
+        &self.0
+    }
 }
 
 impl std::fmt::Debug for BitSet {
@@ -268,6 +314,38 @@ mod tests {
         let s: BitSet = [10usize, 5].into_iter().collect();
         assert_eq!(s.capacity(), 11);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn stable_key_ignores_capacity() {
+        let mut a = BitSet::new(65);
+        let mut b = BitSet::new(1024);
+        for v in [0, 63, 64] {
+            a.insert(v);
+            b.insert(v);
+        }
+        assert_eq!(a.stable_key(), b.stable_key());
+        b.insert(700);
+        assert_ne!(a.stable_key(), b.stable_key());
+        // Empty sets of any capacity share the empty key.
+        assert_eq!(BitSet::new(0).stable_key(), BitSet::new(999).stable_key());
+        assert_eq!(BitSet::new(0).stable_key().words(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn stable_key_is_hashable() {
+        use std::collections::HashMap;
+        let mut map = HashMap::new();
+        let s: BitSet = [1usize, 2, 3].into_iter().collect();
+        map.insert(s.stable_key(), "first");
+        let t: BitSet = {
+            let mut t = BitSet::new(500);
+            for v in [1usize, 2, 3] {
+                t.insert(v);
+            }
+            t
+        };
+        assert_eq!(map.get(&t.stable_key()), Some(&"first"));
     }
 
     #[test]

@@ -334,6 +334,26 @@ impl DiGraph {
         self.edges().collect()
     }
 
+    /// The edge set as a dense [`BitSet`]: edge `(u, v)` occupies bit
+    /// `u * n + v`. Graphs over the same vertex set have equal bitsets iff
+    /// they have equal edge sets.
+    pub fn edge_bitset(&self) -> BitSet {
+        let mut set = BitSet::new(self.n * self.n);
+        for u in 0..self.n {
+            for v in self.succ[u].iter() {
+                set.insert(u * self.n + v);
+            }
+        }
+        set
+    }
+
+    /// A hashable, capacity-independent key of the edge set (the vertex
+    /// count must be held fixed by the caller, as the decomposition's
+    /// remaining graphs do). Used to key per-remaining-graph caches.
+    pub fn edge_key(&self) -> crate::bitset::BitSetKey {
+        self.edge_bitset().stable_key()
+    }
+
     /// Returns `true` if every edge of `other` is also an edge of `self`.
     ///
     /// Both graphs must have the same order; differing orders yield `false`.

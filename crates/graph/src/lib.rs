@@ -48,7 +48,7 @@ pub mod iso;
 pub mod ops;
 
 pub use acg::{Acg, AcgBuilder, EdgeDemand};
-pub use bitset::BitSet;
+pub use bitset::{BitSet, BitSetKey};
 pub use digraph::{DiGraph, Edge, NodeId};
 pub use error::GraphError;
 

@@ -69,6 +69,7 @@ pub mod prelude {
     pub use noc_sim::{NocModel, SimConfig, Simulator};
     pub use noc_synthesis::{
         Architecture, CostModel, Decomposer, DecomposerConfig, Decomposition, Objective,
+        SearchOrder,
     };
     pub use noc_workloads::{tgff, TgffConfig};
 }

@@ -68,7 +68,7 @@ proptest! {
         let p = Primitive::ring(n);
         check_invariants(&p);
         // Proper edge coloring: cycles need 2 rounds (even) or 3 (odd).
-        let expect = if n % 2 == 0 { 2 } else { 3 };
+        let expect = if n.is_multiple_of(2) { 2 } else { 3 };
         prop_assert_eq!(p.schedule().round_count(), expect);
     }
 

@@ -1,0 +1,151 @@
+//! The VF2 match-enumeration cache.
+//!
+//! Every search-tree node enumerates, per library primitive, the distinct
+//! subgraph images of the primitive's representation graph in the node's
+//! *remaining graph*. Different paths through the tree frequently reach the
+//! same remaining graph (most obviously: permutations of the same matching
+//! set when canonical sibling ordering is disabled), and re-running VF2
+//! there is pure waste — enumeration depends only on (remaining graph,
+//! primitive).
+//!
+//! The cache keys entries by the remaining graph's edge
+//! [`BitSetKey`](noc_graph::BitSetKey) (the vertex set is fixed for a whole
+//! search, so the edge set identifies the graph) plus the primitive index,
+//! and stores the *complete* distinct-image list with each image's covered
+//! edge set precomputed. Incomplete enumerations — deadline expired or the
+//! raw-match cap hit — are never cached, so a cached entry is always safe
+//! to reuse.
+//!
+//! The cache is shared across worker threads in parallel searches; a plain
+//! mutex-guarded map suffices because VF2 enumeration dominates the lock by
+//! orders of magnitude.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use noc_graph::{iso::Mapping, BitSetKey, Edge};
+use noc_primitives::PrimitiveId;
+
+/// One primitive's complete distinct-image enumeration on one remaining
+/// graph: each mapping paired with its covered (image) edge set, sorted.
+pub(crate) type ImageList = Arc<Vec<(Mapping, Vec<Edge>)>>;
+
+/// Thread-safe memo of VF2 enumerations, keyed by the remaining graph's
+/// edge key with one slot per primitive (nested so lookups borrow the key
+/// instead of cloning it — the lookup sits on the per-node hot path).
+#[derive(Debug)]
+pub(crate) struct MatchCache {
+    map: Mutex<HashMap<BitSetKey, HashMap<PrimitiveId, ImageList>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MatchCache {
+    /// An empty cache holding at most `capacity` entries (inserts beyond
+    /// that are dropped; lookups keep working).
+    pub(crate) fn new(capacity: usize) -> Self {
+        MatchCache {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up an enumeration, counting a hit or miss.
+    pub(crate) fn get(&self, key: &BitSetKey, primitive: PrimitiveId) -> Option<ImageList> {
+        let found = self
+            .map
+            .lock()
+            .expect("match cache lock")
+            .get(key)
+            .and_then(|per_primitive| per_primitive.get(&primitive))
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Peeks without counting (used by leaf-detection existence probes, so
+    /// a probe does not inflate the miss statistics).
+    pub(crate) fn peek(&self, key: &BitSetKey, primitive: PrimitiveId) -> Option<ImageList> {
+        self.map
+            .lock()
+            .expect("match cache lock")
+            .get(key)
+            .and_then(|per_primitive| per_primitive.get(&primitive))
+            .cloned()
+    }
+
+    /// Stores a complete enumeration, unless the cache is full (capacity
+    /// counts distinct remaining graphs; primitives nest under each).
+    pub(crate) fn insert(&self, key: BitSetKey, primitive: PrimitiveId, images: ImageList) {
+        let mut map = self.map.lock().expect("match cache lock");
+        if map.len() < self.capacity || map.contains_key(&key) {
+            map.entry(key).or_default().insert(primitive, images);
+        }
+    }
+
+    /// Hit count so far.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Miss count so far.
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_graph::{DiGraph, NodeId};
+
+    fn key_of(g: &DiGraph) -> BitSetKey {
+        g.edge_key()
+    }
+
+    #[test]
+    fn get_counts_hits_and_misses() {
+        let cache = MatchCache::new(16);
+        let g = DiGraph::cycle(4);
+        let id = PrimitiveId(0);
+        assert!(cache.get(&key_of(&g), id).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let images: ImageList = Arc::new(vec![(
+            Mapping::new(vec![NodeId(0), NodeId(1)]),
+            vec![Edge::new(NodeId(0), NodeId(1))],
+        )]);
+        cache.insert(key_of(&g), id, images);
+        assert!(cache.get(&key_of(&g), id).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A different primitive on the same graph is a distinct entry.
+        assert!(cache.get(&key_of(&g), PrimitiveId(1)).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let cache = MatchCache::new(16);
+        let g = DiGraph::complete(3);
+        assert!(cache.peek(&key_of(&g), PrimitiveId(0)).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn capacity_bounds_inserts() {
+        let cache = MatchCache::new(1);
+        let a = DiGraph::cycle(3);
+        let b = DiGraph::cycle(4);
+        let empty: ImageList = Arc::new(Vec::new());
+        cache.insert(key_of(&a), PrimitiveId(0), empty.clone());
+        cache.insert(key_of(&b), PrimitiveId(0), empty);
+        assert!(cache.peek(&key_of(&a), PrimitiveId(0)).is_some());
+        assert!(cache.peek(&key_of(&b), PrimitiveId(0)).is_none());
+    }
+}

@@ -1,0 +1,258 @@
+//! The explicit search frontier: open search-tree nodes plus the pluggable
+//! expansion order.
+//!
+//! The engine is an *iterative* tree search — nodes live on an explicit
+//! frontier instead of the call stack, which is what makes the expansion
+//! order pluggable ([`SearchOrder::DepthFirst`] reproduces the classic
+//! recursive branch-and-bound exactly, [`SearchOrder::BestFirst`] pops the
+//! node with the smallest optimistic bound first) and what lets the
+//! parallel driver hand whole subtrees to worker threads.
+//!
+//! Paths are shared structurally: each node holds an `Arc` link to its
+//! parent's matching, so sibling subtrees share their common prefix
+//! instead of cloning the whole matching list per node.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use noc_graph::{DiGraph, Edge};
+use noc_primitives::PrimitiveId;
+
+use super::{Matching, SearchOrder};
+use crate::cost::Cost;
+
+/// One matching on the path from the root, linked toward the root.
+#[derive(Debug)]
+pub(crate) struct PathLink {
+    pub(crate) matching: Matching,
+    pub(crate) parent: Option<Arc<PathLink>>,
+}
+
+/// Materializes a path link chain into root-to-leaf order.
+pub(crate) fn path_to_vec(path: &Option<Arc<PathLink>>) -> Vec<Matching> {
+    let mut out = Vec::new();
+    let mut cursor = path;
+    while let Some(link) = cursor {
+        out.push(link.matching.clone());
+        cursor = &link.parent;
+    }
+    out.reverse();
+    out
+}
+
+/// An open node of the decomposition search tree.
+#[derive(Debug)]
+pub(crate) struct SearchNode {
+    /// Uncovered edges (full vertex set).
+    pub(crate) remaining: DiGraph,
+    /// Cost accumulated along the path (Σ matching costs).
+    pub(crate) cost: Cost,
+    /// Matchings subtracted so far, shared with sibling subtrees.
+    pub(crate) path: Option<Arc<PathLink>>,
+    /// Canonical sibling-ordering key: children may only use matchings
+    /// whose `(primitive, image)` exceeds this.
+    pub(crate) min_key: Option<(PrimitiveId, Vec<Edge>)>,
+    /// Optimistic completion bound (`cost` plus the admissible remaining
+    /// bound); doubles as the best-first priority.
+    pub(crate) bound: f64,
+    /// Monotone insertion index, assigned by the [`Frontier`] on push —
+    /// the deterministic oldest-first tie-break for equal bounds.
+    pub(crate) seq: u64,
+}
+
+impl SearchNode {
+    /// The search root: the whole application graph, nothing matched.
+    pub(crate) fn root(remaining: DiGraph) -> Self {
+        SearchNode {
+            remaining,
+            cost: Cost(0.0),
+            path: None,
+            min_key: None,
+            bound: 0.0,
+            seq: 0,
+        }
+    }
+}
+
+/// The open list, in one of the pluggable expansion orders. Owns the
+/// monotone insertion counter stamped onto every pushed node, so seqs are
+/// unique and strictly increasing in push order.
+#[derive(Debug)]
+pub(crate) struct Frontier {
+    open: OpenList,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+enum OpenList {
+    /// LIFO stack — children are pushed in reverse so the first child pops
+    /// first, reproducing recursive DFS preorder exactly.
+    Dfs(Vec<SearchNode>),
+    /// Min-heap on `(bound, seq)` — smallest optimistic bound first.
+    Best(BinaryHeap<Reverse<HeapEntry>>),
+}
+
+impl Frontier {
+    /// An empty frontier with the given expansion order.
+    pub(crate) fn new(order: SearchOrder) -> Self {
+        Frontier {
+            open: match order {
+                SearchOrder::DepthFirst => OpenList::Dfs(Vec::new()),
+                SearchOrder::BestFirst => OpenList::Best(BinaryHeap::new()),
+            },
+            next_seq: 0,
+        }
+    }
+
+    /// Adds a single node, stamping its insertion index.
+    pub(crate) fn push(&mut self, mut node: SearchNode) {
+        node.seq = self.next_seq;
+        self.next_seq += 1;
+        match &mut self.open {
+            OpenList::Dfs(stack) => stack.push(node),
+            OpenList::Best(heap) => heap.push(Reverse(HeapEntry(node))),
+        }
+    }
+
+    /// Adds a node's children, preserving the order's semantics: for DFS
+    /// the drained children pop in their generated (canonical) order, and
+    /// seqs increase in generated order (earlier child = older).
+    pub(crate) fn extend(&mut self, children: &mut Vec<SearchNode>) {
+        for node in children.iter_mut() {
+            node.seq = self.next_seq;
+            self.next_seq += 1;
+        }
+        match &mut self.open {
+            OpenList::Dfs(stack) => stack.extend(children.drain(..).rev()),
+            OpenList::Best(heap) => heap.extend(children.drain(..).map(|n| Reverse(HeapEntry(n)))),
+        }
+    }
+
+    /// Removes the next node to expand.
+    pub(crate) fn pop(&mut self) -> Option<SearchNode> {
+        match &mut self.open {
+            OpenList::Dfs(stack) => stack.pop(),
+            OpenList::Best(heap) => heap.pop().map(|Reverse(HeapEntry(n))| n),
+        }
+    }
+
+    /// Number of open nodes.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        match &self.open {
+            OpenList::Dfs(stack) => stack.len(),
+            OpenList::Best(heap) => heap.len(),
+        }
+    }
+}
+
+/// Heap adapter ordering nodes by `(bound, seq)` ascending. Bounds are
+/// non-negative finite floats, so their IEEE-754 bit patterns order
+/// identically to their values.
+#[derive(Debug)]
+pub(crate) struct HeapEntry(pub(crate) SearchNode);
+
+impl HeapEntry {
+    fn rank(&self) -> (u64, u64) {
+        (self.0.bound.to_bits(), self.0.seq)
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank() == other.rank()
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(bound: f64, seq: u64) -> SearchNode {
+        SearchNode {
+            remaining: DiGraph::new(1),
+            cost: Cost(0.0),
+            path: None,
+            min_key: None,
+            bound,
+            seq,
+        }
+    }
+
+    #[test]
+    fn dfs_pops_children_in_generated_order() {
+        let mut f = Frontier::new(SearchOrder::DepthFirst);
+        let mut children = vec![node(0.0, 0), node(1.0, 0), node(2.0, 0)];
+        f.extend(&mut children);
+        // Stamped seqs are 0, 1, 2 in generated order; DFS pops generated
+        // order first.
+        assert_eq!(f.pop().unwrap().bound, 0.0);
+        assert_eq!(f.pop().unwrap().bound, 1.0);
+        assert_eq!(f.pop().unwrap().bound, 2.0);
+        assert!(f.pop().is_none());
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn best_first_pops_lowest_bound_then_oldest() {
+        let mut f = Frontier::new(SearchOrder::BestFirst);
+        f.push(node(5.0, 0)); // seq 0
+        f.push(node(2.0, 0)); // seq 1
+        f.push(node(2.0, 0)); // seq 2
+        f.push(node(9.0, 0)); // seq 3
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.pop().unwrap().seq, 1); // bound 2, oldest
+        assert_eq!(f.pop().unwrap().seq, 2); // bound 2, newer
+        assert_eq!(f.pop().unwrap().seq, 0); // bound 5
+        assert_eq!(f.pop().unwrap().seq, 3); // bound 9
+    }
+
+    #[test]
+    fn seqs_are_unique_and_monotone_across_pushes() {
+        let mut f = Frontier::new(SearchOrder::BestFirst);
+        f.push(node(1.0, 0));
+        let mut batch = vec![node(1.0, 0), node(1.0, 0)];
+        f.extend(&mut batch);
+        let mut seqs: Vec<u64> = (0..3).map(|_| f.pop().unwrap().seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn path_to_vec_is_root_to_leaf() {
+        use noc_graph::iso::Mapping;
+        use noc_graph::NodeId;
+        let m = |label: &str| Matching {
+            primitive: PrimitiveId(0),
+            label: label.to_string(),
+            mapping: Mapping::new(vec![NodeId(0)]),
+            cost: Cost(1.0),
+        };
+        let root = Arc::new(PathLink {
+            matching: m("a"),
+            parent: None,
+        });
+        let leaf = Some(Arc::new(PathLink {
+            matching: m("b"),
+            parent: Some(root),
+        }));
+        let labels: Vec<String> = path_to_vec(&leaf).into_iter().map(|m| m.label).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+        assert!(path_to_vec(&None).is_empty());
+    }
+}

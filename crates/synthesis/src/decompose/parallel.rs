@@ -1,0 +1,136 @@
+//! Parallel driver: worker threads over one shared frontier.
+//!
+//! The open list is a single mutex-guarded [`Frontier`] (so the configured
+//! expansion order — DFS stack or best-first heap — applies globally).
+//! `rayon`-scoped workers pop a node, expand it, and push the children
+//! back, which balances work at node granularity: no worker can starve
+//! while another grinds a dominant subtree, because every generated child
+//! is immediately stealable. The mutex is cheap relative to the VF2
+//! enumeration each expansion performs; workers finding the frontier
+//! empty park on a condvar (signaled whenever children land or the last
+//! in-flight node completes) instead of spinning.
+//!
+//! All workers share:
+//!
+//! * the **incumbent** best cost through an atomic
+//!   ([`SharedSearch::best_cost`](super::SharedSearch)), so a leaf found in
+//!   one subtree immediately tightens pruning everywhere — global pruning
+//!   is what keeps the parallel search work-efficient;
+//! * the **statistics** counters (atomics);
+//! * the **match cache**, so a remaining graph enumerated by one worker is
+//!   a cache hit for all.
+//!
+//! Termination uses an outstanding-node count: a popped node stays counted
+//! until its children are on the frontier, so a momentarily empty frontier
+//! with work still in flight keeps idle workers parked instead of exiting.
+//! The admissible bound and strict (`>=`) pruning guarantee every optimal
+//! leaf survives regardless of interleaving, so sequential and parallel
+//! searches return identical best costs; among *equal-cost* optima the
+//! first installer wins, which is the only scheduling-dependent outcome.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use super::{consider_leaf, expand, EngineCtx, SharedSearch};
+use crate::decompose::frontier::{Frontier, SearchNode};
+
+/// The shared open list plus the signaling and termination bookkeeping.
+struct WorkQueue {
+    frontier: Mutex<Frontier>,
+    /// Signaled when children land on the frontier or the search winds
+    /// down, so parked workers re-check instead of spinning.
+    work_ready: Condvar,
+    /// Nodes popped but not yet fully expanded, plus nodes on the frontier.
+    outstanding: AtomicUsize,
+}
+
+/// Runs the search over `threads` workers (callers ensure `threads > 1`).
+pub(crate) fn run(ctx: &EngineCtx<'_>, shared: &SharedSearch, root: SearchNode, threads: usize) {
+    let queue = WorkQueue {
+        frontier: Mutex::new(Frontier::new(ctx.config.order)),
+        work_ready: Condvar::new(),
+        outstanding: AtomicUsize::new(1),
+    };
+    queue.frontier.lock().expect("frontier lock").push(root);
+    rayon::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| worker(ctx, shared, &queue));
+        }
+    });
+}
+
+fn worker(ctx: &EngineCtx<'_>, shared: &SharedSearch, queue: &WorkQueue) {
+    let mut children: Vec<SearchNode> = Vec::new();
+    loop {
+        let next = {
+            let mut frontier = queue.frontier.lock().expect("frontier lock");
+            loop {
+                if let Some(node) = frontier.pop() {
+                    break Some(node);
+                }
+                if queue.outstanding.load(Ordering::Acquire) == 0
+                    || shared.out_of_time(ctx.deadline)
+                {
+                    break None;
+                }
+                // In-flight nodes elsewhere may still produce children.
+                // The short timeout bounds deadline-detection latency if
+                // the final signal races this park.
+                frontier = queue
+                    .work_ready
+                    .wait_timeout(frontier, Duration::from_millis(5))
+                    .expect("frontier lock")
+                    .0;
+            }
+        };
+        let Some(node) = next else {
+            // Termination or timeout: wake any parked peers to observe it.
+            queue.work_ready.notify_all();
+            return;
+        };
+        // Re-test the bound at pop time: the incumbent may have improved
+        // since this node was generated.
+        if ctx.config.use_lower_bound && node.bound >= shared.best_cost() {
+            shared.branches_pruned.fetch_add(1, Ordering::Relaxed);
+            finish_node(queue);
+            continue;
+        }
+        shared.nodes_visited.fetch_add(1, Ordering::Relaxed);
+        if shared.out_of_time(ctx.deadline) {
+            // Salvage this worker's current path; peers observe the sticky
+            // timeout flag and drain out on their next pop.
+            consider_leaf(ctx, shared, &node.remaining, node.cost, &node.path);
+            finish_node(queue);
+            queue.work_ready.notify_all();
+            return;
+        }
+        children.clear();
+        let found_match = expand(ctx, shared, &node, &mut children);
+        if !found_match {
+            consider_leaf(ctx, shared, &node.remaining, node.cost, &node.path);
+        }
+        if !children.is_empty() {
+            // Count the children before releasing this node so the total
+            // never transiently reads zero while work remains.
+            queue
+                .outstanding
+                .fetch_add(children.len(), Ordering::AcqRel);
+            queue
+                .frontier
+                .lock()
+                .expect("frontier lock")
+                .extend(&mut children);
+            queue.work_ready.notify_all();
+        }
+        finish_node(queue);
+    }
+}
+
+/// Releases a popped node from the outstanding count, waking parked
+/// workers when it was the last one so they can terminate.
+fn finish_node(queue: &WorkQueue) {
+    if queue.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+        queue.work_ready.notify_all();
+    }
+}

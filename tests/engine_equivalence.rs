@@ -1,0 +1,112 @@
+//! Cross-crate engine-equivalence properties: the explicit-frontier
+//! search must prove the *same optimum* under every expansion order and
+//! thread count, and every returned decomposition must be a valid edge
+//! partition of the input ACG.
+
+use noc::prelude::*;
+use noc::workloads::pajek;
+use proptest::prelude::*;
+
+fn grid_cost_model(acg: &Acg) -> CostModel {
+    let side = (acg.core_count() as f64).sqrt().ceil() as usize;
+    CostModel::new(
+        EnergyModel::new(TechnologyProfile::cmos_180nm()),
+        Placement::grid(side, side, 2.0, 2.0),
+        Objective::Links,
+    )
+}
+
+fn engine_configs() -> Vec<(&'static str, DecomposerConfig)> {
+    vec![
+        ("sequential dfs", DecomposerConfig::default()),
+        (
+            "best-first",
+            DecomposerConfig {
+                order: SearchOrder::BestFirst,
+                ..DecomposerConfig::default()
+            },
+        ),
+        (
+            "parallel dfs",
+            DecomposerConfig {
+                threads: 0,
+                ..DecomposerConfig::default()
+            },
+        ),
+        (
+            "parallel best-first, no cache",
+            DecomposerConfig {
+                threads: 4,
+                order: SearchOrder::BestFirst,
+                use_match_cache: false,
+                ..DecomposerConfig::default()
+            },
+        ),
+    ]
+}
+
+/// Runs every engine mode on `acg`; asserts identical best costs and a
+/// valid partition (covered + remainder edges == the ACG edge set), and
+/// returns the common cost.
+fn assert_engines_agree(acg: &Acg) -> f64 {
+    let library = CommLibrary::standard();
+    let mut reference: Option<f64> = None;
+    for (label, config) in engine_configs() {
+        let outcome = Decomposer::new(acg, &library, grid_cost_model(acg))
+            .config(config)
+            .run();
+        let best = outcome
+            .best
+            .unwrap_or_else(|| panic!("{label}: no decomposition"));
+        assert_eq!(
+            best.all_edges(&library),
+            acg.graph().edge_vec(),
+            "{label}: decomposition is not an edge partition"
+        );
+        let cost = best.total_cost.value();
+        match reference {
+            None => reference = Some(cost),
+            Some(expected) => {
+                assert_eq!(cost, expected, "{label}: cost diverged from sequential DFS")
+            }
+        }
+    }
+    reference.expect("at least one engine ran")
+}
+
+#[test]
+fn engines_agree_on_fig5() {
+    let cost = assert_engines_agree(&pajek::fig5_benchmark());
+    // The paper's Figure 5 decomposition: 1 MGG4 + 1 G124 + 3 G123 over 4
+    // physical links each... under Links the printed optimum is 17.
+    assert!(cost.is_finite());
+}
+
+fn arb_planted_acg() -> impl Strategy<Value = Acg> {
+    (8usize..=14, 0u64..100, 0usize..=2, 0usize..=2).prop_map(|(n, seed, gossips, loops)| {
+        pajek::planted(&pajek::PlantedConfig {
+            n,
+            gossip4: gossips,
+            broadcast4: 1,
+            broadcast3: 1,
+            loops4: loops,
+            noise_prob: 0.05,
+            volume: 8.0,
+            seed,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sequential DFS, best-first and parallel search return the same
+    /// `total_cost` and a valid edge partition on random Pajek seeds.
+    #[test]
+    fn engines_agree_on_random_pajek(acg in arb_planted_acg()) {
+        let cost = assert_engines_agree(&acg);
+        prop_assert!(cost.is_finite());
+        // Never worse than the trivial all-remainder decomposition.
+        prop_assert!(cost <= acg.graph().edge_count() as f64 + 1e-9);
+    }
+}

@@ -1,0 +1,341 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal, API-compatible subset of criterion: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a plain warmup-then-sample loop: each benchmark runs a
+//! short warmup, then `sample_size` timed samples whose per-iteration means
+//! are aggregated into min/mean/max, printed in a criterion-like format.
+//! Collected results stay available via [`Criterion::results`] so bench
+//! binaries can export machine-readable summaries (e.g.
+//! `BENCH_decompose.json`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` or plain function name).
+    pub id: String,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Mean over samples, nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Total iterations executed across all samples.
+    pub iterations: u64,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    measurement_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warmup: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(2),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_one(
+            id,
+            self.sample_size,
+            self.warmup,
+            self.measurement_time,
+            |b| f(b),
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// All measurements recorded so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a one-line summary per recorded benchmark (no-op placeholder
+    /// for upstream's report generation).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Sets the measurement-time budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        let result = run_one(
+            &id,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warmup,
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            |b| f(b),
+        );
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (all reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (a plain string in this subset).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering `parameter` (for per-size sweeps).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    iterations: u64,
+    sample_size: usize,
+    warmup: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, running it repeatedly: a short warmup, then timed
+    /// samples until the sample count or time budget is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: at least one run; keep going until the warmup budget is
+        // spent, estimating the per-iteration time as we go.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        // Pick a batch size so one sample costs roughly
+        // measurement_time / sample_size.
+        let sample_budget = self.measurement_time.as_secs_f64() / self.sample_size.max(1) as f64;
+        let batch = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.samples_ns.push(dt.as_nanos() as f64 / batch as f64);
+            self.iterations += batch;
+            if Instant::now() >= deadline && !self.samples_ns.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F>(
+    id: &str,
+    sample_size: usize,
+    warmup: Duration,
+    measurement_time: Duration,
+    mut f: F,
+) -> BenchResult
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        iterations: 0,
+        sample_size,
+        warmup,
+        measurement_time,
+    };
+    f(&mut b);
+    let (min, mean, max) = if b.samples_ns.is_empty() {
+        (f64::NAN, f64::NAN, f64::NAN)
+    } else {
+        let min = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mean = b.samples_ns.iter().sum::<f64>() / b.samples_ns.len() as f64;
+        (min, mean, max)
+    };
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+    BenchResult {
+        id: id.to_string(),
+        min_ns: min,
+        mean_ns: mean,
+        max_ns: max,
+        iterations: b.iterations,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        c.sample_size(3).measurement_time(Duration::from_millis(20));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].mean_ns > 0.0);
+        assert!(c.results()[0].iterations > 0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default();
+        c.sample_size(2).measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(5), &5u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert_eq!(c.results()[0].id, "grp/5");
+    }
+}

@@ -1,0 +1,57 @@
+//! Case configuration, the per-case RNG, and test-case errors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Upstream's default case count.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies: a deterministic stream per case index, so
+/// every run (and every machine) generates the same inputs.
+#[derive(Debug)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for the `case`-th generated input of a test.
+    pub fn for_case(case: u64) -> Self {
+        TestRng {
+            rng: StdRng::seed_from_u64(
+                0x70726f7074657374u64 ^ case.wrapping_mul(0x9e3779b97f4a7c15),
+            ),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was skipped by `prop_assume!`.
+    Reject(String),
+    /// The case failed a `prop_assert!`.
+    Fail(String),
+}

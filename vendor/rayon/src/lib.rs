@@ -1,0 +1,113 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the small subset of rayon's API the search engine uses —
+//! [`scope`]/[`Scope::spawn`], [`join`], and [`current_num_threads`] —
+//! implemented directly on `std::thread::scope`. There is no work-stealing
+//! pool: each `spawn` is an OS thread, which is the right trade-off here
+//! because the decomposition engine spawns exactly one long-lived worker
+//! per hardware thread and balances work through its own shared frontier.
+
+use std::num::NonZeroUsize;
+
+/// Number of threads rayon would use: the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A scope in which tasks can be spawned that borrow from the caller's
+/// stack frame; all tasks join before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task; it may itself spawn further tasks through the scope
+    /// reference it receives.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let child = Scope { inner };
+            body(&child);
+        });
+    }
+}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned task finished.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined closure panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawns_run() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
