@@ -1,0 +1,64 @@
+//! Campaign throughput: full synthesis+simulation flows per second at 1
+//! and N worker threads on the smoke grid — the exploration subsystem's
+//! entry in the perf trajectory started by `BENCH_decompose.json`.
+//!
+//! Writes `BENCH_explore.json` at the repository root.
+//!
+//! Run with: `cargo bench --bench explore_campaign`
+
+use criterion::Criterion;
+use noc_explore::{Campaign, ScenarioGrid};
+
+fn main() {
+    // Correctness gate before timing: the parallel campaign must fold the
+    // same front as the sequential one.
+    let sequential = Campaign::new(ScenarioGrid::smoke()).threads(1).run();
+    let parallel = Campaign::new(ScenarioGrid::smoke()).threads(0).run();
+    assert_eq!(
+        sequential.front, parallel.front,
+        "campaign front depends on thread count"
+    );
+    let flows = sequential.points.len();
+
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut criterion = Criterion::default();
+    {
+        let mut group = criterion.benchmark_group("explore_campaign");
+        group.sample_size(10);
+        group.measurement_time(std::time::Duration::from_millis(1500));
+        for (label, threads) in [("seq", 1usize), ("par", 0usize)] {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    Campaign::new(ScenarioGrid::smoke())
+                        .threads(threads)
+                        .run()
+                        .front
+                })
+            });
+        }
+        group.finish();
+    }
+
+    let mean_ns = |id: &str| {
+        criterion
+            .results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.mean_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let seq_ns = mean_ns("explore_campaign/seq");
+    let par_ns = mean_ns("explore_campaign/par");
+    let flows_per_sec = |ns: f64| flows as f64 / (ns / 1e9);
+    let json = format!(
+        "{{\n  \"bench\": \"explore_campaign\",\n  \"grid\": \"smoke\",\n  \"flows_per_campaign\": {flows},\n  \"hardware_threads\": {hardware_threads},\n  \"unit\": \"flows_per_second\",\n  \"results\": [\n    {{\"threads\": 1, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}},\n    {{\"threads\": {hardware_threads}, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}}\n  ],\n  \"speedup\": {:.3}\n}}\n",
+        seq_ns / 1e6,
+        flows_per_sec(seq_ns),
+        par_ns / 1e6,
+        flows_per_sec(par_ns),
+        seq_ns / par_ns,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    std::fs::write(path, &json).expect("write BENCH_explore.json");
+    println!("\nwrote {path}");
+}

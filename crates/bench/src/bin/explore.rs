@@ -1,0 +1,146 @@
+//! Design-space exploration campaigns from the command line.
+//!
+//! Usage:
+//!
+//! ```text
+//! explore [--smoke | --full] [--threads N] [--out PATH] [--stream]
+//! ```
+//!
+//! * `--smoke` (default) — the CI grid: 12 scenario points over 3 small
+//!   workloads, finishing in seconds. Runs the campaign **twice** —
+//!   sequentially and on one worker per hardware thread — and asserts the
+//!   Pareto fronts are identical, so every CI run exercises the campaign
+//!   determinism guarantee end to end.
+//! * `--full` — a larger grid: TGFF and Pajek size sweeps × two synthesis
+//!   objectives × two technologies with a load ramp per point.
+//! * `--threads N` — campaign worker threads (`0` = one per hardware
+//!   thread; default).
+//! * `--out PATH` — where to write the JSON campaign report
+//!   (default `EXPLORE_report.json`).
+//! * `--stream` — additionally stream each completed point to stdout as
+//!   JSON Lines.
+
+use std::process::ExitCode;
+
+use noc::prelude::*;
+use noc_explore::prelude::*;
+use noc_explore::NullSink;
+
+fn full_grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .workloads([
+            WorkloadSpec::fixed(WorkloadFamily::Fig5),
+            WorkloadSpec::fixed(WorkloadFamily::Automotive),
+            WorkloadSpec::fixed(WorkloadFamily::Multimedia),
+        ])
+        .workload_family(WorkloadFamily::Tgff, [8, 12, 15], [1, 2])
+        .workload_family(WorkloadFamily::PajekPlanted, [10, 16], [1, 2])
+        .synthesis_objectives([Objective::Links, Objective::Energy])
+        .technologies([
+            TechnologyProfile::cmos_180nm(),
+            TechnologyProfile::cmos_100nm(),
+        ])
+        .sims([SimSpec {
+            label: "ramp".into(),
+            rates: vec![0.05, 0.15, 0.30, 0.45],
+            duration_cycles: 300,
+            saturation_cutoff: Some(6.0),
+            ..SimSpec::default()
+        }])
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = true;
+    let mut threads = 0usize;
+    let mut out = "EXPLORE_report.json".to_string();
+    let mut stream = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--full" => smoke = false,
+            "--stream" => stream = true,
+            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = n,
+                None => return usage("--threads needs an integer"),
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = path.clone(),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let grid = if smoke {
+        ScenarioGrid::smoke()
+    } else {
+        full_grid()
+    };
+    println!(
+        "campaign: {} scenario points ({} mode), {} worker thread(s)",
+        grid.len(),
+        if smoke { "smoke" } else { "full" },
+        if threads == 0 {
+            "hw".to_string()
+        } else {
+            threads.to_string()
+        },
+    );
+
+    let campaign = Campaign::new(grid).threads(threads);
+    let report = if stream {
+        let mut sink = JsonLinesSink::new(std::io::stdout(), ObjectiveKind::DEFAULT.to_vec());
+        campaign.run_with_sink(&mut sink)
+    } else {
+        campaign.run_with_sink(&mut NullSink)
+    };
+
+    if smoke {
+        // The acceptance gate: a multi-threaded campaign must produce a
+        // front identical to the sequential run on the same grid.
+        let sequential = Campaign::new(ScenarioGrid::smoke()).threads(1).run();
+        assert_eq!(
+            report.front, sequential.front,
+            "parallel front diverged from sequential"
+        );
+        for (a, b) in report.points.iter().zip(&sequential.points) {
+            assert_eq!(a.objectives, b.objectives, "point {} diverged", a.label);
+        }
+        println!("determinism check: parallel front == sequential front");
+    }
+
+    let failed = report.points.iter().filter(|p| p.error.is_some()).count();
+    println!(
+        "{} synthesized, {} reused, {} failed, {:.0} ms wall",
+        report.flows_synthesized, report.synthesis_reused, failed, report.wall_ms
+    );
+    println!(
+        "pareto front ({} of {} points):",
+        report.front.len(),
+        report.points.len()
+    );
+    for point in report.front_points() {
+        println!(
+            "  {:<48} energy {:>10.2} pJ  latency {:>7.2} cyc  area {:>6.1} mm2",
+            point.label,
+            point.objectives[0] * 1e12,
+            point.objectives[1],
+            point.objectives[2],
+        );
+    }
+
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}");
+    eprintln!("usage: explore [--smoke | --full] [--threads N] [--out PATH] [--stream]");
+    ExitCode::from(2)
+}

@@ -37,18 +37,11 @@ pub fn fig4a_automotive() -> Acg {
     automotive_18()
 }
 
-/// The Pajek-style workload for a given size and seed (Figure 4b).
+/// The Pajek-style workload for a given size and seed (Figure 4b). The
+/// scaling recipe lives in `noc-workloads::scenarios` so exploration
+/// campaigns sweep exactly these instances.
 pub fn fig4b_workload(n: usize, seed: u64) -> Acg {
-    pajek::planted(&pajek::PlantedConfig {
-        n,
-        gossip4: n / 8,
-        broadcast4: n / 10,
-        broadcast3: n / 8,
-        loops4: n / 10,
-        noise_prob: 0.01,
-        volume: 8.0,
-        seed,
-    })
+    noc::workloads::scenarios::planted_sized(n, seed)
 }
 
 /// The Figure 5 benchmark (reconstructed from the paper's output).

@@ -1,0 +1,538 @@
+//! The campaign engine: fan a scenario grid out over a worker pool, run
+//! the full synthesis pipeline per point, fold the results into a Pareto
+//! front.
+//!
+//! # Determinism
+//!
+//! A campaign's report depends only on its grid, never on its thread
+//! count. That falls out of three decisions:
+//!
+//! * scenario ids are grid-enumeration positions, assigned before any
+//!   work starts;
+//! * synthesis artifacts are computed once per *synthesis key* in a
+//!   dedicated phase, so which scenario "owns" a synthesis run (and which
+//!   reuse it) is a property of the grid, not of scheduling;
+//! * the Pareto front is folded sequentially in scenario-id order after
+//!   every point completes, and the default objective vector contains
+//!   only deterministic metrics (wall-time is opt-in, see
+//!   [`ObjectiveKind::SynthTimeMs`]).
+//!
+//! Two scheduling-visible artifacts remain, both outside the measured
+//! results: the *order* in which a streaming [`ResultSink`] observes
+//! points, and — when the campaign-wide match cache is shared by several
+//! workers — the [`cache_hits`](PointRecord::cache_hits) provenance
+//! counter (whether a given enumeration was a hit depends on which
+//! concurrent search populated the cache first; the search *results*
+//! never depend on it).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use noc::prelude::*;
+use noc::sim::sweep;
+use noc::FlowResult;
+
+use crate::pareto::{ObjectiveKind, ParetoFront};
+use crate::report::{CampaignReport, NullSink, PointRecord, ResultSink, SweepPointRecord};
+use crate::scenario::{Scenario, ScenarioGrid};
+
+/// The synthesized artifacts shared by every scenario with one synthesis
+/// key: the flow result plus the simulation-ready model (all-pairs routes
+/// filled once).
+struct SynthArtifacts {
+    result: FlowResult,
+    model: NocModel,
+    /// The application's demand pairs — the sweep's traffic population (a
+    /// custom architecture only guarantees routes for these).
+    pairs: Vec<(NodeId, NodeId)>,
+    synth_ms: f64,
+}
+
+type SynthOutcome = Result<Arc<SynthArtifacts>, String>;
+
+/// A multi-objective design-space exploration campaign over a
+/// [`ScenarioGrid`].
+///
+/// # Examples
+///
+/// ```
+/// use noc::workloads::WorkloadFamily;
+/// use noc_explore::{Campaign, ScenarioGrid, WorkloadSpec};
+///
+/// // One fixed workload, every other axis at its paper default.
+/// let grid = ScenarioGrid::new().workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)]);
+/// let report = Campaign::new(grid).run();
+/// assert_eq!(report.points.len(), 1);
+/// assert_eq!(report.front, vec![0]); // a lone point is trivially Pareto
+/// assert!(report.points[0].error.is_none());
+/// ```
+///
+/// A real campaign sweeps several axes and reads the front:
+///
+/// ```
+/// use noc::prelude::*;
+/// use noc::workloads::WorkloadFamily;
+/// use noc_explore::{Campaign, ObjectiveKind, ScenarioGrid, WorkloadSpec};
+///
+/// let grid = ScenarioGrid::new()
+///     .workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)])
+///     .synthesis_objectives([Objective::Links, Objective::Energy])
+///     .technologies([TechnologyProfile::cmos_180nm(), TechnologyProfile::cmos_130nm()]);
+/// let campaign = Campaign::new(grid)
+///     .objectives(&[ObjectiveKind::EnergyJoules, ObjectiveKind::AvgLatencyCycles]);
+/// let report = campaign.clone().threads(2).run();
+/// assert_eq!(report.points.len(), 4);
+/// assert!(!report.front.is_empty());
+/// // Thread count never changes the front.
+/// assert_eq!(report.front, campaign.run().front);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    grid: ScenarioGrid,
+    objectives: Vec<ObjectiveKind>,
+    threads: usize,
+    share_synthesis: bool,
+    share_match_cache: bool,
+}
+
+impl Campaign {
+    /// A campaign over `grid` with the deterministic default objective
+    /// vector ([`ObjectiveKind::DEFAULT`]), one worker thread, and both
+    /// artifact-sharing layers enabled.
+    pub fn new(grid: ScenarioGrid) -> Self {
+        Campaign {
+            grid,
+            objectives: ObjectiveKind::DEFAULT.to_vec(),
+            threads: 1,
+            share_synthesis: true,
+            share_match_cache: true,
+        }
+    }
+
+    /// Replaces the scenario grid.
+    #[must_use]
+    pub fn grid(mut self, grid: ScenarioGrid) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Replaces the objective vector the Pareto front ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or duplicated objective list.
+    #[must_use]
+    pub fn objectives(mut self, kinds: &[ObjectiveKind]) -> Self {
+        assert!(!kinds.is_empty(), "need at least one objective");
+        let mut seen = Vec::new();
+        for k in kinds {
+            assert!(!seen.contains(k), "duplicate objective {k:?}");
+            seen.push(*k);
+        }
+        self.objectives = kinds.to_vec();
+        self
+    }
+
+    /// Campaign worker threads: `1` = sequential (default), `0` = one per
+    /// hardware thread. Per-scenario results and the front are identical
+    /// at every thread count (see the module docs) — as long as the
+    /// engine-axis configurations themselves are deterministic
+    /// (`DecomposerConfig::threads == 1`, the default: a parallel
+    /// *decomposer* proves the same cost but may return a different
+    /// equal-cost architecture).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Disables synthesis-artifact sharing (scenarios differing only in
+    /// sim spec will each re-synthesize — only useful for measuring the
+    /// sharing itself).
+    #[must_use]
+    pub fn share_synthesis(mut self, share: bool) -> Self {
+        self.share_synthesis = share;
+        self
+    }
+
+    /// Disables the campaign-wide shared VF2 match cache (each synthesis
+    /// run falls back to its private per-run cache).
+    #[must_use]
+    pub fn share_match_cache(mut self, share: bool) -> Self {
+        self.share_match_cache = share;
+        self
+    }
+
+    /// Runs the campaign, discarding streaming results.
+    pub fn run(&self) -> CampaignReport {
+        self.run_with_sink(&mut NullSink)
+    }
+
+    /// Runs the campaign, streaming each completed point into `sink`
+    /// before returning the assembled report.
+    pub fn run_with_sink(&self, sink: &mut dyn ResultSink) -> CampaignReport {
+        let t0 = Instant::now();
+        let scenarios = self.grid.enumerate();
+
+        // Phase 1 — synthesis, once per synthesis key. Job ownership is a
+        // grid property (first scenario bearing each key), so reuse flags
+        // and statistics are identical at every thread count.
+        let mut first_of_key: HashMap<String, usize> = HashMap::new();
+        let mut jobs: Vec<&Scenario> = Vec::new();
+        for scenario in &scenarios {
+            let key = self.synthesis_key(scenario);
+            first_of_key.entry(key).or_insert_with(|| {
+                jobs.push(scenario);
+                scenario.id
+            });
+        }
+        let match_caches: Mutex<HashMap<usize, SharedMatchCache>> = Mutex::new(HashMap::new());
+        let synth_results: Vec<Mutex<Option<SynthOutcome>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let threads = self.resolve_threads(scenarios.len());
+        let next_job = AtomicUsize::new(0);
+        let synthesize_worker = || loop {
+            let i = next_job.fetch_add(1, Ordering::Relaxed);
+            let Some(job) = jobs.get(i) else { break };
+            let outcome = self.synthesize(job, &match_caches);
+            *synth_results[i].lock().expect("synth slot") = Some(outcome);
+        };
+        run_pool(threads.min(jobs.len().max(1)), &synthesize_worker);
+        let artifacts: HashMap<String, SynthOutcome> = jobs
+            .iter()
+            .zip(&synth_results)
+            .map(|(job, slot)| {
+                let outcome = slot
+                    .lock()
+                    .expect("synth slot")
+                    .take()
+                    .expect("synthesis phase filled every slot");
+                (self.synthesis_key(job), outcome)
+            })
+            .collect();
+        let flows_synthesized = artifacts.values().filter(|o| o.is_ok()).count();
+
+        // Phase 2 — simulate + measure every scenario against its shared
+        // artifacts.
+        let records: Vec<Mutex<Option<PointRecord>>> =
+            scenarios.iter().map(|_| Mutex::new(None)).collect();
+        let sink = Mutex::new(sink);
+        let next_scenario = AtomicUsize::new(0);
+        let measure_worker = || loop {
+            let i = next_scenario.fetch_add(1, Ordering::Relaxed);
+            let Some(scenario) = scenarios.get(i) else {
+                break;
+            };
+            let key = self.synthesis_key(scenario);
+            let reused = first_of_key[&key] != scenario.id;
+            let record = self.measure(scenario, &artifacts[&key], reused);
+            sink.lock().expect("sink lock").point(&record);
+            *records[i].lock().expect("record slot") = Some(record);
+        };
+        run_pool(threads, &measure_worker);
+
+        // Fold — sequential, in scenario order, so the front is a pure
+        // function of the grid.
+        let mut points: Vec<PointRecord> = records
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("record slot")
+                    .expect("measurement phase filled every slot")
+            })
+            .collect();
+        let mut front = ParetoFront::new(self.objectives.len());
+        for p in &points {
+            if p.error.is_none() {
+                front.offer(p.scenario_id, p.objectives.clone());
+            }
+        }
+        let front_ids = front.indices();
+        for p in &mut points {
+            p.on_front = front_ids.binary_search(&p.scenario_id).is_ok();
+        }
+        let synthesis_reused = points
+            .iter()
+            .filter(|p| p.reused_synthesis && p.error.is_none())
+            .count();
+        let report = CampaignReport {
+            objective_kinds: self.objectives.clone(),
+            points,
+            front: front_ids,
+            threads,
+            flows_synthesized,
+            synthesis_reused,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        sink.into_inner().expect("sink lock").finish(&report);
+        report
+    }
+
+    fn resolve_threads(&self, work_items: usize) -> usize {
+        let t = match self.threads {
+            0 => rayon::current_num_threads(),
+            t => t,
+        };
+        t.min(work_items.max(1))
+    }
+
+    /// The sharing key: the scenario's synthesis key when sharing is on,
+    /// otherwise a per-scenario unique key (disabling all reuse).
+    fn synthesis_key(&self, scenario: &Scenario) -> String {
+        if self.share_synthesis {
+            scenario.synthesis_key()
+        } else {
+            format!("#{}", scenario.id)
+        }
+    }
+
+    fn synthesize(
+        &self,
+        scenario: &Scenario,
+        match_caches: &Mutex<HashMap<usize, SharedMatchCache>>,
+    ) -> SynthOutcome {
+        let acg = scenario.workload.instantiate();
+        let pairs: Vec<(NodeId, NodeId)> = acg
+            .demands()
+            .filter(|(_, d)| d.volume > 0.0)
+            .map(|(e, _)| (e.src, e.dst))
+            .collect();
+        let mut engine = scenario.engine.clone();
+        if self.share_match_cache && engine.use_match_cache {
+            // VF2 enumeration keys are only comparable between graphs of
+            // one vertex count — share per count (see `SharedMatchCache`).
+            let n = acg.graph().node_count();
+            let cache = match_caches
+                .lock()
+                .expect("match cache registry")
+                .entry(n)
+                .or_insert_with(|| SharedMatchCache::new(1 << 16))
+                .clone();
+            engine.shared_cache = Some(cache);
+        }
+        let flow = SynthesisFlow::new(acg)
+            .objective(scenario.objective)
+            .technology(scenario.technology.clone())
+            .seed(scenario.floorplan_seed)
+            .core_area_mm2(scenario.core_area_mm2)
+            .decomposer_config(engine);
+        let t0 = Instant::now();
+        let result = flow.run().map_err(|e| e.to_string())?;
+        let synth_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let model = result.noc_model();
+        Ok(Arc::new(SynthArtifacts {
+            result,
+            model,
+            pairs,
+            synth_ms,
+        }))
+    }
+
+    fn measure(&self, scenario: &Scenario, outcome: &SynthOutcome, reused: bool) -> PointRecord {
+        let mut record = PointRecord {
+            scenario_id: scenario.id,
+            label: scenario.label(),
+            workload: scenario.workload.label(),
+            nodes: scenario.workload.family.effective_size(scenario.workload.n),
+            engine: scenario.engine_label.clone(),
+            synthesis_objective: format!("{:?}", scenario.objective),
+            technology: scenario.technology.name().to_string(),
+            sim: scenario.sim.label.clone(),
+            objectives: Vec::new(),
+            on_front: false,
+            reused_synthesis: reused,
+            total_cost: f64::NAN,
+            nodes_visited: 0,
+            cache_hits: 0,
+            synth_ms: f64::NAN,
+            sweep: Vec::new(),
+            saturated: false,
+            error: None,
+        };
+        let artifacts = match outcome {
+            Ok(a) => a,
+            Err(e) => {
+                record.error = Some(e.clone());
+                return record;
+            }
+        };
+        record.total_cost = artifacts.result.decomposition.total_cost.value();
+        record.nodes_visited = artifacts.result.stats.nodes_visited;
+        record.cache_hits = artifacts.result.stats.cache_hits;
+        record.synth_ms = artifacts.synth_ms;
+
+        let sweep_config = sweep::SweepConfig {
+            rates: scenario.sim.rates.clone(),
+            duration_cycles: scenario.sim.duration_cycles,
+            payload_bits: scenario.sim.payload_bits,
+            seed: scenario.sim.seed,
+            saturation_cutoff: scenario.sim.saturation_cutoff,
+            pairs: Some(artifacts.pairs.clone()),
+            ..Default::default()
+        };
+        let energy = EnergyModel::new(scenario.technology.clone());
+        let points = match sweep::sweep(&artifacts.model, &sweep_config, &energy) {
+            Ok(points) if !points.is_empty() => points,
+            Ok(_) => {
+                record.error = Some("sim spec has no load points".to_string());
+                return record;
+            }
+            Err(e) => {
+                record.error = Some(e.to_string());
+                return record;
+            }
+        };
+        record.saturated = points.len() < scenario.sim.rates.len();
+        record.sweep = points
+            .iter()
+            .map(|p| SweepPointRecord {
+                rate: p.injection_rate,
+                latency_cycles: p.avg_latency_cycles,
+                throughput_bits_per_cycle: p.throughput_bits_per_cycle,
+                energy_joules: p.energy_joules,
+            })
+            .collect();
+        let measure = &points[scenario.sim.measure_index.min(points.len() - 1)];
+        if measure.packets == 0 {
+            // An unloaded point reports 0.0 latency and energy — offering
+            // that vector would let an unmeasured design dominate the
+            // front, so fail the point instead (deterministic per grid:
+            // the traffic draw is seeded).
+            record.error = Some(format!(
+                "measurement point (rate {}) delivered no packets",
+                measure.injection_rate
+            ));
+            return record;
+        }
+        record.objectives = self
+            .objectives
+            .iter()
+            .map(|kind| match kind {
+                ObjectiveKind::EnergyJoules => measure.energy_joules,
+                ObjectiveKind::AvgLatencyCycles => measure.avg_latency_cycles,
+                ObjectiveKind::AreaMm2 => artifacts.result.placement.chip_area_mm2(),
+                ObjectiveKind::SynthTimeMs => artifacts.synth_ms,
+            })
+            .collect();
+        record
+    }
+}
+
+/// Runs `worker` on `threads` scoped workers (inline when sequential).
+fn run_pool(threads: usize, worker: &(dyn Fn() + Sync)) {
+    if threads <= 1 {
+        worker();
+    } else {
+        rayon::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| worker());
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{SimSpec, WorkloadSpec};
+    use noc::workloads::WorkloadFamily;
+
+    #[test]
+    fn smoke_grid_runs_and_reuses_synthesis() {
+        let report = Campaign::new(ScenarioGrid::smoke()).run();
+        assert_eq!(report.points.len(), 12);
+        assert!(report.points.iter().all(|p| p.error.is_none()));
+        // Two sim specs per synthesis key: half the points reuse.
+        assert_eq!(report.flows_synthesized, 6);
+        assert_eq!(report.synthesis_reused, 6);
+        assert!(!report.front.is_empty());
+        // Front ids index real, unfailed, flagged points.
+        for &id in &report.front {
+            assert!(report.points[id].on_front);
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_front() {
+        let sequential = Campaign::new(ScenarioGrid::smoke()).run();
+        let parallel = Campaign::new(ScenarioGrid::smoke()).threads(4).run();
+        assert_eq!(sequential.front, parallel.front);
+        for (a, b) in sequential.points.iter().zip(&parallel.points) {
+            assert_eq!(a.scenario_id, b.scenario_id);
+            assert_eq!(a.objectives, b.objectives, "point {}", a.label);
+            assert_eq!(a.reused_synthesis, b.reused_synthesis);
+            assert_eq!(a.total_cost, b.total_cost);
+        }
+    }
+
+    #[test]
+    fn sharing_off_synthesizes_every_point() {
+        let grid = ScenarioGrid::new()
+            .workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)])
+            .sims([
+                SimSpec::default(),
+                SimSpec {
+                    label: "hot".into(),
+                    rates: vec![0.2],
+                    ..SimSpec::default()
+                },
+            ]);
+        let shared = Campaign::new(grid.clone()).run();
+        assert_eq!((shared.flows_synthesized, shared.synthesis_reused), (1, 1));
+        let unshared = Campaign::new(grid).share_synthesis(false).run();
+        assert_eq!(
+            (unshared.flows_synthesized, unshared.synthesis_reused),
+            (2, 0)
+        );
+        // Sharing is invisible in the measurements themselves.
+        assert_eq!(shared.points[1].objectives, unshared.points[1].objectives);
+    }
+
+    #[test]
+    fn constraint_failures_are_recorded_not_fatal() {
+        let strangled = TechnologyProfile::builder("strangled")
+            .max_bisection_links(0)
+            .build();
+        let engine = DecomposerConfig {
+            check_constraints: true,
+            ..DecomposerConfig::default()
+        };
+        let grid = ScenarioGrid::new()
+            .workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)])
+            .engines([("constrained", engine)])
+            .technologies([strangled]);
+        let report = Campaign::new(grid).run();
+        assert_eq!(report.points.len(), 1);
+        assert!(report.points[0].error.is_some());
+        assert!(report.front.is_empty());
+    }
+
+    #[test]
+    fn unloaded_measurement_point_fails_instead_of_dominating() {
+        // Rate 0.0 delivers no packets; the 0.0-latency/0.0-energy vector
+        // must not reach the front as a fake optimum.
+        let grid = ScenarioGrid::new()
+            .workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)])
+            .sims([SimSpec {
+                rates: vec![0.0],
+                ..SimSpec::default()
+            }]);
+        let report = Campaign::new(grid).run();
+        let error = report.points[0].error.as_deref().unwrap();
+        assert!(error.contains("delivered no packets"), "{error}");
+        assert!(report.front.is_empty());
+    }
+
+    #[test]
+    fn synth_time_objective_is_opt_in() {
+        let grid = ScenarioGrid::new().workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)]);
+        let report = Campaign::new(grid)
+            .objectives(&[ObjectiveKind::AreaMm2, ObjectiveKind::SynthTimeMs])
+            .run();
+        let objs = &report.points[0].objectives;
+        assert_eq!(objs.len(), 2);
+        assert!(objs[1] >= 0.0);
+    }
+}

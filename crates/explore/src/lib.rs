@@ -1,0 +1,69 @@
+//! Parallel multi-objective design-space exploration over the full NoC
+//! synthesis flow.
+//!
+//! The paper synthesizes *one* architecture per application under fixed
+//! constraints; its evaluation — and the related exploration literature
+//! (Marcon et al.'s energy/timing mapping trade-offs, Yu & Dong's joint
+//! topology/floorplan generation) — is really about *families* of runs.
+//! This crate makes the family the product: a [`Campaign`] fans out over
+//! a declarative [`ScenarioGrid`] (workload family × size × seed ×
+//! engine configuration × synthesis objective × technology × floorplan
+//! seed × simulation spec), runs the full pipeline (floorplan →
+//! decomposition → architecture → wormhole simulation) for every point on
+//! a worker pool, and folds the results into a multi-objective
+//! [Pareto front](pareto) over energy, latency, area and synthesis effort
+//! — with dominance-based pruning, per-scenario provenance, and
+//! streaming JSON [reports](report).
+//!
+//! Work is deduplicated at two layers:
+//!
+//! * scenario points differing only in simulation spec share one
+//!   synthesized architecture (the campaign synthesizes once per
+//!   *synthesis key*);
+//! * searches over the same application graph share a
+//!   [`SharedMatchCache`](noc::synthesis::SharedMatchCache), so VF2
+//!   match enumeration — the decomposition hot path — is paid once per
+//!   (remaining graph, primitive) across the whole campaign.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use noc::prelude::*;
+//! use noc::workloads::WorkloadFamily;
+//! use noc_explore::{Campaign, ScenarioGrid, WorkloadSpec};
+//!
+//! let grid = ScenarioGrid::new()
+//!     .workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)])
+//!     .synthesis_objectives([Objective::Links, Objective::Energy]);
+//! let report = Campaign::new(grid).run();
+//! assert_eq!(report.points.len(), 2);
+//! for point in report.front_points() {
+//!     println!("{}: {:?}", point.label, point.objectives);
+//! }
+//! println!("{}", report.to_json());
+//! ```
+//!
+//! Reports are deterministic per grid at any thread count; see the
+//! [`campaign`] module docs for why.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod campaign;
+pub mod pareto;
+pub mod report;
+pub mod scenario;
+
+pub use campaign::Campaign;
+pub use pareto::{dominates, pareto_indices, ObjectiveKind, ParetoFront};
+pub use report::{CampaignReport, JsonLinesSink, NullSink, PointRecord, ResultSink};
+pub use scenario::{Scenario, ScenarioGrid, SimSpec, WorkloadSpec};
+
+/// The common imports for declaring and running campaigns.
+pub mod prelude {
+    pub use crate::campaign::Campaign;
+    pub use crate::pareto::{ObjectiveKind, ParetoFront};
+    pub use crate::report::{CampaignReport, JsonLinesSink, ResultSink};
+    pub use crate::scenario::{ScenarioGrid, SimSpec, WorkloadSpec};
+    pub use noc::workloads::WorkloadFamily;
+}

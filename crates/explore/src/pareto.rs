@@ -1,0 +1,217 @@
+//! Multi-objective dominance and the Pareto front.
+//!
+//! Every objective is *minimized*. A point `a` **dominates** `b` when `a`
+//! is no worse in every objective and strictly better in at least one
+//! (Marcon et al.'s energy/timing trade-off generalized to an arbitrary
+//! objective vector). The Pareto front is the set of offered points no
+//! other offered point dominates; equal vectors do not dominate each
+//! other, so exact ties all stay on the front — which is what makes the
+//! front a pure *set* property, invariant under the order points arrive
+//! in (campaign workers finish in nondeterministic order).
+
+/// The metrics a campaign can fold into its objective vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ObjectiveKind {
+    /// Total communication energy at the measurement load point, joules.
+    EnergyJoules,
+    /// Mean packet latency at the measurement load point, cycles.
+    AvgLatencyCycles,
+    /// Chip area of the floorplan, mm².
+    AreaMm2,
+    /// Synthesis wall-time, milliseconds. **Nondeterministic** — two runs
+    /// of the same scenario measure different times, so fronts over this
+    /// objective are not reproducible. Excluded from
+    /// [`ObjectiveKind::DEFAULT`] for exactly that reason; opt in when
+    /// exploring synthesis-effort trade-offs interactively.
+    SynthTimeMs,
+}
+
+impl ObjectiveKind {
+    /// The default campaign objective vector: the deterministic triple
+    /// (energy, latency, area).
+    pub const DEFAULT: [ObjectiveKind; 3] = [
+        ObjectiveKind::EnergyJoules,
+        ObjectiveKind::AvgLatencyCycles,
+        ObjectiveKind::AreaMm2,
+    ];
+
+    /// Stable snake_case label used in JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObjectiveKind::EnergyJoules => "energy_joules",
+            ObjectiveKind::AvgLatencyCycles => "avg_latency_cycles",
+            ObjectiveKind::AreaMm2 => "area_mm2",
+            ObjectiveKind::SynthTimeMs => "synth_time_ms",
+        }
+    }
+}
+
+/// `true` when `a` dominates `b` under minimization: `a[i] <= b[i]` for
+/// every objective and `a[i] < b[i]` for at least one.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use noc_explore::pareto::dominates;
+///
+/// assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+/// assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal: no domination
+/// assert!(!dominates(&[0.0, 9.0], &[1.0, 2.0])); // trade-off: incomparable
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must align");
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// One non-dominated member of a [`ParetoFront`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontMember {
+    /// Caller-chosen identity of the point (campaigns use the scenario id).
+    pub index: usize,
+    /// The point's objective vector.
+    pub objectives: Vec<f64>,
+}
+
+/// An incrementally maintained Pareto front with dominance-based pruning:
+/// offering a dominated point is a no-op, and offering a dominating point
+/// evicts every member it dominates.
+///
+/// # Examples
+///
+/// ```
+/// use noc_explore::pareto::ParetoFront;
+///
+/// let mut front = ParetoFront::new(2);
+/// assert!(front.offer(0, vec![1.0, 5.0]));
+/// assert!(front.offer(1, vec![5.0, 1.0])); // incomparable: both stay
+/// assert!(!front.offer(2, vec![6.0, 2.0])); // dominated by point 1
+/// assert!(front.offer(3, vec![0.5, 0.5])); // dominates both: they leave
+/// assert_eq!(front.indices(), vec![3]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFront {
+    dims: usize,
+    members: Vec<FrontMember>,
+}
+
+impl ParetoFront {
+    /// An empty front over `dims`-dimensional objective vectors.
+    pub fn new(dims: usize) -> Self {
+        ParetoFront {
+            dims,
+            members: Vec::new(),
+        }
+    }
+
+    /// Offers a point; returns whether it joined the front (i.e. no
+    /// current member dominates it). Members the new point dominates are
+    /// pruned.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong-length or non-finite objective vector — a NaN
+    /// breaks the transitivity dominance pruning relies on, so it is
+    /// rejected loudly rather than silently corrupting the front.
+    pub fn offer(&mut self, index: usize, objectives: Vec<f64>) -> bool {
+        assert_eq!(objectives.len(), self.dims, "objective vector length");
+        assert!(
+            objectives.iter().all(|v| v.is_finite()),
+            "non-finite objective for point {index}: {objectives:?}"
+        );
+        if self
+            .members
+            .iter()
+            .any(|m| dominates(&m.objectives, &objectives))
+        {
+            return false;
+        }
+        self.members
+            .retain(|m| !dominates(&objectives, &m.objectives));
+        // Keep members sorted by index so the front reads in scenario
+        // order regardless of offer order.
+        let at = self.members.partition_point(|m| m.index < index);
+        self.members.insert(at, FrontMember { index, objectives });
+        true
+    }
+
+    /// The current non-dominated members, sorted by index.
+    pub fn members(&self) -> &[FrontMember] {
+        &self.members
+    }
+
+    /// The member indices, sorted ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        self.members.iter().map(|m| m.index).collect()
+    }
+
+    /// Number of members on the front.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no point has been offered (or all were pruned, which
+    /// cannot happen: the first offer always joins).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Indices of the non-dominated vectors in `vectors`, sorted ascending —
+/// the one-shot form of [`ParetoFront`].
+pub fn pareto_indices(vectors: &[Vec<f64>]) -> Vec<usize> {
+    let dims = vectors.first().map_or(0, Vec::len);
+    let mut front = ParetoFront::new(dims);
+    for (i, v) in vectors.iter().enumerate() {
+        front.offer(i, v.clone());
+    }
+    front.indices()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_objective_front_is_the_minimum() {
+        let vs: Vec<Vec<f64>> = [3.0, 1.0, 2.0, 1.0].iter().map(|&v| vec![v]).collect();
+        // Both points tied at the minimum stay.
+        assert_eq!(pareto_indices(&vs), vec![1, 3]);
+    }
+
+    #[test]
+    fn equal_vectors_coexist() {
+        let mut front = ParetoFront::new(2);
+        assert!(front.offer(7, vec![1.0, 1.0]));
+        assert!(front.offer(2, vec![1.0, 1.0]));
+        assert_eq!(front.indices(), vec![2, 7]);
+    }
+
+    #[test]
+    fn dominating_offer_evicts_members() {
+        let mut front = ParetoFront::new(2);
+        front.offer(0, vec![2.0, 2.0]);
+        front.offer(1, vec![3.0, 1.0]);
+        front.offer(2, vec![1.0, 1.0]);
+        assert_eq!(front.indices(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite objective")]
+    fn nan_is_rejected() {
+        ParetoFront::new(1).offer(0, vec![f64::NAN]);
+    }
+}

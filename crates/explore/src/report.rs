@@ -1,0 +1,336 @@
+//! Campaign results: per-point records, the campaign report, streaming
+//! sinks, and the hand-rolled JSON serialization (consistent with the
+//! repository's `BENCH_*.json` files — no serde in this workspace).
+
+use std::io::Write;
+
+use crate::pareto::ObjectiveKind;
+
+/// One sampled load point of a scenario's sweep, as recorded in reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPointRecord {
+    /// Offered injection rate (packets/node/cycle).
+    pub rate: f64,
+    /// Mean packet latency, cycles.
+    pub latency_cycles: f64,
+    /// Delivered throughput, payload bits per cycle.
+    pub throughput_bits_per_cycle: f64,
+    /// Total communication energy, joules.
+    pub energy_joules: f64,
+}
+
+/// Everything recorded about one evaluated scenario point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// Scenario id (position in the grid enumeration).
+    pub scenario_id: usize,
+    /// Human-readable scenario label.
+    pub label: String,
+    /// Workload label (family, size, seed).
+    pub workload: String,
+    /// Node count of the instantiated application.
+    pub nodes: usize,
+    /// Engine-axis label.
+    pub engine: String,
+    /// Synthesis objective, `Debug`-formatted.
+    pub synthesis_objective: String,
+    /// Technology profile name.
+    pub technology: String,
+    /// Sim-spec label.
+    pub sim: String,
+    /// Objective vector, parallel to the campaign's
+    /// [`ObjectiveKind`] list; empty when `error` is set.
+    pub objectives: Vec<f64>,
+    /// Filled after the campaign completes: `true` iff this point is on
+    /// the Pareto front.
+    pub on_front: bool,
+    /// `true` when the synthesized architecture was reused from another
+    /// scenario sharing the same synthesis key.
+    pub reused_synthesis: bool,
+    /// Best decomposition cost (the paper's COST).
+    pub total_cost: f64,
+    /// Search-tree nodes expanded by the owning synthesis run (reused
+    /// points repeat the owner's value — sum over *non-reused* points
+    /// for total campaign search effort).
+    pub nodes_visited: u64,
+    /// VF2 cache hits of the owning synthesis run (repeated on reused
+    /// points, like [`nodes_visited`](Self::nodes_visited)). With a
+    /// campaign-shared match cache and several workers, which of two
+    /// concurrent runs gets the hit is scheduling-dependent — this is
+    /// the one provenance field a thread count can perturb.
+    pub cache_hits: u64,
+    /// Synthesis wall-time, ms (the original run's time when reused).
+    pub synth_ms: f64,
+    /// The simulated latency-vs-load curve (possibly truncated by the
+    /// saturation cutoff).
+    pub sweep: Vec<SweepPointRecord>,
+    /// `true` when the saturation cutoff stopped the ramp early.
+    pub saturated: bool,
+    /// Failure description when the flow or simulation failed; such
+    /// points never join the front.
+    pub error: Option<String>,
+}
+
+impl PointRecord {
+    /// The record as a single-line JSON object (the streaming form emitted
+    /// by [`JsonLinesSink`] and embedded in [`CampaignReport::to_json`]).
+    pub fn to_json(&self, kinds: &[ObjectiveKind]) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        push_kv(&mut s, "scenario_id", &self.scenario_id.to_string());
+        push_str_kv(&mut s, "label", &self.label);
+        push_str_kv(&mut s, "workload", &self.workload);
+        push_kv(&mut s, "nodes", &self.nodes.to_string());
+        push_str_kv(&mut s, "engine", &self.engine);
+        push_str_kv(&mut s, "synthesis_objective", &self.synthesis_objective);
+        push_str_kv(&mut s, "technology", &self.technology);
+        push_str_kv(&mut s, "sim", &self.sim);
+        if let Some(error) = &self.error {
+            push_str_kv(&mut s, "error", error);
+        } else {
+            for (kind, value) in kinds.iter().zip(&self.objectives) {
+                push_kv(&mut s, kind.label(), &json_f64(*value));
+            }
+            push_kv(
+                &mut s,
+                "on_front",
+                if self.on_front { "true" } else { "false" },
+            );
+        }
+        push_kv(
+            &mut s,
+            "reused_synthesis",
+            if self.reused_synthesis {
+                "true"
+            } else {
+                "false"
+            },
+        );
+        push_kv(&mut s, "total_cost", &json_f64(self.total_cost));
+        push_kv(&mut s, "nodes_visited", &self.nodes_visited.to_string());
+        push_kv(&mut s, "cache_hits", &self.cache_hits.to_string());
+        push_kv(&mut s, "synth_ms", &json_f64(self.synth_ms));
+        push_kv(
+            &mut s,
+            "saturated",
+            if self.saturated { "true" } else { "false" },
+        );
+        let sweep: Vec<String> = self
+            .sweep
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"rate\": {}, \"latency_cycles\": {}, \"throughput_bits_per_cycle\": {}, \"energy_joules\": {}}}",
+                    json_f64(p.rate),
+                    json_f64(p.latency_cycles),
+                    json_f64(p.throughput_bits_per_cycle),
+                    json_f64(p.energy_joules),
+                )
+            })
+            .collect();
+        push_kv(&mut s, "sweep", &format!("[{}]", sweep.join(", ")));
+        s.push('}');
+        s
+    }
+}
+
+/// The folded outcome of a whole campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The objective vector's dimensions, in order.
+    pub objective_kinds: Vec<ObjectiveKind>,
+    /// One record per scenario, in scenario-id order.
+    pub points: Vec<PointRecord>,
+    /// Scenario ids on the Pareto front, ascending.
+    pub front: Vec<usize>,
+    /// Campaign worker threads used.
+    pub threads: usize,
+    /// Full synthesis runs executed.
+    pub flows_synthesized: usize,
+    /// Scenario points that reused a shared synthesis artifact.
+    pub synthesis_reused: usize,
+    /// Campaign wall-time, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl CampaignReport {
+    /// The records on the Pareto front, in scenario order.
+    pub fn front_points(&self) -> impl Iterator<Item = &PointRecord> {
+        self.points.iter().filter(|p| p.on_front)
+    }
+
+    /// Serializes the full report (hand-rolled, stable key order).
+    pub fn to_json(&self) -> String {
+        let kinds: Vec<String> = self
+            .objective_kinds
+            .iter()
+            .map(|k| format!("\"{}\"", k.label()))
+            .collect();
+        let front: Vec<String> = self.front.iter().map(usize::to_string).collect();
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| format!("    {}", p.to_json(&self.objective_kinds)))
+            .collect();
+        format!(
+            "{{\n  \"report\": \"noc_explore_campaign\",\n  \"objectives\": [{}],\n  \"threads\": {},\n  \"flows_synthesized\": {},\n  \"synthesis_reused\": {},\n  \"wall_ms\": {},\n  \"pareto_front\": [{}],\n  \"points\": [\n{}\n  ]\n}}\n",
+            kinds.join(", "),
+            self.threads,
+            self.flows_synthesized,
+            self.synthesis_reused,
+            json_f64(self.wall_ms),
+            front.join(", "),
+            points.join(",\n"),
+        )
+    }
+}
+
+/// Receives campaign results as they are produced.
+///
+/// `point` fires once per completed scenario, in **completion order** —
+/// nondeterministic under a multi-threaded campaign, though each record's
+/// content is deterministic. `finish` fires once with the assembled
+/// report (records in scenario order, front flags filled in).
+pub trait ResultSink: Send {
+    /// A scenario point finished evaluating.
+    fn point(&mut self, record: &PointRecord);
+    /// The campaign completed.
+    fn finish(&mut self, _report: &CampaignReport) {}
+}
+
+/// Discards everything ([`Campaign::run`](crate::Campaign::run) uses it).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl ResultSink for NullSink {
+    fn point(&mut self, _record: &PointRecord) {}
+}
+
+/// Streams each completed point as one JSON object per line (JSON Lines),
+/// flushing after every record so progress is observable while the
+/// campaign runs.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: W,
+    kinds: Vec<ObjectiveKind>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps `writer`; `kinds` must match the campaign's objective vector.
+    pub fn new(writer: W, kinds: Vec<ObjectiveKind>) -> Self {
+        JsonLinesSink { writer, kinds }
+    }
+}
+
+impl<W: Write + Send> ResultSink for JsonLinesSink<W> {
+    fn point(&mut self, record: &PointRecord) {
+        let _ = writeln!(self.writer, "{}", record.to_json(&self.kinds));
+        let _ = self.writer.flush();
+    }
+}
+
+/// JSON-formats a float (`null` for non-finite values, which JSON cannot
+/// represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_kv(s: &mut String, key: &str, raw_value: &str) {
+    if !s.ends_with('{') {
+        s.push_str(", ");
+    }
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\": ");
+    s.push_str(raw_value);
+}
+
+fn push_str_kv(s: &mut String, key: &str, value: &str) {
+    let escaped: String = value
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    push_kv(s, key, &format!("\"{escaped}\""));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> PointRecord {
+        PointRecord {
+            scenario_id: 3,
+            label: "fig5/dfs/Links/cmos_180nm/fp1/base_load".into(),
+            workload: "fig5".into(),
+            nodes: 8,
+            engine: "dfs".into(),
+            synthesis_objective: "Links".into(),
+            technology: "cmos_180nm".into(),
+            sim: "base_load".into(),
+            objectives: vec![1.5e-9, 12.25, 16.0],
+            on_front: true,
+            reused_synthesis: false,
+            total_cost: 17.0,
+            nodes_visited: 42,
+            cache_hits: 7,
+            synth_ms: 0.5,
+            sweep: vec![SweepPointRecord {
+                rate: 0.05,
+                latency_cycles: 12.25,
+                throughput_bits_per_cycle: 3.0,
+                energy_joules: 1.5e-9,
+            }],
+            saturated: false,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn point_json_is_well_formed() {
+        let json = record().to_json(&ObjectiveKind::DEFAULT);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"energy_joules\": 0.0000000015"));
+        assert!(json.contains("\"on_front\": true"));
+        assert!(json.contains("\"sweep\": [{\"rate\": 0.05"));
+        assert!(!json.contains("error"));
+    }
+
+    #[test]
+    fn failed_points_serialize_the_error_instead_of_objectives() {
+        let mut r = record();
+        r.error = Some("no legal decomposition".into());
+        r.objectives.clear();
+        let json = r.to_json(&ObjectiveKind::DEFAULT);
+        assert!(json.contains("\"error\": \"no legal decomposition\""));
+        assert!(!json.contains("on_front"));
+    }
+
+    #[test]
+    fn string_escaping_handles_quotes_and_newlines() {
+        let mut s = String::from("{");
+        push_str_kv(&mut s, "k", "a\"b\\c\nd");
+        assert_eq!(s, "{\"k\": \"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_point() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonLinesSink::new(&mut buf, ObjectiveKind::DEFAULT.to_vec());
+            sink.point(&record());
+            sink.point(&record());
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+}

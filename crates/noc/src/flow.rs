@@ -9,7 +9,7 @@ use noc_primitives::CommLibrary;
 use noc_sim::NocModel;
 use noc_synthesis::{
     constraints, Architecture, ConstraintReport, CostModel, Decomposer, DecomposerConfig,
-    Decomposition, Objective, SearchOrder, SearchStats,
+    Decomposition, Objective, SearchOrder, SearchStats, SharedMatchCache,
 };
 
 /// Why a synthesis flow failed.
@@ -189,6 +189,16 @@ impl SynthesisFlow {
         self
     }
 
+    /// Shares a VF2 match-enumeration cache with other flows over the same
+    /// application graph (exploration campaigns hand every scenario on one
+    /// workload the same cache; see
+    /// [`SharedMatchCache`](noc_synthesis::SharedMatchCache)).
+    #[must_use]
+    pub fn shared_match_cache(mut self, cache: SharedMatchCache) -> Self {
+        self.config.shared_cache = Some(cache);
+        self
+    }
+
     /// Runs floorplanning, decomposition and architecture gluing.
     ///
     /// # Errors
@@ -197,7 +207,15 @@ impl SynthesisFlow {
     /// rejects every leaf. Without constraint enforcement the flow always
     /// succeeds (the all-remainder decomposition is a valid fallback).
     pub fn run(&self) -> Result<FlowResult, FlowError> {
-        let placement = match &self.placement {
+        self.run_with_placement(self.auto_placement())
+    }
+
+    /// The placement [`run`](Self::run) would use: the explicit one if set,
+    /// otherwise the automatic floorplan. Campaigns floorplan once through
+    /// this and feed the result to [`run_with_placement`] across scenario
+    /// points that share physical inputs.
+    pub fn auto_placement(&self) -> Placement {
+        match &self.placement {
             Some(p) => p.clone(),
             None => {
                 // Volume-weighted wirelength pulls chatty cores together.
@@ -208,8 +226,7 @@ impl SynthesisFlow {
                     .collect();
                 self.floorplan(self.seed, connections)
             }
-        };
-        self.run_with_placement(placement)
+        }
     }
 
     /// The paper's first future-work item (Section 6): "relax the initial
@@ -269,7 +286,16 @@ impl SynthesisFlow {
             .run()
     }
 
-    fn run_with_placement(&self, placement: Placement) -> Result<FlowResult, FlowError> {
+    /// Runs decomposition and architecture gluing against an
+    /// already-computed placement — the artifact-reuse entry point:
+    /// [`auto_placement`](Self::auto_placement) (or a previous
+    /// [`FlowResult::placement`]) can be shared across many runs whose
+    /// scenario differs only in search knobs or technology.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with_placement(&self, placement: Placement) -> Result<FlowResult, FlowError> {
         let cost_model = CostModel::new(
             EnergyModel::new(self.technology.clone()),
             placement.clone(),

@@ -27,6 +27,12 @@
 //! | [`aes`] | `noc-aes` | AES-128 + 16-node distributed engine |
 //! | [`workloads`] | `noc-workloads` | TGFF/Pajek benchmark generators |
 //!
+//! One layer sits *above* this facade: the `noc-explore` crate runs
+//! whole campaigns of [`SynthesisFlow`]s over a declarative scenario grid
+//! and folds the results into a multi-objective Pareto front. (It depends
+//! on this crate, so it cannot be re-exported from here — add
+//! `noc-explore` directly.)
+//!
 //! # Quickstart
 //!
 //! ```
@@ -69,7 +75,7 @@ pub mod prelude {
     pub use noc_sim::{NocModel, SimConfig, Simulator};
     pub use noc_synthesis::{
         Architecture, CostModel, Decomposer, DecomposerConfig, Decomposition, Objective,
-        SearchOrder,
+        SearchOrder, SharedMatchCache,
     };
     pub use noc_workloads::{tgff, TgffConfig};
 }

@@ -3,6 +3,7 @@
 //! future work of the paper's Section 6).
 
 use noc_energy::EnergyModel;
+use noc_graph::NodeId;
 
 use crate::{traffic, NocModel, SimConfig, SimError, Simulator};
 
@@ -17,6 +18,8 @@ pub struct LoadPoint {
     pub throughput_bits_per_cycle: f64,
     /// Packets delivered at this point.
     pub packets: usize,
+    /// Total communication energy dissipated at this point, joules.
+    pub energy_joules: f64,
 }
 
 /// Configuration of a [`sweep`].
@@ -32,6 +35,18 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Simulator configuration.
     pub sim: SimConfig,
+    /// Stop the rate ramp once a point's mean latency exceeds this multiple
+    /// of the zero-load latency (the first sampled point that delivered
+    /// packets). `None` (the default) simulates every configured rate.
+    /// Past saturation the closed-loop latency only keeps climbing, so
+    /// cutting the ramp saves the most expensive points of a sweep without
+    /// changing any point that is reported.
+    pub saturation_cutoff: Option<f64>,
+    /// Restrict traffic to these source–destination pairs (see
+    /// [`traffic::bernoulli_pairs`]). `None` (the default) draws uniform
+    /// pairs over all nodes — the right model for meshes, but unroutable
+    /// on custom architectures that only provide application routes.
+    pub pairs: Option<Vec<(NodeId, NodeId)>>,
 }
 
 impl Default for SweepConfig {
@@ -42,6 +57,8 @@ impl Default for SweepConfig {
             payload_bits: 64,
             seed: 1,
             sim: SimConfig::default(),
+            saturation_cutoff: None,
+            pairs: None,
         }
     }
 }
@@ -50,7 +67,11 @@ impl Default for SweepConfig {
 ///
 /// Each point generates fresh traffic at the given rate and simulates it to
 /// completion (closed makespan measurement: the curve turns upward as the
-/// network saturates).
+/// network saturates). With
+/// [`saturation_cutoff`](SweepConfig::saturation_cutoff) set, the ramp
+/// stops after the first point whose latency exceeds the cutoff multiple of
+/// the zero-load latency, so the returned curve may be shorter than
+/// `config.rates`.
 ///
 /// # Errors
 ///
@@ -82,21 +103,43 @@ pub fn sweep(
     energy: &EnergyModel,
 ) -> Result<Vec<LoadPoint>, SimError> {
     let mut points = Vec::with_capacity(config.rates.len());
+    let mut zero_load_latency: Option<f64> = None;
     for &rate in &config.rates {
-        let events = traffic::bernoulli(
-            model.node_count(),
-            config.duration_cycles,
-            rate,
-            config.payload_bits,
-            config.seed,
-        );
+        let events = match &config.pairs {
+            Some(pairs) => traffic::bernoulli_pairs(
+                pairs,
+                config.duration_cycles,
+                rate,
+                config.payload_bits,
+                config.seed,
+            ),
+            None => traffic::bernoulli(
+                model.node_count(),
+                config.duration_cycles,
+                rate,
+                config.payload_bits,
+                config.seed,
+            ),
+        };
         let report = Simulator::new(model, config.sim, energy.clone()).run(events)?;
-        points.push(LoadPoint {
+        let point = LoadPoint {
             injection_rate: rate,
             avg_latency_cycles: report.avg_packet_latency_cycles,
             throughput_bits_per_cycle: report.throughput_bits_per_cycle(),
             packets: report.packets_delivered,
-        });
+            energy_joules: report.energy.total().joules(),
+        };
+        let latency = point.avg_latency_cycles;
+        let delivered = point.packets > 0;
+        points.push(point);
+        if delivered && zero_load_latency.is_none() {
+            zero_load_latency = Some(latency);
+        }
+        if let (Some(cutoff), Some(zero_load)) = (config.saturation_cutoff, zero_load_latency) {
+            if latency > cutoff * zero_load {
+                break;
+            }
+        }
     }
     Ok(points)
 }
@@ -135,6 +178,83 @@ mod tests {
         let points = sweep(&model, &config, &energy()).unwrap();
         assert_eq!(points[0].packets, 0);
         assert_eq!(points[0].avg_latency_cycles, 0.0);
+    }
+
+    #[test]
+    fn saturation_cutoff_truncates_the_ramp() {
+        let model = NocModel::mesh(4, 4, 1.0);
+        let saturating = vec![0.02, 0.45, 0.55, 0.65, 0.75];
+        let full = sweep(
+            &model,
+            &SweepConfig {
+                rates: saturating.clone(),
+                duration_cycles: 400,
+                ..Default::default()
+            },
+            &energy(),
+        )
+        .unwrap();
+        assert_eq!(full.len(), saturating.len(), "default keeps every rate");
+
+        let cut = sweep(
+            &model,
+            &SweepConfig {
+                rates: saturating,
+                duration_cycles: 400,
+                saturation_cutoff: Some(2.0),
+                ..Default::default()
+            },
+            &energy(),
+        )
+        .unwrap();
+        assert!(cut.len() < full.len(), "cutoff should stop the ramp early");
+        // The points that are reported are identical to the full sweep.
+        assert_eq!(cut, full[..cut.len()]);
+        // Everything before the stopping point is below the cutoff.
+        let zero_load = cut[0].avg_latency_cycles;
+        for p in &cut[..cut.len() - 1] {
+            assert!(p.avg_latency_cycles <= 2.0 * zero_load);
+        }
+    }
+
+    #[test]
+    fn pair_restricted_sweep_only_loads_those_pairs() {
+        use noc_graph::NodeId;
+        let model = NocModel::mesh(3, 3, 1.0);
+        let pairs = vec![(NodeId(0), NodeId(8)), (NodeId(4), NodeId(2))];
+        let points = sweep(
+            &model,
+            &SweepConfig {
+                rates: vec![0.5],
+                duration_cycles: 200,
+                pairs: Some(pairs),
+                ..Default::default()
+            },
+            &energy(),
+        )
+        .unwrap();
+        assert!(points[0].packets > 0);
+        // Two sources at rate 0.5 over 200 cycles ≈ 200 offered packets;
+        // uniform traffic over 9 nodes would offer ~900.
+        assert!(points[0].packets < 400);
+    }
+
+    #[test]
+    fn points_account_energy() {
+        let model = NocModel::mesh(3, 3, 1.0);
+        let points = sweep(
+            &model,
+            &SweepConfig {
+                rates: vec![0.05, 0.15],
+                duration_cycles: 200,
+                ..Default::default()
+            },
+            &energy(),
+        )
+        .unwrap();
+        assert!(points[0].energy_joules > 0.0);
+        // More offered traffic dissipates more energy.
+        assert!(points[1].energy_joules > points[0].energy_joules);
     }
 
     #[test]

@@ -75,6 +75,50 @@ pub fn bernoulli(
     events
 }
 
+/// Bernoulli traffic restricted to `pairs`: every cycle, each distinct
+/// source in the pair set injects with probability `injection_rate`, to a
+/// destination drawn uniformly among *its* pairs. Deterministic per
+/// `seed`.
+///
+/// This is the load model for custom synthesized architectures, which
+/// only guarantee routes for application (ACG) pairs — uniform traffic
+/// would ask for routes the topology was never built to provide.
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty, contains a self-pair, or the rate is not a
+/// probability.
+pub fn bernoulli_pairs(
+    pairs: &[(NodeId, NodeId)],
+    duration_cycles: u64,
+    injection_rate: f64,
+    payload_bits: u64,
+    seed: u64,
+) -> Vec<TrafficEvent> {
+    assert!(!pairs.is_empty(), "traffic needs at least one pair");
+    assert!(
+        (0.0..=1.0).contains(&injection_rate),
+        "injection rate must be a probability"
+    );
+    // Stable per-source destination lists, in source order.
+    let mut by_src: std::collections::BTreeMap<NodeId, Vec<NodeId>> = Default::default();
+    for &(src, dst) in pairs {
+        assert_ne!(src, dst, "self-pair in traffic pairs");
+        by_src.entry(src).or_default().push(dst);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    for cycle in 0..duration_cycles {
+        for (&src, dsts) in &by_src {
+            if rng.gen::<f64>() < injection_rate {
+                let dst = dsts[rng.gen_range(0..dsts.len())];
+                events.push(TrafficEvent::new(cycle, src, dst, payload_bits));
+            }
+        }
+    }
+    events
+}
+
 /// One "iteration" of an application ACG: every ACG edge sends its volume
 /// as a single packet at cycle 0. The simplest trace for comparing two
 /// architectures on the same demands.

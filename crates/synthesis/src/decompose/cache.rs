@@ -21,11 +21,61 @@
 //! orders of magnitude.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use noc_graph::{iso::Mapping, BitSetKey, Edge};
 use noc_primitives::PrimitiveId;
+
+/// A match cache shared *across* decomposer runs.
+///
+/// The per-run cache already amortizes VF2 work within one search; a shared
+/// cache extends that across searches of the **same application graph**
+/// (different placements, technologies, objectives or engine knobs), where
+/// identical remaining graphs recur and the enumeration is placement- and
+/// cost-independent. Exploration campaigns (`noc-explore`) hand one of
+/// these to every scenario point that runs the same workload.
+///
+/// Edge keys only identify a graph *given its vertex count* (the bitset is
+/// indexed `src * n + dst`), so a shared cache binds to the vertex count of
+/// the first search that uses it; a decomposer handed a cache bound to a
+/// different count silently falls back to a private per-run cache rather
+/// than risk key collisions.
+#[derive(Debug, Clone)]
+pub struct SharedMatchCache {
+    inner: Arc<MatchCache>,
+}
+
+impl SharedMatchCache {
+    /// An empty shared cache holding at most `capacity` distinct remaining
+    /// graphs.
+    pub fn new(capacity: usize) -> Self {
+        SharedMatchCache {
+            inner: Arc::new(MatchCache::new(capacity)),
+        }
+    }
+
+    /// Cumulative hits across every run that used this cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    /// Cumulative misses across every run that used this cache.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// Binds the cache to `vertex_count` (first caller wins) and reports
+    /// whether a search over that many vertices may use it.
+    pub(crate) fn bind(&self, vertex_count: usize) -> bool {
+        self.inner.bind(vertex_count)
+    }
+
+    /// The underlying cache handle.
+    pub(crate) fn inner(&self) -> Arc<MatchCache> {
+        Arc::clone(&self.inner)
+    }
+}
 
 /// One primitive's complete distinct-image enumeration on one remaining
 /// graph: each mapping paired with its covered (image) edge set, sorted.
@@ -40,6 +90,8 @@ pub(crate) struct MatchCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Vertex count the keys are valid for; `0` until the first bind.
+    vertex_count: AtomicUsize,
 }
 
 impl MatchCache {
@@ -51,6 +103,21 @@ impl MatchCache {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            vertex_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Binds the cache to `vertex_count` on first use; returns whether the
+    /// cache is usable for graphs of that vertex count.
+    pub(crate) fn bind(&self, vertex_count: usize) -> bool {
+        match self.vertex_count.compare_exchange(
+            0,
+            vertex_count,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => true,
+            Err(bound) => bound == vertex_count,
         }
     }
 

@@ -58,6 +58,8 @@ use crate::{
 use cache::{ImageList, MatchCache};
 use frontier::{path_to_vec, Frontier, PathLink, SearchNode};
 
+pub use cache::SharedMatchCache;
+
 /// One matched primitive instance on the decomposition path.
 #[derive(Debug, Clone)]
 pub struct Matching {
@@ -240,6 +242,13 @@ pub struct DecomposerConfig {
     pub use_match_cache: bool,
     /// Maximum match-cache entries kept (bounds memory on huge searches).
     pub match_cache_capacity: usize,
+    /// A [`SharedMatchCache`] reused *across* runs (exploration campaigns
+    /// hand the same cache to every scenario on the same workload). Only
+    /// honored while `use_match_cache` is `true`, and only when the cache's
+    /// bound vertex count matches this search's graph — otherwise the run
+    /// falls back to a private cache. [`SearchStats`] hit/miss counts stay
+    /// per-run either way.
+    pub shared_cache: Option<SharedMatchCache>,
 }
 
 impl Default for DecomposerConfig {
@@ -255,6 +264,7 @@ impl Default for DecomposerConfig {
             threads: 1,
             use_match_cache: true,
             match_cache_capacity: 1 << 16,
+            shared_cache: None,
         }
     }
 }
@@ -316,6 +326,14 @@ impl<'a> Decomposer<'a> {
             })
             .fold(1.0_f64, f64::max);
 
+        let cache = self.config.use_match_cache.then(|| {
+            // A shared cache is only sound while its edge keys cannot
+            // collide: same vertex count as the graph that bound it.
+            match &self.config.shared_cache {
+                Some(shared) if shared.bind(self.acg.graph().node_count()) => shared.inner(),
+                _ => Arc::new(MatchCache::new(self.config.match_cache_capacity)),
+            }
+        });
         let ctx = EngineCtx {
             acg: self.acg,
             library: self.library,
@@ -323,10 +341,13 @@ impl<'a> Decomposer<'a> {
             config: &self.config,
             deadline,
             best_ratio,
-            cache: self
-                .config
-                .use_match_cache
-                .then(|| MatchCache::new(self.config.match_cache_capacity)),
+            cache,
+            // Counted here, not derived from the cache's cumulative
+            // counters: a shared cache may serve other concurrently
+            // running decomposers, whose traffic must not leak into this
+            // run's stats.
+            run_cache_hits: AtomicU64::new(0),
+            run_cache_misses: AtomicU64::new(0),
         };
         let shared = SharedSearch::new();
         let root = SearchNode::root(self.acg.graph().clone());
@@ -341,10 +362,8 @@ impl<'a> Decomposer<'a> {
         }
 
         let mut stats = shared.snapshot();
-        if let Some(cache) = &ctx.cache {
-            stats.cache_hits = cache.hits();
-            stats.cache_misses = cache.misses();
-        }
+        stats.cache_hits = ctx.run_cache_hits.load(Ordering::Relaxed);
+        stats.cache_misses = ctx.run_cache_misses.load(Ordering::Relaxed);
         stats.elapsed = start.elapsed();
         DecompositionOutcome {
             best: shared.take_best(),
@@ -361,7 +380,11 @@ pub(crate) struct EngineCtx<'a> {
     pub(crate) config: &'a DecomposerConfig,
     pub(crate) deadline: Option<Instant>,
     pub(crate) best_ratio: f64,
-    pub(crate) cache: Option<MatchCache>,
+    pub(crate) cache: Option<Arc<MatchCache>>,
+    /// This run's cache traffic (the cache's own counters are cumulative
+    /// across every run sharing it).
+    run_cache_hits: AtomicU64,
+    run_cache_misses: AtomicU64,
 }
 
 impl EngineCtx<'_> {
@@ -376,8 +399,10 @@ impl EngineCtx<'_> {
     ) -> ImageList {
         if let (Some(cache), Some(key)) = (self.cache.as_ref(), key) {
             if let Some(hit) = cache.get(key, id) {
+                self.run_cache_hits.fetch_add(1, Ordering::Relaxed);
                 return hit;
             }
+            self.run_cache_misses.fetch_add(1, Ordering::Relaxed);
         }
         let pattern = primitive.representation();
         let mut matcher = Vf2::new(pattern, remaining).max_matches(self.config.max_raw_matches);
@@ -981,5 +1006,56 @@ mod tests {
             .run();
         assert!(out.stats.timed_out);
         assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn shared_cache_carries_enumerations_across_runs() {
+        let acg = pajek::fig5_benchmark();
+        let lib = CommLibrary::standard();
+        let shared = SharedMatchCache::new(1 << 12);
+        let config = DecomposerConfig {
+            shared_cache: Some(shared.clone()),
+            ..DecomposerConfig::default()
+        };
+        let cold = Decomposer::new(&acg, &lib, cost_model(Objective::Links, acg.core_count()))
+            .config(config.clone())
+            .run();
+        // Second run on the same workload under a different objective: the
+        // enumerations are cost-independent, so the search starts warm.
+        let warm = Decomposer::new(&acg, &lib, cost_model(Objective::Energy, acg.core_count()))
+            .config(config)
+            .run();
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert!(
+            warm.stats.cache_misses < cold.stats.cache_misses,
+            "warm run should re-enumerate less: {:?} vs {:?}",
+            warm.stats,
+            cold.stats
+        );
+        assert!(warm.stats.cache_hits > 0);
+        // Per-run stats are deltas, not the shared cumulative counters.
+        assert_eq!(shared.hits(), cold.stats.cache_hits + warm.stats.cache_hits);
+    }
+
+    #[test]
+    fn shared_cache_with_mismatched_vertex_count_falls_back() {
+        let lib = CommLibrary::standard();
+        let shared = SharedMatchCache::new(1 << 12);
+        let config = DecomposerConfig {
+            shared_cache: Some(shared.clone()),
+            ..DecomposerConfig::default()
+        };
+        let small = Acg::from_graph_uniform(DiGraph::complete(4), EdgeDemand::from_volume(8.0));
+        let big = Acg::from_graph_uniform(DiGraph::cycle(6), EdgeDemand::from_volume(8.0));
+        let a = Decomposer::new(&small, &lib, cost_model(Objective::Links, 4))
+            .config(config.clone())
+            .run();
+        let misses_after_small = shared.misses();
+        // The 6-vertex search must not touch the 4-vertex-bound cache.
+        let b = Decomposer::new(&big, &lib, cost_model(Objective::Links, 6))
+            .config(config)
+            .run();
+        assert_eq!(shared.misses(), misses_after_small);
+        assert!(a.best.is_some() && b.best.is_some());
     }
 }

@@ -34,6 +34,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod pajek;
+pub mod scenarios;
 mod tgff;
 
+pub use scenarios::WorkloadFamily;
 pub use tgff::{automotive_18, multimedia_16, tgff, TgffConfig};

@@ -1,0 +1,157 @@
+//! Scenario enumeration helpers for exploration campaigns.
+//!
+//! The benchmark generators in this crate each answer "give me *one*
+//! application"; a design-space exploration campaign (the `noc-explore`
+//! crate) instead asks for a *family* of applications swept over size and
+//! seed. [`WorkloadFamily`] names every generator behind one enum so a
+//! campaign axis can be declared as data, and [`WorkloadFamily::instantiate`]
+//! maps `(family, size, seed)` to a deterministic [`Acg`].
+
+use noc_graph::Acg;
+
+use crate::pajek;
+use crate::{automotive_18, multimedia_16, tgff, TgffConfig};
+
+/// Every workload generator in this crate, as a campaign axis value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum WorkloadFamily {
+    /// TGFF-style series-parallel task DAGs (Figure 4a's family).
+    Tgff,
+    /// Pajek-style planted graphs — unions of embedded communication
+    /// primitives plus noise (Figure 4b's family), with the density knobs
+    /// scaled from `n` exactly as the Figure 4b reproduction does.
+    PajekPlanted,
+    /// Pajek-style Erdős–Rényi digraphs with expected out-degree ~2.5.
+    ErdosRenyi,
+    /// The fixed 18-node automotive benchmark highlighted in Figure 4a.
+    Automotive,
+    /// The fixed 16-node multimedia benchmark.
+    Multimedia,
+    /// The fixed 8-node Figure 5 benchmark (reconstructed from the paper's
+    /// printed decomposition).
+    Fig5,
+}
+
+impl WorkloadFamily {
+    /// Every family, in a stable order (useful for grid axes).
+    pub const ALL: [WorkloadFamily; 6] = [
+        WorkloadFamily::Tgff,
+        WorkloadFamily::PajekPlanted,
+        WorkloadFamily::ErdosRenyi,
+        WorkloadFamily::Automotive,
+        WorkloadFamily::Multimedia,
+        WorkloadFamily::Fig5,
+    ];
+
+    /// A short stable label (used in campaign reports and scenario keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadFamily::Tgff => "tgff",
+            WorkloadFamily::PajekPlanted => "pajek_planted",
+            WorkloadFamily::ErdosRenyi => "erdos_renyi",
+            WorkloadFamily::Automotive => "automotive18",
+            WorkloadFamily::Multimedia => "multimedia16",
+            WorkloadFamily::Fig5 => "fig5",
+        }
+    }
+
+    /// For fixed benchmarks, the node count they always have; `None` for
+    /// the sized generator families.
+    pub fn fixed_size(self) -> Option<usize> {
+        match self {
+            WorkloadFamily::Automotive => Some(18),
+            WorkloadFamily::Multimedia => Some(16),
+            WorkloadFamily::Fig5 => Some(8),
+            _ => None,
+        }
+    }
+
+    /// The node count [`instantiate`](Self::instantiate) will actually
+    /// produce for a requested `n`.
+    pub fn effective_size(self, n: usize) -> usize {
+        self.fixed_size().unwrap_or(n)
+    }
+
+    /// Builds the deterministic workload for `(self, n, seed)`.
+    ///
+    /// Fixed benchmarks ignore `n` and `seed` (they are single concrete
+    /// applications); the sized families are deterministic per `(n, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sized family is asked for `n == 0`.
+    pub fn instantiate(self, n: usize, seed: u64) -> Acg {
+        match self {
+            WorkloadFamily::Tgff => tgff(&TgffConfig {
+                tasks: n,
+                seed,
+                ..TgffConfig::default()
+            }),
+            WorkloadFamily::PajekPlanted => planted_sized(n, seed),
+            WorkloadFamily::ErdosRenyi => {
+                let p = (2.5 / (n.max(2) as f64 - 1.0)).min(1.0);
+                pajek::erdos_renyi(n, p, 8.0, seed)
+            }
+            WorkloadFamily::Automotive => automotive_18(),
+            WorkloadFamily::Multimedia => multimedia_16(),
+            WorkloadFamily::Fig5 => pajek::fig5_benchmark(),
+        }
+    }
+}
+
+/// The Figure 4b planted-graph recipe: primitive counts scaled from `n`.
+/// This is the single source of truth for that scaling — the reproduction
+/// harness (`noc-bench::fig4b_workload`) and campaign grids both call it,
+/// so a campaign point at `(PajekPlanted, n, seed)` is byte-identical to
+/// the corresponding Figure 4b instance.
+pub fn planted_sized(n: usize, seed: u64) -> Acg {
+    pajek::planted(&pajek::PlantedConfig {
+        n,
+        gossip4: n / 8,
+        broadcast4: n / 10,
+        broadcast3: n / 8,
+        loops4: n / 10,
+        noise_prob: 0.01,
+        volume: 8.0,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_instantiates_deterministically() {
+        for family in WorkloadFamily::ALL {
+            let a = family.instantiate(10, 3);
+            let b = family.instantiate(10, 3);
+            assert_eq!(a, b, "{family:?} not deterministic");
+            assert_eq!(a.core_count(), family.effective_size(10));
+            assert!(a.graph().edge_count() > 0, "{family:?} is edgeless");
+        }
+    }
+
+    #[test]
+    fn fixed_families_ignore_size_and_seed() {
+        assert_eq!(
+            WorkloadFamily::Fig5.instantiate(30, 1),
+            WorkloadFamily::Fig5.instantiate(8, 99)
+        );
+        assert_eq!(WorkloadFamily::Automotive.effective_size(5), 18);
+    }
+
+    #[test]
+    fn sized_families_vary_with_seed() {
+        for family in [
+            WorkloadFamily::Tgff,
+            WorkloadFamily::PajekPlanted,
+            WorkloadFamily::ErdosRenyi,
+        ] {
+            let a = family.instantiate(16, 1);
+            let b = family.instantiate(16, 2);
+            assert_ne!(a, b, "{family:?} ignores its seed");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! A design-space exploration campaign end to end: sweep workloads,
+//! synthesis objectives and technologies, stream per-point results, and
+//! print the energy/latency/area Pareto front.
+//!
+//! Run with: `cargo run --release --example pareto_campaign`
+
+use noc::prelude::*;
+use noc_explore::prelude::*;
+
+fn main() {
+    // The scenario space: 2 fixed benchmarks + a TGFF size sweep, under
+    // both printed-COST (Links) and energy-driven synthesis, in two
+    // technology generations, each simulated over a short load ramp.
+    let grid = ScenarioGrid::new()
+        .workloads([
+            WorkloadSpec::fixed(WorkloadFamily::Fig5),
+            WorkloadSpec::fixed(WorkloadFamily::Multimedia),
+        ])
+        .workload_family(WorkloadFamily::Tgff, [8, 12], [7])
+        .synthesis_objectives([Objective::Links, Objective::Energy])
+        .technologies([
+            TechnologyProfile::cmos_180nm(),
+            TechnologyProfile::cmos_100nm(),
+        ])
+        .sims([SimSpec {
+            rates: vec![0.05, 0.15, 0.30],
+            duration_cycles: 300,
+            saturation_cutoff: Some(6.0),
+            ..SimSpec::default()
+        }]);
+
+    println!("campaign over {} scenario points\n", grid.len());
+
+    // Stream completions as JSON Lines to stderr while the campaign runs;
+    // the report itself comes back at the end.
+    let mut sink = JsonLinesSink::new(std::io::stderr(), ObjectiveKind::DEFAULT.to_vec());
+    let report = Campaign::new(grid)
+        .threads(0) // one worker per hardware thread
+        .run_with_sink(&mut sink);
+
+    println!(
+        "{} flows synthesized, {} reused, {:.0} ms wall\n",
+        report.flows_synthesized, report.synthesis_reused, report.wall_ms
+    );
+    println!(
+        "{:<44} {:>12} {:>9} {:>9}",
+        "PARETO FRONT (energy, latency, area)", "energy pJ", "lat cyc", "area mm2"
+    );
+    for point in report.front_points() {
+        println!(
+            "{:<44} {:>12.2} {:>9.2} {:>9.1}",
+            point.label,
+            point.objectives[0] * 1e12,
+            point.objectives[1],
+            point.objectives[2],
+        );
+    }
+    println!(
+        "\n{} of {} points are Pareto-optimal; the rest are dominated.",
+        report.front.len(),
+        report.points.len()
+    );
+}

@@ -1,0 +1,105 @@
+//! Pareto-front properties (mirroring `tests/engine_equivalence.rs`):
+//! the front is internally non-dominated, everything it excludes is
+//! dominated by a member, and it is invariant under permutation of the
+//! offer order — the property the campaign engine's determinism (same
+//! front at every thread count) ultimately rests on.
+
+use noc_explore::pareto::{dominates, pareto_indices, ParetoFront};
+use proptest::prelude::*;
+
+/// A population of objective vectors: `count` points in `dims` dimensions,
+/// quantized to a small value set so exact ties and exact domination both
+/// actually occur (uniform floats would almost never collide).
+fn arb_population() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..=40, 1usize..=4, 0u64..1000).prop_map(|(count, dims, seed)| {
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..count)
+            .map(|_| (0..dims).map(|_| (next() % 7) as f64).collect())
+            .collect()
+    })
+}
+
+/// Deterministic Fisher–Yates driven by a seed (the proptest shim has no
+/// shuffle strategy).
+fn permuted<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    let mut state = seed | 1;
+    for i in (1..out.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No front member dominates another front member.
+    #[test]
+    fn front_is_internally_non_dominated(vectors in arb_population()) {
+        let front = pareto_indices(&vectors);
+        for &a in &front {
+            for &b in &front {
+                prop_assert!(
+                    a == b || !dominates(&vectors[a], &vectors[b]),
+                    "front member {a} dominates front member {b}"
+                );
+            }
+        }
+    }
+
+    /// Every point left off the front is dominated by some front member —
+    /// and points on the front are dominated by nobody at all.
+    #[test]
+    fn excluded_points_are_dominated(vectors in arb_population()) {
+        let front = pareto_indices(&vectors);
+        prop_assert!(!front.is_empty(), "a nonempty population has a front");
+        for (i, v) in vectors.iter().enumerate() {
+            let on_front = front.binary_search(&i).is_ok();
+            let dominated = vectors.iter().any(|other| dominates(other, v));
+            prop_assert_eq!(
+                on_front, !dominated,
+                "point {} front membership disagrees with dominance", i
+            );
+        }
+    }
+
+    /// The front (as a set of member indices) is invariant under the
+    /// order points are offered in.
+    #[test]
+    fn front_is_permutation_invariant(vectors in arb_population(), seed in 0u64..1000) {
+        let reference = pareto_indices(&vectors);
+        // Offer the same points in a shuffled order, tracking original ids.
+        let indexed: Vec<(usize, Vec<f64>)> =
+            vectors.iter().cloned().enumerate().collect();
+        let mut front = ParetoFront::new(vectors[0].len());
+        for (id, v) in permuted(&indexed, seed) {
+            front.offer(id, v);
+        }
+        prop_assert_eq!(front.indices(), reference);
+    }
+
+    /// Offer-time pruning agrees with the one-shot definition: a point
+    /// joins the front at offer time iff nothing seen so far dominates
+    /// it, and survives iff nothing at all dominates it.
+    #[test]
+    fn incremental_and_oneshot_agree(vectors in arb_population()) {
+        let mut incremental = ParetoFront::new(vectors[0].len());
+        for (i, v) in vectors.iter().enumerate() {
+            let joined = incremental.offer(i, v.clone());
+            let dominated_so_far = vectors[..i].iter().any(|o| dominates(o, v));
+            prop_assert_eq!(joined, !dominated_so_far);
+        }
+        prop_assert_eq!(incremental.indices(), pareto_indices(&vectors));
+    }
+}
