@@ -1,6 +1,9 @@
-//! Campaign throughput: full synthesis+simulation flows per second at 1
-//! and N worker threads on the smoke grid — the exploration subsystem's
-//! entry in the perf trajectory started by `BENCH_decompose.json`.
+//! Campaign throughput **and exploration quality**: full
+//! synthesis+simulation flows per second at 1 and N worker threads on the
+//! smoke grid, plus the front-quality indicators (hypervolume against the
+//! fixed reference points, Schott spread, front size) — so the perf
+//! trajectory started by `BENCH_decompose.json` tracks not just how fast
+//! campaigns run but whether they keep finding the same-quality fronts.
 //!
 //! Writes `BENCH_explore.json` at the repository root.
 //!
@@ -51,7 +54,10 @@ fn main() {
     let par_ns = mean_ns("explore_campaign/par");
     let flows_per_sec = |ns: f64| flows as f64 / (ns / 1e9);
     let json = format!(
-        "{{\n  \"bench\": \"explore_campaign\",\n  \"grid\": \"smoke\",\n  \"flows_per_campaign\": {flows},\n  \"hardware_threads\": {hardware_threads},\n  \"unit\": \"flows_per_second\",\n  \"results\": [\n    {{\"threads\": 1, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}},\n    {{\"threads\": {hardware_threads}, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}}\n  ],\n  \"speedup\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"explore_campaign\",\n  \"grid\": \"smoke\",\n  \"flows_per_campaign\": {flows},\n  \"hardware_threads\": {hardware_threads},\n  \"unit\": \"flows_per_second\",\n  \"front\": {{\"size\": {}, \"hypervolume\": {:.6}, \"spread\": {:.6}}},\n  \"results\": [\n    {{\"threads\": 1, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}},\n    {{\"threads\": {hardware_threads}, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}}\n  ],\n  \"speedup\": {:.3}\n}}\n",
+        sequential.front.len(),
+        sequential.hypervolume,
+        sequential.spread,
         seq_ns / 1e6,
         flows_per_sec(seq_ns),
         par_ns / 1e6,

@@ -1,16 +1,33 @@
-//! Design-space exploration campaigns from the command line.
+//! Design-space exploration campaigns from the command line: run, resume,
+//! shard and merge.
 //!
 //! Usage:
 //!
 //! ```text
-//! explore [--smoke | --full] [--threads N] [--out PATH] [--stream]
+//! explore [run] [--smoke | --full] [--threads N] [--out PATH] [--stream]
+//!               [--resume PATH]
+//! explore shard --index I --of K [--mode modulo|range]
+//!               [--smoke | --full] [--threads N] [--out PATH] [--stream]
+//! explore merge --out PATH REPORT...
 //! ```
 //!
-//! * `--smoke` (default) — the CI grid: 12 scenario points over 3 small
-//!   workloads, finishing in seconds. Runs the campaign **twice** —
-//!   sequentially and on one worker per hardware thread — and asserts the
-//!   Pareto fronts are identical, so every CI run exercises the campaign
-//!   determinism guarantee end to end.
+//! * `run` (default subcommand) — plan and execute a grid. With
+//!   `--resume PATH` the campaign first loads a prior report (full JSON or
+//!   a JSON-Lines stream left behind by a killed run), skips every
+//!   scenario it already records, and folds old + new points into one
+//!   front — incremental, crash-safe campaigns.
+//! * `shard` — run only shard `I` of a `K`-way partition of the grid
+//!   (`--mode range` keeps synthesis-sharing neighbors together, the
+//!   default; `--mode modulo` interleaves). Shard reports merge back into
+//!   exactly the single-shot front.
+//! * `merge` — re-fold previously written shard reports into one report
+//!   (permutation-invariant: any order, any grouping).
+//! * `--smoke` (default grid) — the CI grid: 12 scenario points over 3
+//!   small workloads. In `run` mode (without `--resume`) this is the CI
+//!   acceptance gate: it additionally proves the **three-way front
+//!   equality** (single-shot == kill/resume == shard+merge, sequential and
+//!   parallel) and that the campaign-wide match cache served several graph
+//!   sizes with cross-size hits.
 //! * `--full` — a larger grid: TGFF and Pajek size sweeps × two synthesis
 //!   objectives × two technologies with a load ramp per point.
 //! * `--threads N` — campaign worker threads (`0` = one per hardware
@@ -18,13 +35,30 @@
 //! * `--out PATH` — where to write the JSON campaign report
 //!   (default `EXPLORE_report.json`).
 //! * `--stream` — additionally stream each completed point to stdout as
-//!   JSON Lines.
+//!   JSON Lines (the resumable crash artifact: `explore --stream >
+//!   points.jsonl`, then `--resume points.jsonl` after a kill). All
+//!   human-readable progress text moves to stderr so the captured stream
+//!   stays pure JSON Lines.
 
 use std::process::ExitCode;
 
 use noc::prelude::*;
 use noc_explore::prelude::*;
 use noc_explore::NullSink;
+
+/// Human-readable progress text. With `--stream` active, stdout carries
+/// the machine-readable JSON Lines records (the resumable crash
+/// artifact), so prose must go to stderr — interleaving would corrupt a
+/// captured stream.
+macro_rules! note {
+    ($stream:expr, $($arg:tt)*) => {
+        if $stream {
+            eprintln!($($arg)*)
+        } else {
+            println!($($arg)*)
+        }
+    };
+}
 
 fn full_grid() -> ScenarioGrid {
     ScenarioGrid::new()
@@ -49,98 +83,386 @@ fn full_grid() -> ScenarioGrid {
         }])
 }
 
+#[derive(Default)]
+struct CommonArgs {
+    smoke: bool,
+    threads: usize,
+    out: String,
+    stream: bool,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut smoke = true;
-    let mut threads = 0usize;
-    let mut out = "EXPLORE_report.json".to_string();
-    let mut stream = false;
+    let (subcommand, rest) = match args.first().map(String::as_str) {
+        Some("shard") => ("shard", &args[1..]),
+        Some("merge") => ("merge", &args[1..]),
+        Some("run") => ("run", &args[1..]),
+        _ => ("run", &args[..]),
+    };
+    match subcommand {
+        "merge" => merge_command(rest),
+        "shard" => shard_command(rest),
+        _ => run_command(rest),
+    }
+}
+
+fn parse_common(
+    arg: &str,
+    iter: &mut std::slice::Iter<'_, String>,
+    common: &mut CommonArgs,
+) -> Result<bool, ExitCode> {
+    match arg {
+        "--smoke" => common.smoke = true,
+        "--full" => common.smoke = false,
+        "--stream" => common.stream = true,
+        "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+            Some(n) => common.threads = n,
+            None => return Err(usage("--threads needs an integer")),
+        },
+        "--out" => match iter.next() {
+            Some(path) => common.out = path.clone(),
+            None => return Err(usage("--out needs a path")),
+        },
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn run_command(args: &[String]) -> ExitCode {
+    let mut common = CommonArgs {
+        smoke: true,
+        out: "EXPLORE_report.json".into(),
+        ..CommonArgs::default()
+    };
+    let mut resume: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
+        match parse_common(arg, &mut iter, &mut common) {
+            Ok(true) => continue,
+            Err(code) => return code,
+            Ok(false) => {}
+        }
         match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--full" => smoke = false,
-            "--stream" => stream = true,
-            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(n) => threads = n,
-                None => return usage("--threads needs an integer"),
-            },
-            "--out" => match iter.next() {
-                Some(path) => out = path.clone(),
-                None => return usage("--out needs a path"),
+            "--resume" => match iter.next() {
+                Some(path) => resume = Some(path.clone()),
+                None => return usage("--resume needs a path"),
             },
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
 
-    let grid = if smoke {
+    let grid = if common.smoke {
         ScenarioGrid::smoke()
     } else {
         full_grid()
     };
-    println!(
-        "campaign: {} scenario points ({} mode), {} worker thread(s)",
-        grid.len(),
-        if smoke { "smoke" } else { "full" },
-        if threads == 0 {
-            "hw".to_string()
-        } else {
-            threads.to_string()
+    let campaign = Campaign::new(grid.clone()).threads(common.threads);
+
+    let prior = match &resume {
+        None => None,
+        Some(path) => match load_report(path) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                eprintln!("error: cannot resume from {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         },
-    );
-
-    let campaign = Campaign::new(grid).threads(threads);
-    let report = if stream {
-        let mut sink = JsonLinesSink::new(std::io::stdout(), ObjectiveKind::DEFAULT.to_vec());
-        campaign.run_with_sink(&mut sink)
-    } else {
-        campaign.run_with_sink(&mut NullSink)
     };
+    let plan = match &prior {
+        None => campaign.plan(),
+        Some(prior) => match campaign.plan_resume(prior) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    note!(
+        common.stream,
+        "campaign: {} of {} scenario points to run ({} carried), {} mode, {} worker thread(s)",
+        plan.to_run(),
+        plan.grid_len(),
+        plan.carried(),
+        if common.smoke { "smoke" } else { "full" },
+        thread_label(common.threads),
+    );
 
-    if smoke {
-        // The acceptance gate: a multi-threaded campaign must produce a
-        // front identical to the sequential run on the same grid.
-        let sequential = Campaign::new(ScenarioGrid::smoke()).threads(1).run();
-        assert_eq!(
-            report.front, sequential.front,
-            "parallel front diverged from sequential"
-        );
-        for (a, b) in report.points.iter().zip(&sequential.points) {
-            assert_eq!(a.objectives, b.objectives, "point {} diverged", a.label);
+    let report = execute(&campaign, plan, common.stream);
+
+    // The acceptance gates run on a fresh smoke campaign only: a resume
+    // must never cost a full re-run just to check itself (CI asserts the
+    // resumed front against the single-shot report externally).
+    if common.smoke && prior.is_none() {
+        smoke_gates(&campaign, &report, common.stream);
+    }
+
+    print_summary(&report, common.stream);
+    write_report(&common.out, &report, common.stream)
+}
+
+fn shard_command(args: &[String]) -> ExitCode {
+    let mut common = CommonArgs {
+        smoke: true,
+        out: String::new(),
+        ..CommonArgs::default()
+    };
+    let mut index: Option<usize> = None;
+    let mut count: Option<usize> = None;
+    let mut mode = ShardMode::Range;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match parse_common(arg, &mut iter, &mut common) {
+            Ok(true) => continue,
+            Err(code) => return code,
+            Ok(false) => {}
         }
-        println!("determinism check: parallel front == sequential front");
+        match arg.as_str() {
+            "--index" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(i) => index = Some(i),
+                None => return usage("--index needs an integer"),
+            },
+            "--of" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(k) => count = Some(k),
+                None => return usage("--of needs an integer"),
+            },
+            "--mode" => match iter.next().and_then(|m| ShardMode::from_label(m)) {
+                Some(m) => mode = m,
+                None => return usage("--mode must be 'modulo' or 'range'"),
+            },
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let (Some(index), Some(count)) = (index, count) else {
+        return usage("shard needs --index I and --of K");
+    };
+    if index >= count {
+        return usage(&format!("--index {index} out of range for --of {count}"));
+    }
+    let manifest = ShardManifest::new(index, count, mode);
+    if common.out.is_empty() {
+        common.out = format!("EXPLORE_shard_{index}_of_{count}.json");
     }
 
-    let failed = report.points.iter().filter(|p| p.error.is_some()).count();
-    println!(
-        "{} synthesized, {} reused, {} failed, {:.0} ms wall",
-        report.flows_synthesized, report.synthesis_reused, failed, report.wall_ms
+    let grid = if common.smoke {
+        ScenarioGrid::smoke()
+    } else {
+        full_grid()
+    };
+    let campaign = Campaign::new(grid).threads(common.threads);
+    let plan = campaign.plan_shard(&manifest);
+    note!(
+        common.stream,
+        "{}: {} of {} scenario points, {} worker thread(s)",
+        manifest.label(),
+        plan.to_run(),
+        plan.grid_len(),
+        thread_label(common.threads),
     );
+    let report = execute(&campaign, plan, common.stream);
+    print_summary(&report, common.stream);
+    write_report(&common.out, &report, common.stream)
+}
+
+fn merge_command(args: &[String]) -> ExitCode {
+    let mut out = "EXPLORE_report.json".to_string();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(path) => out = path.clone(),
+                None => return usage("--out needs a path"),
+            },
+            path if !path.starts_with("--") => inputs.push(path.to_string()),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if inputs.is_empty() {
+        return usage("merge needs at least one report path");
+    }
+    let mut reports = Vec::new();
+    for path in &inputs {
+        match load_report(path) {
+            Ok(report) => reports.push(report),
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let merged = match merge_reports(&reports) {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
-        "pareto front ({} of {} points):",
-        report.front.len(),
-        report.points.len()
+        "merged {} report(s): {} points",
+        reports.len(),
+        merged.points.len()
     );
-    for point in report.front_points() {
-        println!(
-            "  {:<48} energy {:>10.2} pJ  latency {:>7.2} cyc  area {:>6.1} mm2",
-            point.label,
-            point.objectives[0] * 1e12,
-            point.objectives[1],
-            point.objectives[2],
+    print_summary(&merged, false);
+    write_report(&out, &merged, false)
+}
+
+/// Reads a report back: the full JSON form, or — for streams left behind
+/// by a killed campaign — JSON Lines under the default objective vector.
+fn load_report(path: &str) -> Result<CampaignReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    if text.trim_start().starts_with('{') && text.contains("\"report\"") {
+        CampaignReport::from_json(&text)
+    } else {
+        CampaignReport::from_json_lines(&text, &ObjectiveKind::DEFAULT)
+    }
+}
+
+fn execute(campaign: &Campaign, plan: CampaignPlan, stream: bool) -> CampaignReport {
+    if stream {
+        let mut sink = JsonLinesSink::new(std::io::stdout(), ObjectiveKind::DEFAULT.to_vec());
+        campaign.run_plan_with_sink(plan, &mut sink)
+    } else {
+        campaign.run_plan_with_sink(plan, &mut NullSink)
+    }
+}
+
+/// The CI acceptance gates on the smoke grid: three-way front equality
+/// (single-shot == kill/resume == shard+merge, across thread counts) plus
+/// cross-size shared-cache traffic. Failures abort via panic — in CI a
+/// nonzero exit either way, with the assert message as the diagnosis.
+fn smoke_gates(campaign: &Campaign, report: &CampaignReport, stream: bool) {
+    // 1. Thread-count invariance (the original PR 2 gate).
+    let sequential = Campaign::new(ScenarioGrid::smoke()).threads(1).run();
+    assert_eq!(
+        report.front, sequential.front,
+        "parallel front diverged from sequential"
+    );
+    for (a, b) in report.points.iter().zip(&sequential.points) {
+        assert_eq!(a.objectives, b.objectives, "point {} diverged", a.label);
+    }
+
+    // 2. Kill/resume: a half-complete campaign — round-tripped through
+    // its JSON report, as a real resume would — folds to the same front.
+    let half = campaign.run_plan(campaign.plan_shard(&ShardManifest::range(0, 2)));
+    let reloaded =
+        CampaignReport::from_json(&half.to_json()).expect("half report round-trips through JSON");
+    let resumed = campaign
+        .resume_from(&reloaded)
+        .expect("resume accepts the half report");
+    assert_eq!(
+        resumed.front, sequential.front,
+        "resumed front diverged from single-shot"
+    );
+    assert_eq!(resumed.carried_points, reloaded.points.len());
+
+    // 3. Shard + merge, both partition modes.
+    for mode in [ShardMode::Range, ShardMode::Modulo] {
+        let shards: Vec<CampaignReport> = (0..2)
+            .map(|i| campaign.run_plan(campaign.plan_shard(&ShardManifest::new(i, 2, mode))))
+            .collect();
+        let merged = merge_reports(&shards).expect("shard reports merge");
+        assert_eq!(
+            merged.front,
+            sequential.front,
+            "{} shard+merge front diverged from single-shot",
+            mode.label()
         );
+        assert_eq!(merged.hypervolume, sequential.hypervolume);
     }
 
-    if let Err(e) = std::fs::write(&out, report.to_json()) {
+    // 4. The campaign-wide match cache served several graph sizes, with
+    // hits attributed to at least two of them.
+    let sizes_with_hits = report.match_cache.iter().filter(|c| c.hits > 0).count();
+    assert!(
+        report.match_cache.len() >= 2 && sizes_with_hits >= 2,
+        "expected cross-size shared-cache traffic, got {:?}",
+        report.match_cache
+    );
+
+    note!(
+        stream,
+        "determinism checks: single-shot == parallel == resumed == sharded-and-merged"
+    );
+    note!(
+        stream,
+        "shared match cache: {} size(s), cross-size hits on {}",
+        report.match_cache.len(),
+        sizes_with_hits
+    );
+}
+
+fn print_summary(report: &CampaignReport, stream: bool) {
+    let failed = report.points.iter().filter(|p| p.error.is_some()).count();
+    note!(
+        stream,
+        "{} synthesized, {} reused, {} carried, {} failed, {:.0} ms wall",
+        report.flows_synthesized,
+        report.synthesis_reused,
+        report.carried_points,
+        failed,
+        report.wall_ms
+    );
+    if !report.match_cache.is_empty() {
+        let rows: Vec<String> = report
+            .match_cache
+            .iter()
+            .map(|c| format!("n={}: {}h/{}m", c.vertex_count, c.hits, c.misses))
+            .collect();
+        note!(stream, "match cache by size: {}", rows.join("  "));
+    }
+    note!(
+        stream,
+        "pareto front ({} of {} points): hypervolume {:.6}, spread {:.4}",
+        report.front.len(),
+        report.points.len(),
+        report.hypervolume,
+        report.spread,
+    );
+    let default_kinds = report.objective_kinds == ObjectiveKind::DEFAULT;
+    for point in report.front_points() {
+        if default_kinds {
+            note!(
+                stream,
+                "  {:<48} energy {:>10.2} pJ  latency {:>7.2} cyc  area {:>6.1} mm2",
+                point.label,
+                point.objectives[0] * 1e12,
+                point.objectives[1],
+                point.objectives[2],
+            );
+        } else {
+            let objs: Vec<String> = report
+                .objective_kinds
+                .iter()
+                .zip(&point.objectives)
+                .map(|(k, v)| format!("{} {v:.4}", k.label()))
+                .collect();
+            note!(stream, "  {:<48} {}", point.label, objs.join("  "));
+        }
+    }
+}
+
+fn write_report(out: &str, report: &CampaignReport, stream: bool) -> ExitCode {
+    if let Err(e) = std::fs::write(out, report.to_json()) {
         eprintln!("failed to write {out}: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote {out}");
+    note!(stream, "wrote {out}");
     ExitCode::SUCCESS
+}
+
+fn thread_label(threads: usize) -> String {
+    if threads == 0 {
+        "hw".to_string()
+    } else {
+        threads.to_string()
+    }
 }
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
-    eprintln!("usage: explore [--smoke | --full] [--threads N] [--out PATH] [--stream]");
+    eprintln!("usage: explore [run] [--smoke | --full] [--threads N] [--out PATH] [--stream] [--resume PATH]");
+    eprintln!("       explore shard --index I --of K [--mode modulo|range] [--smoke | --full] [--threads N] [--out PATH]");
+    eprintln!("       explore merge --out PATH REPORT...");
     ExitCode::from(2)
 }

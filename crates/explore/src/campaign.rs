@@ -1,6 +1,29 @@
-//! The campaign engine: fan a scenario grid out over a worker pool, run
-//! the full synthesis pipeline per point, fold the results into a Pareto
-//! front.
+//! The campaign engine: plan which scenario points still need work,
+//! execute the plan over a worker pool, fold every record — fresh and
+//! carried — into a Pareto front.
+//!
+//! # Plan / execute / fold
+//!
+//! A campaign run is three explicit stages:
+//!
+//! 1. **Plan** ([`Campaign::plan`], [`plan_resume`](Campaign::plan_resume),
+//!    [`plan_shard`](Campaign::plan_shard)) — decide *which* stable
+//!    scenario ids to evaluate: the whole grid, the grid minus points a
+//!    prior report already records (resume), or one [`ShardManifest`]'s
+//!    slice of the grid (distributed sharding). Prior records skipped by
+//!    a resume are *carried* into the plan unchanged.
+//! 2. **Execute** — run floorplan → decomposition → glue → simulation for
+//!    every planned scenario on the worker pool, sharing synthesis
+//!    artifacts per synthesis key and one size-agnostic
+//!    [`SharedMatchCache`] campaign-wide.
+//! 3. **Fold** — offer every record (carried + fresh) to a fresh
+//!    [`ParetoFront`](crate::ParetoFront) in scenario-id order and
+//!    assemble the [`CampaignReport`] with front-quality metrics.
+//!
+//! Because ids are stable and the front is permutation-invariant, the
+//! three ways of covering a grid — one shot, kill/resume, shard/merge —
+//! provably fold to the same front (`explore --smoke` asserts the
+//! three-way equality in CI; `tests/explore_resume.rs` locks it in).
 //!
 //! # Determinism
 //!
@@ -11,7 +34,7 @@
 //!   work starts;
 //! * synthesis artifacts are computed once per *synthesis key* in a
 //!   dedicated phase, so which scenario "owns" a synthesis run (and which
-//!   reuse it) is a property of the grid, not of scheduling;
+//!   reuse it) is a property of the plan, not of scheduling;
 //! * the Pareto front is folded sequentially in scenario-id order after
 //!   every point completes, and the default objective vector contains
 //!   only deterministic metrics (wall-time is opt-in, see
@@ -34,9 +57,12 @@ use noc::prelude::*;
 use noc::sim::sweep;
 use noc::FlowResult;
 
-use crate::pareto::{ObjectiveKind, ParetoFront};
-use crate::report::{CampaignReport, NullSink, PointRecord, ResultSink, SweepPointRecord};
+use crate::pareto::ObjectiveKind;
+use crate::report::{
+    CacheSizeRecord, CampaignReport, NullSink, PointRecord, ResultSink, SweepPointRecord,
+};
 use crate::scenario::{Scenario, ScenarioGrid};
+use crate::shard::ShardManifest;
 
 /// The synthesized artifacts shared by every scenario with one synthesis
 /// key: the flow result plus the simulation-ready model (all-pairs routes
@@ -51,6 +77,41 @@ struct SynthArtifacts {
 }
 
 type SynthOutcome = Result<Arc<SynthArtifacts>, String>;
+
+/// What a campaign's execute stage will actually run: the scenarios still
+/// owed work, plus records carried over from a prior report.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// Scenarios to evaluate, ascending by id.
+    scenarios: Vec<Scenario>,
+    /// Records adopted from a prior report (ids disjoint from
+    /// `scenarios`); folded into the front without re-running.
+    carried: Vec<PointRecord>,
+    /// Total points in the grid the plan was cut from.
+    grid_len: usize,
+}
+
+impl CampaignPlan {
+    /// Number of scenarios the execute stage will run.
+    pub fn to_run(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Number of records carried from the prior report.
+    pub fn carried(&self) -> usize {
+        self.carried.len()
+    }
+
+    /// Total points in the plan's grid.
+    pub fn grid_len(&self) -> usize {
+        self.grid_len
+    }
+
+    /// The planned scenario ids, ascending.
+    pub fn scenario_ids(&self) -> Vec<usize> {
+        self.scenarios.iter().map(|s| s.id).collect()
+    }
+}
 
 /// A multi-objective design-space exploration campaign over a
 /// [`ScenarioGrid`].
@@ -87,6 +148,30 @@ type SynthOutcome = Result<Arc<SynthArtifacts>, String>;
 /// assert!(!report.front.is_empty());
 /// // Thread count never changes the front.
 /// assert_eq!(report.front, campaign.run().front);
+/// ```
+///
+/// Campaigns are incremental: a report can be written out, read back and
+/// resumed, and grids can be sharded across machines and merged —
+/// all three coverages fold to the same front:
+///
+/// ```
+/// use noc::workloads::WorkloadFamily;
+/// use noc_explore::{merge_reports, Campaign, ScenarioGrid, ShardManifest, WorkloadSpec};
+///
+/// let grid = ScenarioGrid::new()
+///     .workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)]);
+/// let campaign = Campaign::new(grid);
+/// let single = campaign.run();
+///
+/// // Shard the grid, run the slices independently, merge the reports.
+/// let shards: Vec<_> = (0..2)
+///     .map(|i| campaign.run_plan(campaign.plan_shard(&ShardManifest::range(i, 2))))
+///     .collect();
+/// assert_eq!(merge_reports(&shards).unwrap().front, single.front);
+///
+/// // Resume from a partial report (here: shard 0 alone).
+/// let resumed = campaign.resume_from(&shards[0]).unwrap();
+/// assert_eq!(resumed.front, single.front);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Campaign {
@@ -165,6 +250,68 @@ impl Campaign {
         self
     }
 
+    /// Plans the whole grid: every scenario, nothing carried.
+    pub fn plan(&self) -> CampaignPlan {
+        CampaignPlan {
+            scenarios: self.grid.enumerate(),
+            carried: Vec::new(),
+            grid_len: self.grid.len(),
+        }
+    }
+
+    /// Plans one shard's slice of the grid (see [`ShardManifest`]);
+    /// nothing carried. The reports of a full partition merge back into
+    /// the single-shot front via
+    /// [`merge_reports`](crate::shard::merge_reports).
+    pub fn plan_shard(&self, shard: &ShardManifest) -> CampaignPlan {
+        let total = self.grid.len();
+        CampaignPlan {
+            scenarios: self
+                .grid
+                .enumerate()
+                .into_iter()
+                .filter(|s| shard.contains(s.id, total))
+                .collect(),
+            carried: Vec::new(),
+            grid_len: total,
+        }
+    }
+
+    /// Plans the grid minus the points `prior` already records: a
+    /// scenario is skipped (and its record carried) when the prior report
+    /// holds a record with its id **and** label — a label mismatch means
+    /// the id names a different scenario in the prior grid, so the point
+    /// is re-run rather than trusted. Errored prior records are carried
+    /// too: failures are deterministic per grid, so re-running them buys
+    /// nothing.
+    ///
+    /// Fails when `prior` ranks a different objective vector — its
+    /// recorded objective values would be meaningless in this campaign's
+    /// front.
+    pub fn plan_resume(&self, prior: &CampaignReport) -> Result<CampaignPlan, String> {
+        if prior.objective_kinds != self.objectives {
+            return Err(format!(
+                "prior report ranks {:?}, campaign ranks {:?} — refusing to fold incomparable records",
+                prior.objective_kinds, self.objectives
+            ));
+        }
+        let mut scenarios = Vec::new();
+        let mut carried = Vec::new();
+        for scenario in self.grid.enumerate() {
+            match prior.point(scenario.id) {
+                Some(record) if record.label == scenario.label() => {
+                    carried.push(record.clone());
+                }
+                _ => scenarios.push(scenario),
+            }
+        }
+        Ok(CampaignPlan {
+            scenarios,
+            carried,
+            grid_len: self.grid.len(),
+        })
+    }
+
     /// Runs the campaign, discarding streaming results.
     pub fn run(&self) -> CampaignReport {
         self.run_with_sink(&mut NullSink)
@@ -173,12 +320,52 @@ impl Campaign {
     /// Runs the campaign, streaming each completed point into `sink`
     /// before returning the assembled report.
     pub fn run_with_sink(&self, sink: &mut dyn ResultSink) -> CampaignReport {
-        let t0 = Instant::now();
-        let scenarios = self.grid.enumerate();
+        self.run_plan_with_sink(self.plan(), sink)
+    }
 
-        // Phase 1 — synthesis, once per synthesis key. Job ownership is a
-        // grid property (first scenario bearing each key), so reuse flags
-        // and statistics are identical at every thread count.
+    /// Resumes from a prior (possibly partial) report: plans the missing
+    /// points, runs them, and folds old and new records into one front.
+    /// See [`plan_resume`](Self::plan_resume) for the skip rule and the
+    /// failure case.
+    pub fn resume_from(&self, prior: &CampaignReport) -> Result<CampaignReport, String> {
+        self.resume_with_sink(prior, &mut NullSink)
+    }
+
+    /// [`resume_from`](Self::resume_from), streaming each *newly run*
+    /// point into `sink` (carried records are not replayed).
+    pub fn resume_with_sink(
+        &self,
+        prior: &CampaignReport,
+        sink: &mut dyn ResultSink,
+    ) -> Result<CampaignReport, String> {
+        Ok(self.run_plan_with_sink(self.plan_resume(prior)?, sink))
+    }
+
+    /// Executes a plan, discarding streaming results.
+    pub fn run_plan(&self, plan: CampaignPlan) -> CampaignReport {
+        self.run_plan_with_sink(plan, &mut NullSink)
+    }
+
+    /// The engine: executes `plan`'s scenarios (streaming completions
+    /// into `sink`), then folds fresh and carried records into the
+    /// report. All other `run_*`/`resume_*` entry points funnel here.
+    pub fn run_plan_with_sink(
+        &self,
+        plan: CampaignPlan,
+        sink: &mut dyn ResultSink,
+    ) -> CampaignReport {
+        let t0 = Instant::now();
+        let CampaignPlan {
+            scenarios, carried, ..
+        } = plan;
+
+        // Execute phase 1 — synthesis, once per synthesis key. Job
+        // ownership is a plan property (first scenario bearing each key),
+        // so reuse flags and statistics are identical at every thread
+        // count.
+        let match_cache = self
+            .share_match_cache
+            .then(|| SharedMatchCache::new(1 << 16));
         let mut first_of_key: HashMap<String, usize> = HashMap::new();
         let mut jobs: Vec<&Scenario> = Vec::new();
         for scenario in &scenarios {
@@ -188,7 +375,6 @@ impl Campaign {
                 scenario.id
             });
         }
-        let match_caches: Mutex<HashMap<usize, SharedMatchCache>> = Mutex::new(HashMap::new());
         let synth_results: Vec<Mutex<Option<SynthOutcome>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         let threads = self.resolve_threads(scenarios.len());
@@ -196,7 +382,7 @@ impl Campaign {
         let synthesize_worker = || loop {
             let i = next_job.fetch_add(1, Ordering::Relaxed);
             let Some(job) = jobs.get(i) else { break };
-            let outcome = self.synthesize(job, &match_caches);
+            let outcome = self.synthesize(job, match_cache.as_ref());
             *synth_results[i].lock().expect("synth slot") = Some(outcome);
         };
         run_pool(threads.min(jobs.len().max(1)), &synthesize_worker);
@@ -214,8 +400,8 @@ impl Campaign {
             .collect();
         let flows_synthesized = artifacts.values().filter(|o| o.is_ok()).count();
 
-        // Phase 2 — simulate + measure every scenario against its shared
-        // artifacts.
+        // Execute phase 2 — simulate + measure every planned scenario
+        // against its shared artifacts.
         let records: Vec<Mutex<Option<PointRecord>>> =
             scenarios.iter().map(|_| Mutex::new(None)).collect();
         let sink = Mutex::new(sink);
@@ -233,9 +419,9 @@ impl Campaign {
         };
         run_pool(threads, &measure_worker);
 
-        // Fold — sequential, in scenario order, so the front is a pure
-        // function of the grid.
-        let mut points: Vec<PointRecord> = records
+        // Fold — carried and fresh records together, sequentially in
+        // scenario order, so the front is a pure function of the records.
+        let fresh: Vec<PointRecord> = records
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
@@ -243,29 +429,32 @@ impl Campaign {
                     .expect("measurement phase filled every slot")
             })
             .collect();
-        let mut front = ParetoFront::new(self.objectives.len());
-        for p in &points {
-            if p.error.is_none() {
-                front.offer(p.scenario_id, p.objectives.clone());
-            }
-        }
-        let front_ids = front.indices();
-        for p in &mut points {
-            p.on_front = front_ids.binary_search(&p.scenario_id).is_ok();
-        }
-        let synthesis_reused = points
+        let synthesis_reused = fresh
             .iter()
             .filter(|p| p.reused_synthesis && p.error.is_none())
             .count();
-        let report = CampaignReport {
-            objective_kinds: self.objectives.clone(),
-            points,
-            front: front_ids,
-            threads,
-            flows_synthesized,
-            synthesis_reused,
-            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-        };
+        let carried_points = carried.len();
+        let mut all = carried;
+        all.extend(fresh);
+        let mut report = CampaignReport::assemble(self.objectives.clone(), all);
+        report.threads = threads;
+        report.flows_synthesized = flows_synthesized;
+        report.synthesis_reused = synthesis_reused;
+        report.carried_points = carried_points;
+        report.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        report.match_cache = match_cache
+            .map(|cache| {
+                cache
+                    .size_stats()
+                    .iter()
+                    .map(|s| CacheSizeRecord {
+                        vertex_count: s.vertex_count,
+                        hits: s.hits,
+                        misses: s.misses,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         sink.into_inner().expect("sink lock").finish(&report);
         report
     }
@@ -291,7 +480,7 @@ impl Campaign {
     fn synthesize(
         &self,
         scenario: &Scenario,
-        match_caches: &Mutex<HashMap<usize, SharedMatchCache>>,
+        match_cache: Option<&SharedMatchCache>,
     ) -> SynthOutcome {
         let acg = scenario.workload.instantiate();
         let pairs: Vec<(NodeId, NodeId)> = acg
@@ -300,17 +489,12 @@ impl Campaign {
             .map(|(e, _)| (e.src, e.dst))
             .collect();
         let mut engine = scenario.engine.clone();
-        if self.share_match_cache && engine.use_match_cache {
-            // VF2 enumeration keys are only comparable between graphs of
-            // one vertex count — share per count (see `SharedMatchCache`).
-            let n = acg.graph().node_count();
-            let cache = match_caches
-                .lock()
-                .expect("match cache registry")
-                .entry(n)
-                .or_insert_with(|| SharedMatchCache::new(1 << 16))
-                .clone();
-            engine.shared_cache = Some(cache);
+        if engine.use_match_cache {
+            // One size-agnostic cache serves the whole campaign: keys are
+            // vertex-count-tagged, so a size sweep shares a single map.
+            if let Some(cache) = match_cache {
+                engine.shared_cache = Some(cache.clone());
+            }
         }
         let flow = SynthesisFlow::new(acg)
             .objective(scenario.objective)
@@ -447,7 +631,9 @@ mod tests {
         // Two sim specs per synthesis key: half the points reuse.
         assert_eq!(report.flows_synthesized, 6);
         assert_eq!(report.synthesis_reused, 6);
+        assert_eq!(report.carried_points, 0);
         assert!(!report.front.is_empty());
+        assert!(report.hypervolume > 0.0);
         // Front ids index real, unfailed, flagged points.
         for &id in &report.front {
             assert!(report.points[id].on_front);
@@ -455,10 +641,38 @@ mod tests {
     }
 
     #[test]
+    fn campaign_shares_one_cache_across_sizes() {
+        // The smoke grid spans 8- and 10-vertex workloads, each
+        // synthesized under two objectives: the second run per workload
+        // hits entries the first populated, and the one campaign-wide
+        // cache attributes traffic to ≥ 2 vertex counts.
+        let report = Campaign::new(ScenarioGrid::smoke()).run();
+        assert!(
+            report.match_cache.len() >= 2,
+            "expected ≥ 2 sizes, got {:?}",
+            report.match_cache
+        );
+        let with_hits = report.match_cache.iter().filter(|c| c.hits > 0).count();
+        assert!(
+            with_hits >= 2,
+            "expected cross-size hits on ≥ 2 sizes: {:?}",
+            report.match_cache
+        );
+
+        // Opting out leaves the stats empty.
+        let unshared = Campaign::new(ScenarioGrid::smoke())
+            .share_match_cache(false)
+            .run();
+        assert!(unshared.match_cache.is_empty());
+        assert_eq!(unshared.front, report.front);
+    }
+
+    #[test]
     fn thread_count_never_changes_the_front() {
         let sequential = Campaign::new(ScenarioGrid::smoke()).run();
         let parallel = Campaign::new(ScenarioGrid::smoke()).threads(4).run();
         assert_eq!(sequential.front, parallel.front);
+        assert_eq!(sequential.hypervolume, parallel.hypervolume);
         for (a, b) in sequential.points.iter().zip(&parallel.points) {
             assert_eq!(a.scenario_id, b.scenario_id);
             assert_eq!(a.objectives, b.objectives, "point {}", a.label);
@@ -507,6 +721,7 @@ mod tests {
         assert_eq!(report.points.len(), 1);
         assert!(report.points[0].error.is_some());
         assert!(report.front.is_empty());
+        assert_eq!(report.hypervolume, 0.0);
     }
 
     #[test]
@@ -534,5 +749,65 @@ mod tests {
         let objs = &report.points[0].objectives;
         assert_eq!(objs.len(), 2);
         assert!(objs[1] >= 0.0);
+    }
+
+    #[test]
+    fn plans_partition_and_resume_skips_completed() {
+        let campaign = Campaign::new(ScenarioGrid::smoke());
+        let full = campaign.plan();
+        assert_eq!(
+            (full.to_run(), full.carried(), full.grid_len()),
+            (12, 0, 12)
+        );
+
+        let half = campaign.plan_shard(&ShardManifest::range(0, 2));
+        assert_eq!(half.to_run(), 6);
+        assert_eq!(half.scenario_ids(), vec![0, 1, 2, 3, 4, 5]);
+
+        let partial = campaign.run_plan(campaign.plan_shard(&ShardManifest::range(0, 2)));
+        assert_eq!(partial.points.len(), 6);
+        let rest = campaign.plan_resume(&partial).unwrap();
+        assert_eq!((rest.to_run(), rest.carried()), (6, 6));
+        assert_eq!(rest.scenario_ids(), vec![6, 7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn resume_equals_single_shot() {
+        let campaign = Campaign::new(ScenarioGrid::smoke());
+        let single = campaign.run();
+        let partial = campaign.run_plan(campaign.plan_shard(&ShardManifest::modulo(0, 2)));
+        let resumed = campaign.resume_from(&partial).unwrap();
+        assert_eq!(resumed.front, single.front);
+        assert_eq!(resumed.carried_points, 6);
+        assert_eq!(resumed.points.len(), 12);
+        for (a, b) in resumed.points.iter().zip(&single.points) {
+            assert_eq!(a.objectives, b.objectives, "point {}", a.label);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_incomparable_reports() {
+        let campaign = Campaign::new(ScenarioGrid::smoke());
+        let partial = campaign.run_plan(campaign.plan_shard(&ShardManifest::range(0, 2)));
+        let other = Campaign::new(ScenarioGrid::smoke()).objectives(&[ObjectiveKind::EnergyJoules]);
+        let err = other.plan_resume(&partial).unwrap_err();
+        assert!(err.contains("incomparable"), "{err}");
+    }
+
+    #[test]
+    fn resume_reruns_points_whose_labels_changed() {
+        // A prior report from a *different* grid: ids overlap but labels
+        // differ, so nothing can be trusted and everything re-runs.
+        let fig5 = Campaign::new(
+            ScenarioGrid::new().workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)]),
+        );
+        let prior = fig5.run();
+        let tgff = Campaign::new(ScenarioGrid::new().workloads([WorkloadSpec::new(
+            WorkloadFamily::Tgff,
+            8,
+            8,
+        )]));
+        let plan = tgff.plan_resume(&prior).unwrap();
+        assert_eq!((plan.to_run(), plan.carried()), (1, 0));
     }
 }

@@ -20,10 +20,27 @@
 //! * scenario points differing only in simulation spec share one
 //!   synthesized architecture (the campaign synthesizes once per
 //!   *synthesis key*);
-//! * searches over the same application graph share a
-//!   [`SharedMatchCache`](noc::synthesis::SharedMatchCache), so VF2
-//!   match enumeration — the decomposition hot path — is paid once per
-//!   (remaining graph, primitive) across the whole campaign.
+//! * every synthesis run in a campaign shares one **size-agnostic**
+//!   [`SharedMatchCache`](noc::synthesis::SharedMatchCache) (keys are
+//!   vertex-count-tagged), so VF2 match enumeration — the decomposition
+//!   hot path — is paid once per (graph size, remaining graph, primitive)
+//!   across the whole campaign, even when the grid sweeps sizes.
+//!
+//! And campaigns are **incremental and partitionable** — the run is an
+//! explicit plan → execute → fold pipeline (see [`campaign`]):
+//!
+//! * [`Campaign::resume_from`] reloads a previous report
+//!   ([`CampaignReport::from_json`], or
+//!   [`from_json_lines`](CampaignReport::from_json_lines) for the stream
+//!   a killed run leaves behind), skips recorded scenarios, and folds
+//!   old + new records into one front;
+//! * a [`ShardManifest`] deals disjoint slices of a grid to independent
+//!   processes or machines, and [`merge_reports`] re-folds their reports
+//!   — single-shot, resumed and sharded-and-merged campaigns provably
+//!   produce the same front;
+//! * every report carries [front-quality metrics](metrics) (hypervolume
+//!   against fixed reference points, spread) so exploration quality is
+//!   tracked, not just throughput.
 //!
 //! # Quickstart
 //!
@@ -50,20 +67,28 @@
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod json;
+pub mod metrics;
 pub mod pareto;
 pub mod report;
 pub mod scenario;
+pub mod shard;
 
-pub use campaign::Campaign;
+pub use campaign::{Campaign, CampaignPlan};
+pub use metrics::FrontMetrics;
 pub use pareto::{dominates, pareto_indices, ObjectiveKind, ParetoFront};
-pub use report::{CampaignReport, JsonLinesSink, NullSink, PointRecord, ResultSink};
+pub use report::{
+    CacheSizeRecord, CampaignReport, JsonLinesSink, NullSink, PointRecord, ResultSink,
+};
 pub use scenario::{Scenario, ScenarioGrid, SimSpec, WorkloadSpec};
+pub use shard::{merge_reports, partition, ShardManifest, ShardMode};
 
 /// The common imports for declaring and running campaigns.
 pub mod prelude {
-    pub use crate::campaign::Campaign;
+    pub use crate::campaign::{Campaign, CampaignPlan};
     pub use crate::pareto::{ObjectiveKind, ParetoFront};
     pub use crate::report::{CampaignReport, JsonLinesSink, ResultSink};
     pub use crate::scenario::{ScenarioGrid, SimSpec, WorkloadSpec};
+    pub use crate::shard::{merge_reports, ShardManifest, ShardMode};
     pub use noc::workloads::WorkloadFamily;
 }

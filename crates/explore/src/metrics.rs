@@ -1,0 +1,227 @@
+//! Front-quality indicators: hypervolume and spread.
+//!
+//! Throughput (flows/sec, `BENCH_explore.json`) says nothing about whether
+//! a campaign is finding *good* trade-offs. These indicators quantify the
+//! front itself, against **fixed** per-objective reference points
+//! ([`ObjectiveKind::reference`]) so values are comparable across runs,
+//! shards and PRs:
+//!
+//! * **Hypervolume** — the volume of objective space dominated by the
+//!   front, measured in reference-normalized coordinates (each objective
+//!   divided by its reference value, hypervolume taken against the unit
+//!   corner `(1, …, 1)`). Lies in `[0, 1]`; bigger is better; monotone —
+//!   adding a non-dominated point never decreases it. Points at or beyond
+//!   the reference in any coordinate contribute nothing.
+//! * **Spread** — Schott's spacing metric over the normalized front: the
+//!   standard deviation of nearest-neighbor (L1) distances. `0` means
+//!   perfectly even coverage; bigger means clumping. `0` for fronts with
+//!   fewer than two members.
+//!
+//! The hypervolume implementation is the classic recursive slicing sweep
+//! (sort by the last objective, integrate slab-by-slab). Exponential in
+//! dimension count in the worst case, which is fine here: fronts are tens
+//! of points over ≤ 4 objectives.
+
+use crate::pareto::{FrontMember, ObjectiveKind};
+
+/// Front-quality summary computed at campaign fold (and merge) time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontMetrics {
+    /// Reference-normalized hypervolume in `[0, 1]` (0 for empty fronts).
+    pub hypervolume: f64,
+    /// Schott spacing of the normalized front (0 for < 2 members).
+    pub spread: f64,
+}
+
+impl FrontMetrics {
+    /// Metrics of `front` under the fixed reference points of `kinds`.
+    pub fn of_front(front: &[FrontMember], kinds: &[ObjectiveKind]) -> FrontMetrics {
+        let reference: Vec<f64> = kinds.iter().map(|k| k.reference()).collect();
+        let normalized: Vec<Vec<f64>> = front
+            .iter()
+            .map(|m| {
+                m.objectives
+                    .iter()
+                    .zip(&reference)
+                    .map(|(v, r)| v / r)
+                    .collect()
+            })
+            .collect();
+        FrontMetrics {
+            hypervolume: unit_hypervolume(&normalized),
+            spread: schott_spacing(&normalized),
+        }
+    }
+}
+
+/// Hypervolume dominated by `points` (minimization) against the unit
+/// reference corner `(1, …, 1)`. Points with any coordinate ≥ 1 are
+/// clipped out; dominated or duplicate points are harmless (the sweep
+/// integrates the union).
+pub fn unit_hypervolume(points: &[Vec<f64>]) -> f64 {
+    let inside: Vec<Vec<f64>> = points
+        .iter()
+        .filter(|p| p.iter().all(|&v| v < 1.0))
+        .cloned()
+        .collect();
+    if inside.is_empty() {
+        return 0.0;
+    }
+    hv_sweep(inside)
+}
+
+/// Recursive slicing sweep; every point strictly dominates the unit corner.
+fn hv_sweep(mut points: Vec<Vec<f64>>) -> f64 {
+    let dims = points[0].len();
+    if dims == 1 {
+        let best = points.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+        return 1.0 - best;
+    }
+    points.sort_by(|a, b| {
+        a[dims - 1]
+            .partial_cmp(&b[dims - 1])
+            .expect("objectives are finite")
+    });
+    let mut total = 0.0;
+    for i in 0..points.len() {
+        let z_lo = points[i][dims - 1];
+        let z_hi = if i + 1 < points.len() {
+            points[i + 1][dims - 1]
+        } else {
+            1.0
+        };
+        if z_hi <= z_lo {
+            continue; // tied slab: zero thickness
+        }
+        // Within this slab, exactly the first i+1 points are present;
+        // their projection's (dims-1)-volume times the slab thickness.
+        let slice: Vec<Vec<f64>> = points[..=i]
+            .iter()
+            .map(|p| p[..dims - 1].to_vec())
+            .collect();
+        total += (z_hi - z_lo) * hv_sweep(slice);
+    }
+    total
+}
+
+/// Schott's spacing: `sqrt(Σ (dᵢ - d̄)² / (n - 1))` where `dᵢ` is point
+/// `i`'s L1 distance to its nearest other front member.
+pub fn schott_spacing(points: &[Vec<f64>]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let nearest: Vec<f64> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            points
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, q)| p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>())
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let mean = nearest.iter().sum::<f64>() / nearest.len() as f64;
+    let variance =
+        nearest.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (nearest.len() - 1) as f64;
+    variance.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::ParetoFront;
+
+    #[test]
+    fn single_point_hypervolume_is_its_box() {
+        let hv = unit_hypervolume(&[vec![0.25, 0.5]]);
+        assert!((hv - 0.75 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_not_sum() {
+        // Two overlapping boxes: HV is the union's area.
+        let hv = unit_hypervolume(&[vec![0.2, 0.6], vec![0.6, 0.2]]);
+        let expected = 0.8 * 0.4 + 0.4 * (0.8 - 0.4);
+        assert!((hv - expected).abs() < 1e-12, "{hv} vs {expected}");
+    }
+
+    #[test]
+    fn dominated_and_duplicate_points_change_nothing() {
+        let base = unit_hypervolume(&[vec![0.2, 0.6], vec![0.6, 0.2]]);
+        let with_noise = unit_hypervolume(&[
+            vec![0.2, 0.6],
+            vec![0.6, 0.2],
+            vec![0.7, 0.7], // dominated
+            vec![0.2, 0.6], // duplicate
+        ]);
+        assert!((base - with_noise).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_reference_points_are_clipped() {
+        assert_eq!(unit_hypervolume(&[vec![1.5, 0.1]]), 0.0);
+        let hv = unit_hypervolume(&[vec![1.5, 0.1], vec![0.5, 0.5]]);
+        assert!((hv - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_in_three_dimensions() {
+        // Inclusion–exclusion oracle for two non-dominated 3D boxes:
+        // |A| + |B| − |A ∩ B|.
+        let a = [0.5, 0.5, 0.5];
+        let b = [0.2, 0.9, 0.9];
+        let vol = |p: &[f64]| p.iter().map(|v| 1.0 - v).product::<f64>();
+        let meet: Vec<f64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y): (&f64, &f64)| x.max(y))
+            .collect();
+        let expected = vol(&a) + vol(&b) - vol(&meet);
+        let hv = unit_hypervolume(&[a.to_vec(), b.to_vec()]);
+        assert!((hv - expected).abs() < 1e-12, "{hv} vs {expected}");
+    }
+
+    #[test]
+    fn adding_a_nondominated_point_grows_hypervolume() {
+        let a = unit_hypervolume(&[vec![0.3, 0.7]]);
+        let b = unit_hypervolume(&[vec![0.3, 0.7], vec![0.7, 0.3]]);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn spacing_zero_for_even_fronts() {
+        // Three evenly spaced points on the anti-diagonal.
+        let s = schott_spacing(&[vec![0.1, 0.9], vec![0.5, 0.5], vec![0.9, 0.1]]);
+        assert!(s.abs() < 1e-12);
+        // Clumped points spread the nearest-neighbor distances out.
+        let clumped = schott_spacing(&[vec![0.1, 0.9], vec![0.11, 0.89], vec![0.9, 0.1]]);
+        assert!(clumped > 0.1);
+    }
+
+    #[test]
+    fn degenerate_fronts_are_zero() {
+        assert_eq!(schott_spacing(&[]), 0.0);
+        assert_eq!(schott_spacing(&[vec![0.5]]), 0.0);
+        assert_eq!(unit_hypervolume(&[]), 0.0);
+    }
+
+    #[test]
+    fn of_front_uses_fixed_references() {
+        let mut front = ParetoFront::new(2);
+        front.offer(
+            0,
+            vec![
+                ObjectiveKind::EnergyJoules.reference() * 0.5,
+                ObjectiveKind::AvgLatencyCycles.reference() * 0.25,
+            ],
+        );
+        let m = FrontMetrics::of_front(
+            front.members(),
+            &[ObjectiveKind::EnergyJoules, ObjectiveKind::AvgLatencyCycles],
+        );
+        assert!((m.hypervolume - 0.5 * 0.75).abs() < 1e-12);
+        assert_eq!(m.spread, 0.0);
+    }
+}

@@ -45,6 +45,37 @@ impl ObjectiveKind {
             ObjectiveKind::SynthTimeMs => "synth_time_ms",
         }
     }
+
+    /// The inverse of [`label`](Self::label), used when parsing reports.
+    pub fn from_label(label: &str) -> Option<ObjectiveKind> {
+        match label {
+            "energy_joules" => Some(ObjectiveKind::EnergyJoules),
+            "avg_latency_cycles" => Some(ObjectiveKind::AvgLatencyCycles),
+            "area_mm2" => Some(ObjectiveKind::AreaMm2),
+            "synth_time_ms" => Some(ObjectiveKind::SynthTimeMs),
+            _ => None,
+        }
+    }
+
+    /// The **fixed** hypervolume reference value for this objective — a
+    /// generous worst-case bound, deliberately constant (never derived
+    /// from observed data) so hypervolume is comparable across campaigns,
+    /// shards and PRs. A front member at or beyond the reference in any
+    /// coordinate simply contributes no volume.
+    pub fn reference(self) -> f64 {
+        match self {
+            // Communication energy at a measurement point is pJ–nJ; 1 µJ
+            // is orders of magnitude above any simulated design.
+            ObjectiveKind::EnergyJoules => 1e-6,
+            // The saturation cutoff stops ramps at a small multiple of
+            // zero-load latency; 1000 cycles is far past any kept point.
+            ObjectiveKind::AvgLatencyCycles => 1e3,
+            // Reticle-scale chips are < 1000 mm².
+            ObjectiveKind::AreaMm2 => 1e3,
+            // 100 s of synthesis wall-time per point.
+            ObjectiveKind::SynthTimeMs => 1e5,
+        }
+    }
 }
 
 /// `true` when `a` dominates `b` under minimization: `a[i] <= b[i]` for

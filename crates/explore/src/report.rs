@@ -1,10 +1,14 @@
 //! Campaign results: per-point records, the campaign report, streaming
-//! sinks, and the hand-rolled JSON serialization (consistent with the
-//! repository's `BENCH_*.json` files — no serde in this workspace).
+//! sinks, and the hand-rolled JSON serialization **and parsing**
+//! (consistent with the repository's `BENCH_*.json` files — no serde in
+//! this workspace; the reader in [`crate::json`] mirrors the writer here,
+//! which is what makes reports resumable and shard reports mergeable).
 
 use std::io::Write;
 
-use crate::pareto::ObjectiveKind;
+use crate::json::JsonValue;
+use crate::metrics::FrontMetrics;
+use crate::pareto::{ObjectiveKind, ParetoFront};
 
 /// One sampled load point of a scenario's sweep, as recorded in reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +21,19 @@ pub struct SweepPointRecord {
     pub throughput_bits_per_cycle: f64,
     /// Total communication energy, joules.
     pub energy_joules: f64,
+}
+
+/// Cumulative shared match-cache traffic for one graph size, as recorded
+/// in reports (the explore-side mirror of
+/// [`noc::synthesis::SizeCacheStats`](noc::prelude::SizeCacheStats)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSizeRecord {
+    /// Vertex count the row aggregates.
+    pub vertex_count: usize,
+    /// VF2 enumerations answered from the campaign-shared cache.
+    pub hits: u64,
+    /// Enumerations that had to run.
+    pub misses: u64,
 }
 
 /// Everything recorded about one evaluated scenario point.
@@ -132,6 +149,69 @@ impl PointRecord {
         s.push('}');
         s
     }
+
+    /// Parses one record back from the object emitted by
+    /// [`to_json`](Self::to_json); `kinds` must match the report's
+    /// objective vector (objective values are stored under their labels).
+    pub fn from_json_value(v: &JsonValue, kinds: &[ObjectiveKind]) -> Result<PointRecord, String> {
+        let error = match v.get("error") {
+            Some(e) => Some(
+                e.as_str()
+                    .ok_or("point 'error' must be a string")?
+                    .to_string(),
+            ),
+            None => None,
+        };
+        let objectives = if error.is_some() {
+            Vec::new()
+        } else {
+            kinds
+                .iter()
+                .map(|k| {
+                    v.get(k.label())
+                        .and_then(parse_f64)
+                        .ok_or_else(|| format!("point missing objective '{}'", k.label()))
+                })
+                .collect::<Result<Vec<f64>, String>>()?
+        };
+        let sweep = v
+            .get("sweep")
+            .and_then(JsonValue::as_array)
+            .ok_or("point missing 'sweep'")?
+            .iter()
+            .map(|p| {
+                Ok(SweepPointRecord {
+                    rate: need_f64(p, "rate")?,
+                    latency_cycles: need_f64(p, "latency_cycles")?,
+                    throughput_bits_per_cycle: need_f64(p, "throughput_bits_per_cycle")?,
+                    energy_joules: need_f64(p, "energy_joules")?,
+                })
+            })
+            .collect::<Result<Vec<SweepPointRecord>, String>>()?;
+        Ok(PointRecord {
+            scenario_id: need_usize(v, "scenario_id")?,
+            label: need_str(v, "label")?,
+            workload: need_str(v, "workload")?,
+            nodes: need_usize(v, "nodes")?,
+            engine: need_str(v, "engine")?,
+            synthesis_objective: need_str(v, "synthesis_objective")?,
+            technology: need_str(v, "technology")?,
+            sim: need_str(v, "sim")?,
+            objectives,
+            on_front: v
+                .get("on_front")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+            reused_synthesis: need_bool(v, "reused_synthesis")?,
+            total_cost: need_f64(v, "total_cost")?,
+            nodes_visited: need_u64(v, "nodes_visited")?,
+            cache_hits: need_u64(v, "cache_hits")?,
+            synth_ms: need_f64(v, "synth_ms")?,
+            sweep,
+            saturated: need_bool(v, "saturated")?,
+            error,
+        })
+    }
 }
 
 /// The folded outcome of a whole campaign.
@@ -139,21 +219,89 @@ impl PointRecord {
 pub struct CampaignReport {
     /// The objective vector's dimensions, in order.
     pub objective_kinds: Vec<ObjectiveKind>,
-    /// One record per scenario, in scenario-id order.
+    /// One record per evaluated scenario, ascending by scenario id. A
+    /// full campaign records every grid point; shard and partial reports
+    /// hold a subset (use [`point`](Self::point) for id lookup).
     pub points: Vec<PointRecord>,
     /// Scenario ids on the Pareto front, ascending.
     pub front: Vec<usize>,
     /// Campaign worker threads used.
     pub threads: usize,
-    /// Full synthesis runs executed.
+    /// Full synthesis runs executed *by this run* (carried points keep
+    /// their original provenance but add nothing here).
     pub flows_synthesized: usize,
-    /// Scenario points that reused a shared synthesis artifact.
+    /// Scenario points that reused a shared synthesis artifact this run.
     pub synthesis_reused: usize,
+    /// Records folded in from a prior report instead of being re-run
+    /// (resume) or from other shards (merge).
+    pub carried_points: usize,
     /// Campaign wall-time, milliseconds.
     pub wall_ms: f64,
+    /// Reference-normalized hypervolume of the front (see
+    /// [`crate::metrics`]); `0` for an empty front.
+    pub hypervolume: f64,
+    /// Schott spacing of the normalized front; `0` below two members.
+    pub spread: f64,
+    /// Per-graph-size traffic of the campaign-shared match cache,
+    /// ascending by vertex count (empty when sharing was disabled).
+    pub match_cache: Vec<CacheSizeRecord>,
 }
 
 impl CampaignReport {
+    /// Folds `points` into a report: sorts by scenario id, computes the
+    /// Pareto front over the non-failed records, flags members, and fills
+    /// the front-quality metrics. Run provenance (threads, counts,
+    /// wall-time, cache stats) is zeroed for the caller to fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two records share a scenario id — partitions and resumes
+    /// must be disjoint by construction; a collision means the caller
+    /// merged overlapping sources without deduplicating.
+    pub fn assemble(objective_kinds: Vec<ObjectiveKind>, mut points: Vec<PointRecord>) -> Self {
+        points.sort_by_key(|p| p.scenario_id);
+        for pair in points.windows(2) {
+            assert_ne!(
+                pair[0].scenario_id, pair[1].scenario_id,
+                "duplicate records for scenario {}",
+                pair[0].scenario_id
+            );
+        }
+        let mut front = ParetoFront::new(objective_kinds.len());
+        for p in &points {
+            if p.error.is_none() {
+                front.offer(p.scenario_id, p.objectives.clone());
+            }
+        }
+        let front_ids = front.indices();
+        for p in &mut points {
+            p.on_front = front_ids.binary_search(&p.scenario_id).is_ok();
+        }
+        let metrics = FrontMetrics::of_front(front.members(), &objective_kinds);
+        CampaignReport {
+            objective_kinds,
+            points,
+            front: front_ids,
+            threads: 0,
+            flows_synthesized: 0,
+            synthesis_reused: 0,
+            carried_points: 0,
+            wall_ms: 0.0,
+            hypervolume: metrics.hypervolume,
+            spread: metrics.spread,
+            match_cache: Vec::new(),
+        }
+    }
+
+    /// The record for scenario `id`, if this report holds one (records
+    /// are sorted by id, so this is a binary search).
+    pub fn point(&self, id: usize) -> Option<&PointRecord> {
+        self.points
+            .binary_search_by_key(&id, |p| p.scenario_id)
+            .ok()
+            .map(|at| &self.points[at])
+    }
+
     /// The records on the Pareto front, in scenario order.
     pub fn front_points(&self) -> impl Iterator<Item = &PointRecord> {
         self.points.iter().filter(|p| p.on_front)
@@ -167,21 +315,152 @@ impl CampaignReport {
             .map(|k| format!("\"{}\"", k.label()))
             .collect();
         let front: Vec<String> = self.front.iter().map(usize::to_string).collect();
+        let cache: Vec<String> = self
+            .match_cache
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"vertex_count\": {}, \"hits\": {}, \"misses\": {}}}",
+                    c.vertex_count, c.hits, c.misses
+                )
+            })
+            .collect();
         let points: Vec<String> = self
             .points
             .iter()
             .map(|p| format!("    {}", p.to_json(&self.objective_kinds)))
             .collect();
         format!(
-            "{{\n  \"report\": \"noc_explore_campaign\",\n  \"objectives\": [{}],\n  \"threads\": {},\n  \"flows_synthesized\": {},\n  \"synthesis_reused\": {},\n  \"wall_ms\": {},\n  \"pareto_front\": [{}],\n  \"points\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"report\": \"noc_explore_campaign\",\n  \"objectives\": [{}],\n  \"threads\": {},\n  \"flows_synthesized\": {},\n  \"synthesis_reused\": {},\n  \"carried_points\": {},\n  \"wall_ms\": {},\n  \"hypervolume\": {},\n  \"spread\": {},\n  \"match_cache\": [{}],\n  \"pareto_front\": [{}],\n  \"points\": [\n{}\n  ]\n}}\n",
             kinds.join(", "),
             self.threads,
             self.flows_synthesized,
             self.synthesis_reused,
+            self.carried_points,
             json_f64(self.wall_ms),
+            json_f64(self.hypervolume),
+            json_f64(self.spread),
+            cache.join(", "),
             front.join(", "),
             points.join(",\n"),
         )
+    }
+
+    /// Parses a report previously written by [`to_json`](Self::to_json) —
+    /// the reader half of the resume/shard story. Round-trips exactly:
+    /// records, front, metrics and provenance all survive
+    /// `to_json → from_json`.
+    pub fn from_json(text: &str) -> Result<CampaignReport, String> {
+        let v = JsonValue::parse(text).map_err(|e| format!("malformed report JSON: {e}"))?;
+        match v.get("report").and_then(JsonValue::as_str) {
+            Some("noc_explore_campaign") => {}
+            Some(other) => return Err(format!("not a campaign report: '{other}'")),
+            None => return Err("missing 'report' marker".to_string()),
+        }
+        let objective_kinds = v
+            .get("objectives")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing 'objectives'")?
+            .iter()
+            .map(|k| {
+                let label = k.as_str().ok_or("objective labels must be strings")?;
+                ObjectiveKind::from_label(label)
+                    .ok_or_else(|| format!("unknown objective '{label}'"))
+            })
+            .collect::<Result<Vec<ObjectiveKind>, String>>()?;
+        let mut points = v
+            .get("points")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing 'points'")?
+            .iter()
+            .map(|p| PointRecord::from_json_value(p, &objective_kinds))
+            .collect::<Result<Vec<PointRecord>, String>>()?;
+        // `point()` binary-searches and resume trusts id lookups, so
+        // restore the sorted-by-id invariant (hand-edited or externally
+        // reordered files) and reject outright duplicates.
+        points.sort_by_key(|p| p.scenario_id);
+        for pair in points.windows(2) {
+            if pair[0].scenario_id == pair[1].scenario_id {
+                return Err(format!(
+                    "duplicate records for scenario {}",
+                    pair[0].scenario_id
+                ));
+            }
+        }
+        let front = v
+            .get("pareto_front")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing 'pareto_front'")?
+            .iter()
+            .map(|id| {
+                id.as_usize()
+                    .ok_or("front ids must be integers".to_string())
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+        let match_cache = match v.get("match_cache") {
+            None => Vec::new(),
+            Some(rows) => rows
+                .as_array()
+                .ok_or("'match_cache' must be an array")?
+                .iter()
+                .map(|row| {
+                    Ok(CacheSizeRecord {
+                        vertex_count: need_usize(row, "vertex_count")?,
+                        hits: need_u64(row, "hits")?,
+                        misses: need_u64(row, "misses")?,
+                    })
+                })
+                .collect::<Result<Vec<CacheSizeRecord>, String>>()?,
+        };
+        Ok(CampaignReport {
+            objective_kinds,
+            points,
+            front,
+            threads: need_usize(&v, "threads")?,
+            flows_synthesized: need_usize(&v, "flows_synthesized")?,
+            synthesis_reused: need_usize(&v, "synthesis_reused")?,
+            carried_points: v
+                .get("carried_points")
+                .and_then(JsonValue::as_usize)
+                .unwrap_or(0),
+            wall_ms: need_f64(&v, "wall_ms")?,
+            hypervolume: v.get("hypervolume").and_then(parse_f64).unwrap_or(0.0),
+            spread: v.get("spread").and_then(parse_f64).unwrap_or(0.0),
+            match_cache,
+        })
+    }
+
+    /// Recovers a partial report from a [`JsonLinesSink`] stream — the
+    /// maximally complete artifact a **killed** campaign leaves behind
+    /// (the sink flushes every line and again on drop). A kill can still
+    /// land *mid-write*, so a malformed **final** line is dropped rather
+    /// than failing the whole recovery; malformed JSON anywhere earlier
+    /// is a real corruption and errors. Duplicate ids keep the first
+    /// occurrence; the front and metrics are recomputed from the
+    /// recovered records, provenance is unknowable and left `0`.
+    pub fn from_json_lines(text: &str, kinds: &[ObjectiveKind]) -> Result<CampaignReport, String> {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .map(|(i, line)| (i + 1, line.trim()))
+            .filter(|(_, line)| !line.is_empty())
+            .collect();
+        let mut points: Vec<PointRecord> = Vec::new();
+        let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for (at, &(lineno, line)) in lines.iter().enumerate() {
+            let v = match JsonValue::parse(line) {
+                Ok(v) => v,
+                // Truncated tail from a kill mid-write: salvage the rest.
+                Err(_) if at + 1 == lines.len() => break,
+                Err(e) => return Err(format!("line {lineno}: malformed JSON: {e}")),
+            };
+            let record = PointRecord::from_json_value(&v, kinds)
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            if seen.insert(record.scenario_id) {
+                points.push(record);
+            }
+        }
+        Ok(CampaignReport::assemble(kinds.to_vec(), points))
     }
 }
 
@@ -207,8 +486,9 @@ impl ResultSink for NullSink {
 }
 
 /// Streams each completed point as one JSON object per line (JSON Lines),
-/// flushing after every record so progress is observable while the
-/// campaign runs.
+/// flushing after every record — and again on `finish` and on drop — so a
+/// killed campaign leaves a maximally complete partial stream behind for
+/// [`CampaignReport::from_json_lines`] to resume from.
 #[derive(Debug)]
 pub struct JsonLinesSink<W: Write + Send> {
     writer: W,
@@ -227,6 +507,16 @@ impl<W: Write + Send> ResultSink for JsonLinesSink<W> {
         let _ = writeln!(self.writer, "{}", record.to_json(&self.kinds));
         let _ = self.writer.flush();
     }
+
+    fn finish(&mut self, _report: &CampaignReport) {
+        let _ = self.writer.flush();
+    }
+}
+
+impl<W: Write + Send> Drop for JsonLinesSink<W> {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
 }
 
 /// JSON-formats a float (`null` for non-finite values, which JSON cannot
@@ -237,6 +527,49 @@ fn json_f64(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// The reader of [`json_f64`]'s output: numbers parse as themselves,
+/// `null` parses back to `NaN` (what the writers emit for non-finite
+/// values — sign and infiniteness are not preserved, matching the lossy
+/// write).
+fn parse_f64(v: &JsonValue) -> Option<f64> {
+    if v.is_null() {
+        Some(f64::NAN)
+    } else {
+        v.as_f64()
+    }
+}
+
+fn need_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(parse_f64)
+        .ok_or_else(|| format!("missing number '{key}'"))
+}
+
+fn need_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing integer '{key}'"))
+}
+
+fn need_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| format!("missing integer '{key}'"))
+}
+
+fn need_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string '{key}'"))
+}
+
+fn need_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| format!("missing bool '{key}'"))
 }
 
 fn push_kv(s: &mut String, key: &str, raw_value: &str) {
@@ -295,6 +628,34 @@ mod tests {
         }
     }
 
+    fn report() -> CampaignReport {
+        let mut failed = record();
+        failed.scenario_id = 4;
+        failed.error = Some("no legal decomposition".into());
+        failed.objectives.clear();
+        failed.total_cost = f64::NAN;
+        let mut r =
+            CampaignReport::assemble(ObjectiveKind::DEFAULT.to_vec(), vec![record(), failed]);
+        r.threads = 2;
+        r.flows_synthesized = 1;
+        r.synthesis_reused = 1;
+        r.carried_points = 1;
+        r.wall_ms = 12.5;
+        r.match_cache = vec![
+            CacheSizeRecord {
+                vertex_count: 8,
+                hits: 3,
+                misses: 10,
+            },
+            CacheSizeRecord {
+                vertex_count: 10,
+                hits: 1,
+                misses: 9,
+            },
+        ];
+        r
+    }
+
     #[test]
     fn point_json_is_well_formed() {
         let json = record().to_json(&ObjectiveKind::DEFAULT);
@@ -306,6 +667,18 @@ mod tests {
     }
 
     #[test]
+    fn point_round_trips_exactly() {
+        let original = record();
+        let json = original.to_json(&ObjectiveKind::DEFAULT);
+        let parsed = PointRecord::from_json_value(
+            &JsonValue::parse(&json).unwrap(),
+            &ObjectiveKind::DEFAULT,
+        )
+        .unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
     fn failed_points_serialize_the_error_instead_of_objectives() {
         let mut r = record();
         r.error = Some("no legal decomposition".into());
@@ -313,6 +686,69 @@ mod tests {
         let json = r.to_json(&ObjectiveKind::DEFAULT);
         assert!(json.contains("\"error\": \"no legal decomposition\""));
         assert!(!json.contains("on_front"));
+        // And the parser accepts the error shape (NaN provenance fields
+        // break PartialEq, so compare the load-bearing parts).
+        let parsed = PointRecord::from_json_value(
+            &JsonValue::parse(&json).unwrap(),
+            &ObjectiveKind::DEFAULT,
+        )
+        .unwrap();
+        assert_eq!(parsed.error.as_deref(), Some("no legal decomposition"));
+        assert!(parsed.objectives.is_empty());
+        assert!(!parsed.on_front);
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let original = report();
+        let parsed = CampaignReport::from_json(&original.to_json()).unwrap();
+        assert_eq!(parsed.objective_kinds, original.objective_kinds);
+        assert_eq!(parsed.front, original.front);
+        assert_eq!(parsed.points[0], original.points[0]);
+        assert_eq!(parsed.points[1].error, original.points[1].error);
+        assert_eq!(
+            (
+                parsed.threads,
+                parsed.flows_synthesized,
+                parsed.synthesis_reused
+            ),
+            (2, 1, 1)
+        );
+        assert_eq!(parsed.carried_points, 1);
+        assert_eq!(parsed.wall_ms, 12.5);
+        assert_eq!(parsed.hypervolume, original.hypervolume);
+        assert_eq!(parsed.spread, original.spread);
+        assert_eq!(parsed.match_cache, original.match_cache);
+        // And writing the parsed report reproduces the bytes.
+        assert_eq!(parsed.to_json(), original.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_documents() {
+        assert!(CampaignReport::from_json("{}").is_err());
+        assert!(CampaignReport::from_json("{\"report\": \"other\"}").is_err());
+        assert!(CampaignReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn assemble_computes_front_and_metrics() {
+        let mut a = record();
+        a.scenario_id = 0;
+        let mut b = record();
+        b.scenario_id = 1;
+        b.objectives = vec![2.0e-9, 20.0, 20.0]; // dominated by a
+        let r = CampaignReport::assemble(ObjectiveKind::DEFAULT.to_vec(), vec![b, a]);
+        assert_eq!(r.front, vec![0]);
+        assert!(r.points[0].on_front && !r.points[1].on_front);
+        assert!(r.hypervolume > 0.0);
+        assert_eq!(r.point(1).unwrap().scenario_id, 1);
+        assert!(r.point(7).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate records for scenario")]
+    fn assemble_rejects_duplicate_ids() {
+        CampaignReport::assemble(ObjectiveKind::DEFAULT.to_vec(), vec![record(), record()]);
     }
 
     #[test]
@@ -332,5 +768,45 @@ mod tests {
         }
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn json_lines_stream_recovers_into_a_partial_report() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonLinesSink::new(&mut buf, ObjectiveKind::DEFAULT.to_vec());
+            let mut other = record();
+            other.scenario_id = 9;
+            other.objectives = vec![1.0e-9, 30.0, 20.0];
+            sink.point(&record());
+            sink.point(&other);
+            sink.point(&record()); // duplicate id: first occurrence wins
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let partial = CampaignReport::from_json_lines(&text, &ObjectiveKind::DEFAULT).unwrap();
+        assert_eq!(partial.points.len(), 2);
+        assert_eq!(partial.front, vec![3, 9]); // incomparable: both stay
+        assert_eq!(partial.points[0], record());
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped_not_fatal() {
+        let mut other = record();
+        other.scenario_id = 9;
+        let full = format!(
+            "{}\n{}\n",
+            record().to_json(&ObjectiveKind::DEFAULT),
+            other.to_json(&ObjectiveKind::DEFAULT),
+        );
+        // A kill mid-write leaves the last record half-flushed.
+        let cut = full.len() - 40;
+        let partial =
+            CampaignReport::from_json_lines(&full[..cut], &ObjectiveKind::DEFAULT).unwrap();
+        assert_eq!(partial.points.len(), 1);
+        assert_eq!(partial.points[0].scenario_id, 3);
+        // But garbage *before* the end is real corruption.
+        let corrupted = format!("not json\n{}", record().to_json(&ObjectiveKind::DEFAULT));
+        let err = CampaignReport::from_json_lines(&corrupted, &ObjectiveKind::DEFAULT).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
     }
 }

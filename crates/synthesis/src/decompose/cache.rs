@@ -8,20 +8,28 @@
 //! there is pure waste — enumeration depends only on (remaining graph,
 //! primitive).
 //!
-//! The cache keys entries by the remaining graph's edge
-//! [`BitSetKey`](noc_graph::BitSetKey) (the vertex set is fixed for a whole
-//! search, so the edge set identifies the graph) plus the primitive index,
-//! and stores the *complete* distinct-image list with each image's covered
+//! The cache keys entries by a **size-tagged** graph identity: the
+//! remaining graph's vertex count plus its edge
+//! [`BitSetKey`](noc_graph::BitSetKey) (edge bit `i` encodes
+//! `(i / n, i % n)`, so the bitset only identifies a graph *given* `n`;
+//! tagging the key with `n` makes entries from different graph sizes
+//! collision-free in one map), nested with one slot per primitive. It
+//! stores the *complete* distinct-image list with each image's covered
 //! edge set precomputed. Incomplete enumerations — deadline expired or the
 //! raw-match cap hit — are never cached, so a cached entry is always safe
 //! to reuse.
+//!
+//! Because keys are size-tagged, one [`SharedMatchCache`] can serve a whole
+//! size sweep: searches over 8-vertex and 16-vertex applications share the
+//! map without any binding handshake (the pre-size-tag design bound a
+//! shared cache to the first vertex count it saw and silently fell back to
+//! a private cache on mismatch).
 //!
 //! The cache is shared across worker threads in parallel searches; a plain
 //! mutex-guarded map suffices because VF2 enumeration dominates the lock by
 //! orders of magnitude.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use noc_graph::{iso::Mapping, BitSetKey, Edge};
@@ -30,25 +38,23 @@ use noc_primitives::PrimitiveId;
 /// A match cache shared *across* decomposer runs.
 ///
 /// The per-run cache already amortizes VF2 work within one search; a shared
-/// cache extends that across searches of the **same application graph**
-/// (different placements, technologies, objectives or engine knobs), where
-/// identical remaining graphs recur and the enumeration is placement- and
-/// cost-independent. Exploration campaigns (`noc-explore`) hand one of
-/// these to every scenario point that runs the same workload.
+/// cache extends that across searches — most profitably over the **same
+/// application graph** (different placements, technologies, objectives or
+/// engine knobs), where identical remaining graphs recur and the
+/// enumeration is placement- and cost-independent. Exploration campaigns
+/// (`noc-explore`) hand one of these to every scenario point.
 ///
-/// Edge keys only identify a graph *given its vertex count* (the bitset is
-/// indexed `src * n + dst`), so a shared cache binds to the vertex count of
-/// the first search that uses it; a decomposer handed a cache bound to a
-/// different count silently falls back to a private per-run cache rather
-/// than risk key collisions.
+/// Keys are size-tagged (vertex count, edge-bitset key), so a single cache
+/// is sound for searches over *any* mix of graph sizes; use
+/// [`size_stats`](Self::size_stats) to see which sizes it served.
 #[derive(Debug, Clone)]
 pub struct SharedMatchCache {
     inner: Arc<MatchCache>,
 }
 
 impl SharedMatchCache {
-    /// An empty shared cache holding at most `capacity` distinct remaining
-    /// graphs.
+    /// An empty shared cache holding at most `capacity` distinct
+    /// size-tagged remaining graphs.
     pub fn new(capacity: usize) -> Self {
         SharedMatchCache {
             inner: Arc::new(MatchCache::new(capacity)),
@@ -65,10 +71,10 @@ impl SharedMatchCache {
         self.inner.misses()
     }
 
-    /// Binds the cache to `vertex_count` (first caller wins) and reports
-    /// whether a search over that many vertices may use it.
-    pub(crate) fn bind(&self, vertex_count: usize) -> bool {
-        self.inner.bind(vertex_count)
+    /// Cumulative per-vertex-count traffic, ascending by vertex count —
+    /// one entry per graph size this cache has served.
+    pub fn size_stats(&self) -> Vec<SizeCacheStats> {
+        self.inner.size_stats()
     }
 
     /// The underlying cache handle.
@@ -77,21 +83,48 @@ impl SharedMatchCache {
     }
 }
 
+/// Cache traffic attributed to one graph size (vertex count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeCacheStats {
+    /// Vertex count of the searches this row aggregates.
+    pub vertex_count: usize,
+    /// Enumerations answered from the cache.
+    pub hits: u64,
+    /// Enumerations that had to run.
+    pub misses: u64,
+    /// Distinct remaining graphs currently cached at this size.
+    pub graphs: usize,
+}
+
 /// One primitive's complete distinct-image enumeration on one remaining
 /// graph: each mapping paired with its covered (image) edge set, sorted.
 pub(crate) type ImageList = Arc<Vec<(Mapping, Vec<Edge>)>>;
 
-/// Thread-safe memo of VF2 enumerations, keyed by the remaining graph's
-/// edge key with one slot per primitive (nested so lookups borrow the key
-/// instead of cloning it — the lookup sits on the per-node hot path).
+/// Per-size slot: the memo map for one vertex count plus its traffic
+/// counters (kept per size so campaigns can report which sizes a shared
+/// cache actually served).
+#[derive(Debug, Default)]
+struct SizeSlot {
+    map: HashMap<BitSetKey, HashMap<PrimitiveId, ImageList>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Guarded cache state: size slots plus the total distinct-graph count
+/// (what `capacity` bounds, across all sizes).
+#[derive(Debug, Default)]
+struct CacheState {
+    sizes: HashMap<usize, SizeSlot>,
+    graphs: usize,
+}
+
+/// Thread-safe memo of VF2 enumerations, keyed by (vertex count, edge key,
+/// primitive) — nested so lookups borrow the edge key instead of cloning
+/// it (the lookup sits on the per-node hot path).
 #[derive(Debug)]
 pub(crate) struct MatchCache {
-    map: Mutex<HashMap<BitSetKey, HashMap<PrimitiveId, ImageList>>>,
+    state: Mutex<CacheState>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    /// Vertex count the keys are valid for; `0` until the first bind.
-    vertex_count: AtomicUsize,
 }
 
 impl MatchCache {
@@ -99,72 +132,100 @@ impl MatchCache {
     /// that are dropped; lookups keep working).
     pub(crate) fn new(capacity: usize) -> Self {
         MatchCache {
-            map: Mutex::new(HashMap::new()),
+            state: Mutex::new(CacheState::default()),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            vertex_count: AtomicUsize::new(0),
         }
     }
 
-    /// Binds the cache to `vertex_count` on first use; returns whether the
-    /// cache is usable for graphs of that vertex count.
-    pub(crate) fn bind(&self, vertex_count: usize) -> bool {
-        match self.vertex_count.compare_exchange(
-            0,
-            vertex_count,
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
-            Ok(_) => true,
-            Err(bound) => bound == vertex_count,
-        }
-    }
-
-    /// Looks up an enumeration, counting a hit or miss.
-    pub(crate) fn get(&self, key: &BitSetKey, primitive: PrimitiveId) -> Option<ImageList> {
-        let found = self
+    /// Looks up an enumeration for an `n`-vertex remaining graph, counting
+    /// a hit or miss against that size.
+    pub(crate) fn get(
+        &self,
+        n: usize,
+        key: &BitSetKey,
+        primitive: PrimitiveId,
+    ) -> Option<ImageList> {
+        let mut state = self.state.lock().expect("match cache lock");
+        let slot = state.sizes.entry(n).or_default();
+        let found = slot
             .map
-            .lock()
-            .expect("match cache lock")
             .get(key)
             .and_then(|per_primitive| per_primitive.get(&primitive))
             .cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
+            Some(_) => slot.hits += 1,
+            None => slot.misses += 1,
+        }
         found
     }
 
     /// Peeks without counting (used by leaf-detection existence probes, so
     /// a probe does not inflate the miss statistics).
-    pub(crate) fn peek(&self, key: &BitSetKey, primitive: PrimitiveId) -> Option<ImageList> {
-        self.map
+    pub(crate) fn peek(
+        &self,
+        n: usize,
+        key: &BitSetKey,
+        primitive: PrimitiveId,
+    ) -> Option<ImageList> {
+        self.state
             .lock()
             .expect("match cache lock")
-            .get(key)
+            .sizes
+            .get(&n)
+            .and_then(|slot| slot.map.get(key))
             .and_then(|per_primitive| per_primitive.get(&primitive))
             .cloned()
     }
 
     /// Stores a complete enumeration, unless the cache is full (capacity
-    /// counts distinct remaining graphs; primitives nest under each).
-    pub(crate) fn insert(&self, key: BitSetKey, primitive: PrimitiveId, images: ImageList) {
-        let mut map = self.map.lock().expect("match cache lock");
-        if map.len() < self.capacity || map.contains_key(&key) {
-            map.entry(key).or_default().insert(primitive, images);
+    /// counts distinct size-tagged remaining graphs; primitives nest under
+    /// each).
+    pub(crate) fn insert(
+        &self,
+        n: usize,
+        key: BitSetKey,
+        primitive: PrimitiveId,
+        images: ImageList,
+    ) {
+        let mut state = self.state.lock().expect("match cache lock");
+        let full = state.graphs >= self.capacity;
+        let slot = state.sizes.entry(n).or_default();
+        let known = slot.map.contains_key(&key);
+        if known {
+            slot.map.entry(key).or_default().insert(primitive, images);
+        } else if !full {
+            slot.map.entry(key).or_default().insert(primitive, images);
+            state.graphs += 1;
         }
     }
 
-    /// Hit count so far.
+    /// Hit count so far, summed over every size.
     pub(crate) fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        let state = self.state.lock().expect("match cache lock");
+        state.sizes.values().map(|s| s.hits).sum()
     }
 
-    /// Miss count so far.
+    /// Miss count so far, summed over every size.
     pub(crate) fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        let state = self.state.lock().expect("match cache lock");
+        state.sizes.values().map(|s| s.misses).sum()
+    }
+
+    /// Per-size traffic, ascending by vertex count.
+    pub(crate) fn size_stats(&self) -> Vec<SizeCacheStats> {
+        let state = self.state.lock().expect("match cache lock");
+        let mut stats: Vec<SizeCacheStats> = state
+            .sizes
+            .iter()
+            .map(|(&vertex_count, slot)| SizeCacheStats {
+                vertex_count,
+                hits: slot.hits,
+                misses: slot.misses,
+                graphs: slot.map.len(),
+            })
+            .collect();
+        stats.sort_by_key(|s| s.vertex_count);
+        stats
     }
 }
 
@@ -173,46 +234,90 @@ mod tests {
     use super::*;
     use noc_graph::{DiGraph, NodeId};
 
-    fn key_of(g: &DiGraph) -> BitSetKey {
-        g.edge_key()
+    fn key_of(g: &DiGraph) -> (usize, BitSetKey) {
+        (g.node_count(), g.edge_key())
     }
 
     #[test]
     fn get_counts_hits_and_misses() {
         let cache = MatchCache::new(16);
         let g = DiGraph::cycle(4);
+        let (n, key) = key_of(&g);
         let id = PrimitiveId(0);
-        assert!(cache.get(&key_of(&g), id).is_none());
+        assert!(cache.get(n, &key, id).is_none());
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
 
         let images: ImageList = Arc::new(vec![(
             Mapping::new(vec![NodeId(0), NodeId(1)]),
             vec![Edge::new(NodeId(0), NodeId(1))],
         )]);
-        cache.insert(key_of(&g), id, images);
-        assert!(cache.get(&key_of(&g), id).is_some());
+        cache.insert(n, key.clone(), id, images);
+        assert!(cache.get(n, &key, id).is_some());
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         // A different primitive on the same graph is a distinct entry.
-        assert!(cache.get(&key_of(&g), PrimitiveId(1)).is_none());
+        assert!(cache.get(n, &key, PrimitiveId(1)).is_none());
     }
 
     #[test]
     fn peek_does_not_count() {
         let cache = MatchCache::new(16);
         let g = DiGraph::complete(3);
-        assert!(cache.peek(&key_of(&g), PrimitiveId(0)).is_none());
+        let (n, key) = key_of(&g);
+        assert!(cache.peek(n, &key, PrimitiveId(0)).is_none());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
     }
 
     #[test]
-    fn capacity_bounds_inserts() {
+    fn capacity_bounds_inserts_across_sizes() {
         let cache = MatchCache::new(1);
         let a = DiGraph::cycle(3);
         let b = DiGraph::cycle(4);
+        let (na, ka) = key_of(&a);
+        let (nb, kb) = key_of(&b);
         let empty: ImageList = Arc::new(Vec::new());
-        cache.insert(key_of(&a), PrimitiveId(0), empty.clone());
-        cache.insert(key_of(&b), PrimitiveId(0), empty);
-        assert!(cache.peek(&key_of(&a), PrimitiveId(0)).is_some());
-        assert!(cache.peek(&key_of(&b), PrimitiveId(0)).is_none());
+        cache.insert(na, ka.clone(), PrimitiveId(0), empty.clone());
+        // A second primitive on an already-cached graph still lands.
+        cache.insert(na, ka.clone(), PrimitiveId(1), empty.clone());
+        // A new graph — even at a different size — is over capacity.
+        cache.insert(nb, kb.clone(), PrimitiveId(0), empty);
+        assert!(cache.peek(na, &ka, PrimitiveId(0)).is_some());
+        assert!(cache.peek(na, &ka, PrimitiveId(1)).is_some());
+        assert!(cache.peek(nb, &kb, PrimitiveId(0)).is_none());
+    }
+
+    #[test]
+    fn sizes_do_not_collide() {
+        // The same edge bitset under two vertex counts names two different
+        // graphs; size tagging keeps the entries apart.
+        let cache = MatchCache::new(16);
+        let small = DiGraph::cycle(3);
+        let (n, key) = key_of(&small);
+        let images: ImageList = Arc::new(Vec::new());
+        cache.insert(n, key.clone(), PrimitiveId(0), images);
+        assert!(cache.peek(n, &key, PrimitiveId(0)).is_some());
+        assert!(cache.peek(n + 1, &key, PrimitiveId(0)).is_none());
+    }
+
+    #[test]
+    fn size_stats_track_per_size_traffic() {
+        let cache = MatchCache::new(16);
+        let a = DiGraph::cycle(3);
+        let b = DiGraph::cycle(5);
+        let (na, ka) = key_of(&a);
+        let (nb, kb) = key_of(&b);
+        let empty: ImageList = Arc::new(Vec::new());
+        assert!(cache.get(na, &ka, PrimitiveId(0)).is_none()); // miss @3
+        cache.insert(na, ka.clone(), PrimitiveId(0), empty.clone());
+        assert!(cache.get(na, &ka, PrimitiveId(0)).is_some()); // hit @3
+        assert!(cache.get(nb, &kb, PrimitiveId(0)).is_none()); // miss @5
+        cache.insert(nb, kb, PrimitiveId(0), empty);
+
+        let stats = cache.size_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].vertex_count, 3);
+        assert_eq!((stats[0].hits, stats[0].misses, stats[0].graphs), (1, 1, 1));
+        assert_eq!(stats[1].vertex_count, 5);
+        assert_eq!((stats[1].hits, stats[1].misses, stats[1].graphs), (0, 1, 1));
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
     }
 }

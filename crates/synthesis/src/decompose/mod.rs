@@ -58,7 +58,7 @@ use crate::{
 use cache::{ImageList, MatchCache};
 use frontier::{path_to_vec, Frontier, PathLink, SearchNode};
 
-pub use cache::SharedMatchCache;
+pub use cache::{SharedMatchCache, SizeCacheStats};
 
 /// One matched primitive instance on the decomposition path.
 #[derive(Debug, Clone)]
@@ -243,10 +243,10 @@ pub struct DecomposerConfig {
     /// Maximum match-cache entries kept (bounds memory on huge searches).
     pub match_cache_capacity: usize,
     /// A [`SharedMatchCache`] reused *across* runs (exploration campaigns
-    /// hand the same cache to every scenario on the same workload). Only
-    /// honored while `use_match_cache` is `true`, and only when the cache's
-    /// bound vertex count matches this search's graph — otherwise the run
-    /// falls back to a private cache. [`SearchStats`] hit/miss counts stay
+    /// hand one cache to every scenario). Only honored while
+    /// `use_match_cache` is `true`. Cache keys are size-tagged (vertex
+    /// count + edge bitset), so a single cache soundly serves searches
+    /// over any mix of graph sizes. [`SearchStats`] hit/miss counts stay
     /// per-run either way.
     pub shared_cache: Option<SharedMatchCache>,
 }
@@ -327,11 +327,11 @@ impl<'a> Decomposer<'a> {
             .fold(1.0_f64, f64::max);
 
         let cache = self.config.use_match_cache.then(|| {
-            // A shared cache is only sound while its edge keys cannot
-            // collide: same vertex count as the graph that bound it.
+            // Size-tagged keys make a shared cache sound for any graph
+            // size; without one the run gets a private per-run cache.
             match &self.config.shared_cache {
-                Some(shared) if shared.bind(self.acg.graph().node_count()) => shared.inner(),
-                _ => Arc::new(MatchCache::new(self.config.match_cache_capacity)),
+                Some(shared) => shared.inner(),
+                None => Arc::new(MatchCache::new(self.config.match_cache_capacity)),
             }
         });
         let ctx = EngineCtx {
@@ -341,6 +341,7 @@ impl<'a> Decomposer<'a> {
             config: &self.config,
             deadline,
             best_ratio,
+            vertex_count: self.acg.graph().node_count(),
             cache,
             // Counted here, not derived from the cache's cumulative
             // counters: a shared cache may serve other concurrently
@@ -380,6 +381,9 @@ pub(crate) struct EngineCtx<'a> {
     pub(crate) config: &'a DecomposerConfig,
     pub(crate) deadline: Option<Instant>,
     pub(crate) best_ratio: f64,
+    /// Vertex count of this search's graph — the size tag on every cache
+    /// key (the remaining graph's vertex *set* is constant within a run).
+    pub(crate) vertex_count: usize,
     pub(crate) cache: Option<Arc<MatchCache>>,
     /// This run's cache traffic (the cache's own counters are cumulative
     /// across every run sharing it).
@@ -398,7 +402,7 @@ impl EngineCtx<'_> {
         primitive: &Primitive,
     ) -> ImageList {
         if let (Some(cache), Some(key)) = (self.cache.as_ref(), key) {
-            if let Some(hit) = cache.get(key, id) {
+            if let Some(hit) = cache.get(self.vertex_count, key, id) {
                 self.run_cache_hits.fetch_add(1, Ordering::Relaxed);
                 return hit;
             }
@@ -426,7 +430,7 @@ impl EngineCtx<'_> {
         // the same graph.
         if complete {
             if let (Some(cache), Some(key)) = (self.cache.as_ref(), key) {
-                cache.insert(key.clone(), id, images.clone());
+                cache.insert(self.vertex_count, key.clone(), id, images.clone());
             }
         }
         images
@@ -576,7 +580,7 @@ pub(crate) fn expand(
                     .cache
                     .as_ref()
                     .zip(key.as_ref())
-                    .and_then(|(cache, key)| cache.peek(key, id));
+                    .and_then(|(cache, key)| cache.peek(ctx.vertex_count, key, id));
                 found_match = match cached {
                     Some(images) => !images.is_empty(),
                     None => {
@@ -1038,7 +1042,7 @@ mod tests {
     }
 
     #[test]
-    fn shared_cache_with_mismatched_vertex_count_falls_back() {
+    fn shared_cache_serves_multiple_vertex_counts() {
         let lib = CommLibrary::standard();
         let shared = SharedMatchCache::new(1 << 12);
         let config = DecomposerConfig {
@@ -1047,15 +1051,50 @@ mod tests {
         };
         let small = Acg::from_graph_uniform(DiGraph::complete(4), EdgeDemand::from_volume(8.0));
         let big = Acg::from_graph_uniform(DiGraph::cycle(6), EdgeDemand::from_volume(8.0));
-        let a = Decomposer::new(&small, &lib, cost_model(Objective::Links, 4))
-            .config(config.clone())
-            .run();
-        let misses_after_small = shared.misses();
-        // The 6-vertex search must not touch the 4-vertex-bound cache.
-        let b = Decomposer::new(&big, &lib, cost_model(Objective::Links, 6))
-            .config(config)
-            .run();
-        assert_eq!(shared.misses(), misses_after_small);
-        assert!(a.best.is_some() && b.best.is_some());
+        for acg in [&small, &big] {
+            // Two runs per size (different objectives): the second starts
+            // warm from the size-tagged shared entries.
+            let n = acg.core_count();
+            let cold = Decomposer::new(acg, &lib, cost_model(Objective::Links, n))
+                .config(config.clone())
+                .run();
+            let warm = Decomposer::new(acg, &lib, cost_model(Objective::Energy, n))
+                .config(config.clone())
+                .run();
+            assert!(cold.best.is_some() && warm.best.is_some());
+            assert!(warm.stats.cache_hits > 0, "size {n} never warmed up");
+        }
+        // One cache, two sizes, nonzero hits attributed to each.
+        let stats = shared.size_stats();
+        let sizes: Vec<usize> = stats.iter().map(|s| s.vertex_count).collect();
+        assert_eq!(sizes, vec![4, 6]);
+        assert!(stats.iter().all(|s| s.hits > 0 && s.graphs > 0));
+        assert_eq!(shared.hits(), stats.iter().map(|s| s.hits).sum::<u64>());
+    }
+
+    #[test]
+    fn identical_bitsets_at_different_sizes_do_not_collide() {
+        // A 4-vertex complete graph and a 6-vertex graph can in principle
+        // produce overlapping edge-bit indices; the size tag keeps their
+        // searches correct *and* their entries separate. Equivalence with
+        // a private-cache run is the correctness oracle.
+        let lib = CommLibrary::standard();
+        let shared = SharedMatchCache::new(1 << 12);
+        let config = DecomposerConfig {
+            shared_cache: Some(shared.clone()),
+            ..DecomposerConfig::default()
+        };
+        for n in [4usize, 6] {
+            let acg = Acg::from_graph_uniform(DiGraph::complete(n), EdgeDemand::from_volume(8.0));
+            let with_shared = Decomposer::new(&acg, &lib, cost_model(Objective::Links, n))
+                .config(config.clone())
+                .run();
+            let private = Decomposer::new(&acg, &lib, cost_model(Objective::Links, n)).run();
+            assert_eq!(
+                with_shared.best.map(|d| d.total_cost.value()),
+                private.best.map(|d| d.total_cost.value()),
+                "shared cache perturbed the {n}-vertex optimum"
+            );
+        }
     }
 }

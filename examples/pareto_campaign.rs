@@ -34,9 +34,8 @@ fn main() {
     // Stream completions as JSON Lines to stderr while the campaign runs;
     // the report itself comes back at the end.
     let mut sink = JsonLinesSink::new(std::io::stderr(), ObjectiveKind::DEFAULT.to_vec());
-    let report = Campaign::new(grid)
-        .threads(0) // one worker per hardware thread
-        .run_with_sink(&mut sink);
+    let campaign = Campaign::new(grid).threads(0); // one worker per hardware thread
+    let report = campaign.run_with_sink(&mut sink);
 
     println!(
         "{} flows synthesized, {} reused, {:.0} ms wall\n",
@@ -59,5 +58,31 @@ fn main() {
         "\n{} of {} points are Pareto-optimal; the rest are dominated.",
         report.front.len(),
         report.points.len()
+    );
+    println!(
+        "front quality: hypervolume {:.6}, spread {:.4}",
+        report.hypervolume, report.spread
+    );
+    if !report.match_cache.is_empty() {
+        let sizes: Vec<String> = report
+            .match_cache
+            .iter()
+            .map(|c| format!("{}v: {} hits", c.vertex_count, c.hits))
+            .collect();
+        println!("one shared match cache across sizes: {}", sizes.join(", "));
+    }
+
+    // Campaigns are incremental: a report round-trips through its JSON
+    // and a resume runs only what is missing — here, nothing.
+    let reloaded = noc_explore::CampaignReport::from_json(&report.to_json())
+        .expect("reports parse their own output");
+    let resumed = campaign
+        .resume_from(&reloaded)
+        .expect("objectives match, so the report is resumable");
+    assert_eq!(resumed.front, report.front);
+    println!(
+        "\nresume from the finished report: {} points re-run, {} carried — front unchanged.",
+        resumed.points.len() - resumed.carried_points,
+        resumed.carried_points
     );
 }

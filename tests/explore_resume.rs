@@ -1,0 +1,137 @@
+//! The incremental-campaign guarantees, end to end: report JSON
+//! round-trips exactly, and the three ways of covering a grid —
+//! single-shot, kill-half-then-resume, shard-and-merge — fold to
+//! identical Pareto fronts (the property `explore --smoke` asserts in CI,
+//! here locked in as `cargo test` coverage).
+
+use noc_explore::prelude::*;
+use noc_explore::{partition, CampaignReport, JsonLinesSink, ObjectiveKind};
+
+fn smoke_campaign() -> Campaign {
+    Campaign::new(ScenarioGrid::smoke())
+}
+
+#[test]
+fn report_json_round_trips_identically() {
+    let report = smoke_campaign().run();
+    let parsed = CampaignReport::from_json(&report.to_json()).expect("parse own output");
+    // Every record survives exactly (all smoke points succeed, so the
+    // NaN-provenance caveat never applies and PartialEq is meaningful).
+    assert_eq!(parsed.points, report.points);
+    assert_eq!(parsed.front, report.front);
+    assert_eq!(parsed.objective_kinds, report.objective_kinds);
+    assert_eq!(parsed.hypervolume, report.hypervolume);
+    assert_eq!(parsed.spread, report.spread);
+    assert_eq!(parsed.match_cache, report.match_cache);
+    assert_eq!(
+        (
+            parsed.threads,
+            parsed.flows_synthesized,
+            parsed.synthesis_reused
+        ),
+        (
+            report.threads,
+            report.flows_synthesized,
+            report.synthesis_reused
+        )
+    );
+    // Fixed point: writing the parsed report reproduces the bytes.
+    assert_eq!(parsed.to_json(), report.to_json());
+}
+
+#[test]
+fn fresh_and_resumed_runs_fold_identical_fronts() {
+    let campaign = smoke_campaign();
+    let fresh = campaign.run();
+
+    // "Kill" the campaign halfway: run only the first half of the grid,
+    // round-trip its report through JSON (as a real resume would), then
+    // resume the rest.
+    let half = campaign.run_plan(campaign.plan_shard(&ShardManifest::range(0, 2)));
+    assert_eq!(half.points.len(), 6);
+    let reloaded = CampaignReport::from_json(&half.to_json()).expect("half report parses");
+    let resumed = campaign.resume_from(&reloaded).expect("resume");
+
+    assert_eq!(resumed.front, fresh.front);
+    assert_eq!(resumed.hypervolume, fresh.hypervolume);
+    assert_eq!(resumed.spread, fresh.spread);
+    assert_eq!(resumed.points.len(), fresh.points.len());
+    assert_eq!(resumed.carried_points, 6);
+    // Not just the front: every record is identical.
+    for (a, b) in resumed.points.iter().zip(&fresh.points) {
+        assert_eq!(a.scenario_id, b.scenario_id);
+        assert_eq!(a.objectives, b.objectives, "point {}", a.label);
+        assert_eq!(a.on_front, b.on_front, "point {}", a.label);
+    }
+    // Resuming a complete report runs nothing and changes nothing.
+    let noop = campaign.resume_from(&fresh).expect("no-op resume");
+    assert_eq!(noop.front, fresh.front);
+    assert_eq!((noop.flows_synthesized, noop.carried_points), (0, 12));
+}
+
+#[test]
+fn sharded_and_merged_fronts_equal_single_shot() {
+    let campaign = smoke_campaign();
+    let single = campaign.run();
+    for mode in [ShardMode::Range, ShardMode::Modulo] {
+        for count in [2usize, 3, 5] {
+            let shards: Vec<CampaignReport> = partition(count, mode)
+                .iter()
+                .map(|m| campaign.run_plan(campaign.plan_shard(m)))
+                .collect();
+            // Disjoint and exhaustive by construction.
+            let total: usize = shards.iter().map(|s| s.points.len()).sum();
+            assert_eq!(total, single.points.len(), "{mode:?} x{count}");
+            let merged = merge_reports(&shards).expect("merge");
+            assert_eq!(merged.front, single.front, "{mode:?} x{count}");
+            assert_eq!(merged.hypervolume, single.hypervolume);
+            for (a, b) in merged.points.iter().zip(&single.points) {
+                assert_eq!(a.objectives, b.objectives, "point {}", a.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_jsonl_stream_resumes_to_the_same_front() {
+    let campaign = smoke_campaign();
+    let fresh = campaign.run();
+
+    // Stream a full campaign to JSON Lines, then keep only the first 5
+    // lines — what a kill mid-run would leave on disk (the sink flushes
+    // per point and on drop).
+    let mut buf: Vec<u8> = Vec::new();
+    {
+        let mut sink = JsonLinesSink::new(&mut buf, ObjectiveKind::DEFAULT.to_vec());
+        campaign.run_with_sink(&mut sink);
+    }
+    let text = String::from_utf8(buf).unwrap();
+    assert_eq!(text.lines().count(), 12);
+    let truncated: String = text.lines().take(5).collect::<Vec<_>>().join("\n");
+
+    let partial = CampaignReport::from_json_lines(&truncated, &ObjectiveKind::DEFAULT)
+        .expect("partial stream parses");
+    assert_eq!(partial.points.len(), 5);
+    let resumed = campaign.resume_from(&partial).expect("resume from stream");
+    assert_eq!(resumed.front, fresh.front);
+    assert_eq!(resumed.carried_points, 5);
+}
+
+#[test]
+fn one_campaign_cache_serves_multiple_graph_sizes() {
+    // The smoke grid spans 8-vertex (fig5, tgff) and 10-vertex (pajek)
+    // applications; each workload synthesizes under two objectives, so
+    // the second run per workload hits the campaign-wide cache — at
+    // *both* sizes, which the pre-size-tag design could not do.
+    let report = smoke_campaign().run();
+    let sizes: Vec<usize> = report.match_cache.iter().map(|c| c.vertex_count).collect();
+    assert_eq!(sizes, vec![8, 10]);
+    for row in &report.match_cache {
+        assert!(
+            row.hits > 0,
+            "no cross-run hits at size {}: {:?}",
+            row.vertex_count,
+            report.match_cache
+        );
+    }
+}

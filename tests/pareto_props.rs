@@ -4,6 +4,7 @@
 //! offer order — the property the campaign engine's determinism (same
 //! front at every thread count) ultimately rests on.
 
+use noc_explore::metrics::{schott_spacing, unit_hypervolume};
 use noc_explore::pareto::{dominates, pareto_indices, ParetoFront};
 use proptest::prelude::*;
 
@@ -101,5 +102,46 @@ proptest! {
             prop_assert_eq!(joined, !dominated_so_far);
         }
         prop_assert_eq!(incremental.indices(), pareto_indices(&vectors));
+    }
+
+    /// Hypervolume is monotone (adding points never shrinks it), bounded
+    /// by the unit box, invariant under point order, and unchanged by
+    /// restriction to the Pareto front (dominated points add no volume).
+    #[test]
+    fn hypervolume_is_monotone_and_front_determined(
+        vectors in arb_population(),
+        seed in 0u64..1000,
+    ) {
+        // Map the quantized population into the open unit box.
+        let normalized: Vec<Vec<f64>> = vectors
+            .iter()
+            .map(|v| v.iter().map(|x| (x + 1.0) / 8.0).collect())
+            .collect();
+        let hv_all = unit_hypervolume(&normalized);
+        prop_assert!((0.0..=1.0).contains(&hv_all), "hv {hv_all}");
+        // Monotonicity over prefixes.
+        let mut last = 0.0;
+        for end in 1..=normalized.len() {
+            let hv = unit_hypervolume(&normalized[..end]);
+            prop_assert!(hv >= last - 1e-12, "prefix {end}: {hv} < {last}");
+            last = hv;
+        }
+        // Permutation invariance (up to float association error).
+        let shuffled = permuted(&normalized, seed);
+        prop_assert!((unit_hypervolume(&shuffled) - hv_all).abs() < 1e-9);
+        // Only the front matters.
+        let front: Vec<Vec<f64>> = pareto_indices(&normalized)
+            .into_iter()
+            .map(|i| normalized[i].clone())
+            .collect();
+        prop_assert!((unit_hypervolume(&front) - hv_all).abs() < 1e-12);
+    }
+
+    /// Spacing is non-negative, finite, and zero below two points.
+    #[test]
+    fn spacing_is_well_defined(vectors in arb_population()) {
+        let s = schott_spacing(&vectors);
+        prop_assert!(s >= 0.0 && s.is_finite());
+        prop_assert_eq!(schott_spacing(&vectors[..1]), 0.0);
     }
 }
