@@ -4,13 +4,20 @@
 //! fixed reference points, Schott spread, front size) — so the perf
 //! trajectory started by `BENCH_decompose.json` tracks not just how fast
 //! campaigns run but whether they keep finding the same-quality fronts.
+//! The `sampled` object tracks the budgeted sampler: how much of the
+//! exhaustive front's hypervolume a bandit reaches at 2/3 of the flows.
+//!
+//! Front metrics are written with Rust's shortest-round-trip float
+//! `Display` rather than fixed precision — the normalized smoke front's
+//! spread is ~3e-4, which `{:.6}`-style truncation can squash toward an
+//! indistinguishable-from-degenerate `0.000000`.
 //!
 //! Writes `BENCH_explore.json` at the repository root.
 //!
 //! Run with: `cargo bench --bench explore_campaign`
 
 use criterion::Criterion;
-use noc_explore::{Campaign, ScenarioGrid};
+use noc_explore::{Campaign, SamplerConfig, ScenarioGrid};
 
 fn main() {
     // Correctness gate before timing: the parallel campaign must fold the
@@ -53,11 +60,30 @@ fn main() {
     let seq_ns = mean_ns("explore_campaign/seq");
     let par_ns = mean_ns("explore_campaign/par");
     let flows_per_sec = |ns: f64| flows as f64 / (ns / 1e9);
+
+    // Budgeted sampling quality: a deterministic bandit at 2/3 of the
+    // grid's flows, scored against the exhaustive front's hypervolume.
+    let budget = (flows * 2) / 3;
+    let sampled = Campaign::new(ScenarioGrid::smoke()).run_sampled(&SamplerConfig::new(budget));
+    let provenance = sampled.sampler.as_ref().expect("sampled provenance");
+    assert!(
+        sampled.hypervolume >= 0.9 * sequential.hypervolume,
+        "sampled hypervolume {} below 90% of full-grid {}",
+        sampled.hypervolume,
+        sequential.hypervolume
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"explore_campaign\",\n  \"grid\": \"smoke\",\n  \"flows_per_campaign\": {flows},\n  \"hardware_threads\": {hardware_threads},\n  \"unit\": \"flows_per_second\",\n  \"front\": {{\"size\": {}, \"hypervolume\": {:.6}, \"spread\": {:.6}}},\n  \"results\": [\n    {{\"threads\": 1, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}},\n    {{\"threads\": {hardware_threads}, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}}\n  ],\n  \"speedup\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"explore_campaign\",\n  \"grid\": \"smoke\",\n  \"flows_per_campaign\": {flows},\n  \"hardware_threads\": {hardware_threads},\n  \"unit\": \"flows_per_second\",\n  \"front\": {{\"size\": {}, \"hypervolume\": {}, \"spread\": {}}},\n  \"sampled\": {{\"policy\": \"{}\", \"budget\": {}, \"flows_spent\": {}, \"rounds\": {}, \"hypervolume\": {}, \"full_grid_fraction\": {:.6}}},\n  \"results\": [\n    {{\"threads\": 1, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}},\n    {{\"threads\": {hardware_threads}, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}}\n  ],\n  \"speedup\": {:.3}\n}}\n",
         sequential.front.len(),
         sequential.hypervolume,
         sequential.spread,
+        provenance.policy,
+        provenance.budget,
+        provenance.flows_spent,
+        provenance.rounds.len(),
+        sampled.hypervolume,
+        sampled.hypervolume / sequential.hypervolume,
         seq_ns / 1e6,
         flows_per_sec(seq_ns),
         par_ns / 1e6,

@@ -6,6 +6,8 @@
 //! ```text
 //! explore [run] [--smoke | --full] [--threads N] [--out PATH] [--stream]
 //!               [--resume PATH]
+//! explore sample --budget N [--policy bandit|halving] [--seed S]
+//!               [--smoke | --full] [--threads N] [--out PATH] [--stream]
 //! explore shard --index I --of K [--mode modulo|range]
 //!               [--smoke | --full] [--threads N] [--out PATH] [--stream]
 //! explore merge --out PATH REPORT...
@@ -16,6 +18,14 @@
 //!   a JSON-Lines stream left behind by a killed run), skips every
 //!   scenario it already records, and folds old + new points into one
 //!   front — incremental, crash-safe campaigns.
+//! * `sample` — adaptive **budgeted** sampling: evaluate at most
+//!   `--budget N` scenario points of the grid, chosen round-by-round by
+//!   the `--policy` planner (ε-greedy `bandit` over grid-axis arms, or
+//!   successive `halving` promoting arms whose points land on the front)
+//!   with a deterministic seeded scenario sequence (`--seed`, default 1).
+//!   With `--smoke` this is a CI acceptance gate: the budgeted run must
+//!   reach ≥ 90% of the full smoke grid's hypervolume while evaluating
+//!   fewer points (whenever the budget is below the grid size).
 //! * `shard` — run only shard `I` of a `K`-way partition of the grid
 //!   (`--mode range` keeps synthesis-sharing neighbors together, the
 //!   default; `--mode modulo` interleaves). Shard reports merge back into
@@ -96,12 +106,14 @@ fn main() -> ExitCode {
     let (subcommand, rest) = match args.first().map(String::as_str) {
         Some("shard") => ("shard", &args[1..]),
         Some("merge") => ("merge", &args[1..]),
+        Some("sample") => ("sample", &args[1..]),
         Some("run") => ("run", &args[1..]),
         _ => ("run", &args[..]),
     };
     match subcommand {
         "merge" => merge_command(rest),
         "shard" => shard_command(rest),
+        "sample" => sample_command(rest),
         _ => run_command(rest),
     }
 }
@@ -195,6 +207,113 @@ fn run_command(args: &[String]) -> ExitCode {
     // resumed front against the single-shot report externally).
     if common.smoke && prior.is_none() {
         smoke_gates(&campaign, &report, common.stream);
+    }
+
+    print_summary(&report, common.stream);
+    write_report(&common.out, &report, common.stream)
+}
+
+fn sample_command(args: &[String]) -> ExitCode {
+    let mut common = CommonArgs {
+        smoke: true,
+        out: "EXPLORE_sampled.json".into(),
+        ..CommonArgs::default()
+    };
+    let mut budget: Option<usize> = None;
+    let mut policy = SamplerPolicy::DEFAULT_BANDIT;
+    let mut seed = 1u64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match parse_common(arg, &mut iter, &mut common) {
+            Ok(true) => continue,
+            Err(code) => return code,
+            Ok(false) => {}
+        }
+        match arg.as_str() {
+            "--budget" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => budget = Some(n),
+                _ => return usage("--budget needs a positive integer"),
+            },
+            "--policy" => match iter.next().and_then(|p| SamplerPolicy::from_label(p)) {
+                Some(p) => policy = p,
+                None => return usage("--policy must be 'bandit' or 'halving'"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs an integer"),
+            },
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(budget) = budget else {
+        return usage("sample needs --budget N");
+    };
+
+    let grid = if common.smoke {
+        ScenarioGrid::smoke()
+    } else {
+        full_grid()
+    };
+    let campaign = Campaign::new(grid).threads(common.threads);
+    let config = SamplerConfig::new(budget).policy(policy).seed(seed);
+    note!(
+        common.stream,
+        "sampled campaign: budget {} of {} grid points, {} policy, seed {}, {} worker thread(s)",
+        budget,
+        campaign.plan().grid_len(),
+        policy.label(),
+        seed,
+        thread_label(common.threads),
+    );
+    let report = if common.stream {
+        let mut sink = JsonLinesSink::new(std::io::stdout(), ObjectiveKind::DEFAULT.to_vec());
+        campaign.run_sampled_with_sink(&config, &mut sink)
+    } else {
+        campaign.run_sampled(&config)
+    };
+
+    let provenance = report.sampler.as_ref().expect("sampled report provenance");
+    for round in &provenance.rounds {
+        note!(
+            common.stream,
+            "round {}: {} flow(s), hypervolume {:.6}, arms [{}]",
+            round.round,
+            round.flows,
+            round.hypervolume,
+            round.arms.join(", "),
+        );
+    }
+
+    // The CI acceptance gate: on the smoke grid, a budgeted run must hold
+    // ≥ 90% of the exhaustive front's hypervolume — with strictly fewer
+    // evaluated flows whenever the budget is below the grid size.
+    if common.smoke {
+        let full = Campaign::new(ScenarioGrid::smoke())
+            .threads(common.threads)
+            .run();
+        assert!(
+            report.hypervolume >= 0.9 * full.hypervolume,
+            "sampled hypervolume {} fell below 90% of the full grid's {}",
+            report.hypervolume,
+            full.hypervolume
+        );
+        assert!(
+            provenance.flows_spent <= provenance.budget,
+            "sampler overspent its budget"
+        );
+        if budget < provenance.grid_len {
+            assert!(
+                provenance.flows_spent < provenance.grid_len,
+                "budget below grid size must evaluate fewer points"
+            );
+        }
+        note!(
+            common.stream,
+            "sampling gate: {:.2}% of full-grid hypervolume with {} of {} flows",
+            100.0 * report.hypervolume / full.hypervolume,
+            provenance.flows_spent,
+            provenance.grid_len,
+        );
     }
 
     print_summary(&report, common.stream);
@@ -462,6 +581,7 @@ fn thread_label(threads: usize) -> String {
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
     eprintln!("usage: explore [run] [--smoke | --full] [--threads N] [--out PATH] [--stream] [--resume PATH]");
+    eprintln!("       explore sample --budget N [--policy bandit|halving] [--seed S] [--smoke | --full] [--threads N] [--out PATH]");
     eprintln!("       explore shard --index I --of K [--mode modulo|range] [--smoke | --full] [--threads N] [--out PATH]");
     eprintln!("       explore merge --out PATH REPORT...");
     ExitCode::from(2)

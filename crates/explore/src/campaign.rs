@@ -67,7 +67,7 @@ use crate::shard::ShardManifest;
 /// The synthesized artifacts shared by every scenario with one synthesis
 /// key: the flow result plus the simulation-ready model (all-pairs routes
 /// filled once).
-struct SynthArtifacts {
+pub(crate) struct SynthArtifacts {
     result: FlowResult,
     model: NocModel,
     /// The application's demand pairs — the sweep's traffic population (a
@@ -76,7 +76,7 @@ struct SynthArtifacts {
     synth_ms: f64,
 }
 
-type SynthOutcome = Result<Arc<SynthArtifacts>, String>;
+pub(crate) type SynthOutcome = Result<Arc<SynthArtifacts>, String>;
 
 /// What a campaign's execute stage will actually run: the scenarios still
 /// owed work, plus records carried over from a prior report.
@@ -110,6 +110,17 @@ impl CampaignPlan {
     /// The planned scenario ids, ascending.
     pub fn scenario_ids(&self) -> Vec<usize> {
         self.scenarios.iter().map(|s| s.id).collect()
+    }
+
+    /// Keeps only the planned scenarios whose id is in `ids` (carried
+    /// records are untouched). This is how a sampling planner turns "the
+    /// whole remaining grid" ([`Campaign::plan_resume`]) into one round's
+    /// worth of work: plan the resume, restrict to the round's chosen
+    /// ids, execute, re-plan against the grown report.
+    #[must_use]
+    pub fn restrict(mut self, ids: &std::collections::BTreeSet<usize>) -> Self {
+        self.scenarios.retain(|s| ids.contains(&s.id));
+        self
     }
 }
 
@@ -175,11 +186,11 @@ impl CampaignPlan {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Campaign {
-    grid: ScenarioGrid,
-    objectives: Vec<ObjectiveKind>,
+    pub(crate) grid: ScenarioGrid,
+    pub(crate) objectives: Vec<ObjectiveKind>,
     threads: usize,
     share_synthesis: bool,
-    share_match_cache: bool,
+    pub(crate) share_match_cache: bool,
 }
 
 impl Campaign {
@@ -348,28 +359,52 @@ impl Campaign {
 
     /// The engine: executes `plan`'s scenarios (streaming completions
     /// into `sink`), then folds fresh and carried records into the
-    /// report. All other `run_*`/`resume_*` entry points funnel here.
+    /// report. All other `run_*`/`resume_*` entry points funnel here —
+    /// each with run-lifetime shared state ([`run_plan_shared`](Self::run_plan_shared)
+    /// lets a multi-round caller like the sampler keep artifacts and the
+    /// match cache alive across plans).
     pub fn run_plan_with_sink(
         &self,
         plan: CampaignPlan,
         sink: &mut dyn ResultSink,
+    ) -> CampaignReport {
+        let match_cache = self
+            .share_match_cache
+            .then(|| SharedMatchCache::new(1 << 16));
+        self.run_plan_shared(plan, sink, &mut HashMap::new(), match_cache.as_ref())
+    }
+
+    /// [`run_plan_with_sink`](Self::run_plan_with_sink) with
+    /// caller-owned shared state: `artifacts` carries synthesized
+    /// architectures across *multiple* plans (a synthesis key already in
+    /// the map is never re-synthesized — its scenarios count as reused),
+    /// and `match_cache` is the campaign-wide VF2 cache (its stats rows
+    /// in the report are cumulative over the cache's lifetime). The
+    /// sampler threads both through its rounds so budgeted campaigns
+    /// keep the exhaustive engine's once-per-key guarantee.
+    pub(crate) fn run_plan_shared(
+        &self,
+        plan: CampaignPlan,
+        sink: &mut dyn ResultSink,
+        artifacts: &mut HashMap<String, SynthOutcome>,
+        match_cache: Option<&SharedMatchCache>,
     ) -> CampaignReport {
         let t0 = Instant::now();
         let CampaignPlan {
             scenarios, carried, ..
         } = plan;
 
-        // Execute phase 1 — synthesis, once per synthesis key. Job
-        // ownership is a plan property (first scenario bearing each key),
-        // so reuse flags and statistics are identical at every thread
-        // count.
-        let match_cache = self
-            .share_match_cache
-            .then(|| SharedMatchCache::new(1 << 16));
+        // Execute phase 1 — synthesis, once per synthesis key not already
+        // carried in `artifacts`. Job ownership is a plan property (first
+        // scenario bearing each new key), so reuse flags and statistics
+        // are identical at every thread count.
         let mut first_of_key: HashMap<String, usize> = HashMap::new();
         let mut jobs: Vec<&Scenario> = Vec::new();
         for scenario in &scenarios {
             let key = self.synthesis_key(scenario);
+            if artifacts.contains_key(&key) {
+                continue;
+            }
             first_of_key.entry(key).or_insert_with(|| {
                 jobs.push(scenario);
                 scenario.id
@@ -382,26 +417,26 @@ impl Campaign {
         let synthesize_worker = || loop {
             let i = next_job.fetch_add(1, Ordering::Relaxed);
             let Some(job) = jobs.get(i) else { break };
-            let outcome = self.synthesize(job, match_cache.as_ref());
+            let outcome = self.synthesize(job, match_cache);
             *synth_results[i].lock().expect("synth slot") = Some(outcome);
         };
         run_pool(threads.min(jobs.len().max(1)), &synthesize_worker);
-        let artifacts: HashMap<String, SynthOutcome> = jobs
-            .iter()
-            .zip(&synth_results)
-            .map(|(job, slot)| {
-                let outcome = slot
-                    .lock()
-                    .expect("synth slot")
-                    .take()
-                    .expect("synthesis phase filled every slot");
-                (self.synthesis_key(job), outcome)
-            })
-            .collect();
-        let flows_synthesized = artifacts.values().filter(|o| o.is_ok()).count();
+        let mut flows_synthesized = 0;
+        for (job, slot) in jobs.iter().zip(&synth_results) {
+            let outcome = slot
+                .lock()
+                .expect("synth slot")
+                .take()
+                .expect("synthesis phase filled every slot");
+            if outcome.is_ok() {
+                flows_synthesized += 1;
+            }
+            artifacts.insert(self.synthesis_key(job), outcome);
+        }
 
         // Execute phase 2 — simulate + measure every planned scenario
         // against its shared artifacts.
+        let artifacts = &*artifacts;
         let records: Vec<Mutex<Option<PointRecord>>> =
             scenarios.iter().map(|_| Mutex::new(None)).collect();
         let sink = Mutex::new(sink);
@@ -412,7 +447,11 @@ impl Campaign {
                 break;
             };
             let key = self.synthesis_key(scenario);
-            let reused = first_of_key[&key] != scenario.id;
+            // Reused: another scenario owns the key this plan, or the
+            // artifact was carried in from a prior plan (sampler round).
+            let reused = first_of_key
+                .get(&key)
+                .is_none_or(|&owner| owner != scenario.id);
             let record = self.measure(scenario, &artifacts[&key], reused);
             sink.lock().expect("sink lock").point(&record);
             *records[i].lock().expect("record slot") = Some(record);
@@ -459,7 +498,7 @@ impl Campaign {
         report
     }
 
-    fn resolve_threads(&self, work_items: usize) -> usize {
+    pub(crate) fn resolve_threads(&self, work_items: usize) -> usize {
         let t = match self.threads {
             0 => rayon::current_num_threads(),
             t => t,

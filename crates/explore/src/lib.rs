@@ -40,7 +40,13 @@
 //!   produce the same front;
 //! * every report carries [front-quality metrics](metrics) (hypervolume
 //!   against fixed reference points, spread) so exploration quality is
-//!   tracked, not just throughput.
+//!   tracked, not just throughput;
+//! * [`Campaign::run_sampled`] spends an explicit **flow budget** where
+//!   the front is still moving instead of enumerating the whole grid: an
+//!   adaptive [sampling planner](sample) (ε-greedy bandit or successive
+//!   halving over grid-axis arms, seeded and fully deterministic) plans
+//!   each round against the accumulated report via the same resume
+//!   machinery, and the report records the per-round provenance.
 //!
 //! # Quickstart
 //!
@@ -71,6 +77,7 @@ pub mod json;
 pub mod metrics;
 pub mod pareto;
 pub mod report;
+pub mod sample;
 pub mod scenario;
 pub mod shard;
 
@@ -79,7 +86,9 @@ pub use metrics::FrontMetrics;
 pub use pareto::{dominates, pareto_indices, ObjectiveKind, ParetoFront};
 pub use report::{
     CacheSizeRecord, CampaignReport, JsonLinesSink, NullSink, PointRecord, ResultSink,
+    SamplerRecord, SamplerRoundRecord, SCHEMA_VERSION,
 };
+pub use sample::{SamplerConfig, SamplerPolicy};
 pub use scenario::{Scenario, ScenarioGrid, SimSpec, WorkloadSpec};
 pub use shard::{merge_reports, partition, ShardManifest, ShardMode};
 
@@ -88,6 +97,7 @@ pub mod prelude {
     pub use crate::campaign::{Campaign, CampaignPlan};
     pub use crate::pareto::{ObjectiveKind, ParetoFront};
     pub use crate::report::{CampaignReport, JsonLinesSink, ResultSink};
+    pub use crate::sample::{SamplerConfig, SamplerPolicy};
     pub use crate::scenario::{ScenarioGrid, SimSpec, WorkloadSpec};
     pub use crate::shard::{merge_reports, ShardManifest, ShardMode};
     pub use noc::workloads::WorkloadFamily;

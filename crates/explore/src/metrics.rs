@@ -12,10 +12,17 @@
 //!   corner `(1, …, 1)`). Lies in `[0, 1]`; bigger is better; monotone —
 //!   adding a non-dominated point never decreases it. Points at or beyond
 //!   the reference in any coordinate contribute nothing.
-//! * **Spread** — Schott's spacing metric over the normalized front: the
-//!   standard deviation of nearest-neighbor (L1) distances. `0` means
-//!   perfectly even coverage; bigger means clumping. `0` for fronts with
-//!   fewer than two members.
+//! * **Spread** — Schott's spacing metric over the **distinct** points of
+//!   the normalized front: the standard deviation of nearest-neighbor (L1)
+//!   distances. `0` means perfectly even coverage; bigger means clumping.
+//!   `0` for fronts with fewer than two distinct members. Identical
+//!   objective vectors are collapsed first: equal vectors coexist on a
+//!   [`ParetoFront`](crate::ParetoFront) (several scenarios can measure
+//!   the same trade-off — e.g. sim specs sharing a measurement point on
+//!   one synthesized design), and without deduplication every twinned
+//!   member has a nearest neighbor at distance zero, degenerating the
+//!   metric to `0.000000` no matter how clumped the real front is (the
+//!   `BENCH_explore.json` smoke front regression).
 //!
 //! The hypervolume implementation is the classic recursive slicing sweep
 //! (sort by the last objective, integrate slab-by-slab). Exponential in
@@ -29,7 +36,8 @@ use crate::pareto::{FrontMember, ObjectiveKind};
 pub struct FrontMetrics {
     /// Reference-normalized hypervolume in `[0, 1]` (0 for empty fronts).
     pub hypervolume: f64,
-    /// Schott spacing of the normalized front (0 for < 2 members).
+    /// Schott spacing of the distinct normalized front vectors (0 for
+    /// fronts with fewer than 2 distinct members).
     pub spread: f64,
 }
 
@@ -105,20 +113,36 @@ fn hv_sweep(mut points: Vec<Vec<f64>>) -> f64 {
 }
 
 /// Schott's spacing: `sqrt(Σ (dᵢ - d̄)² / (n - 1))` where `dᵢ` is point
-/// `i`'s L1 distance to its nearest other front member.
+/// `i`'s L1 distance to its nearest other front member, taken over the
+/// **distinct** vectors of `points`. Duplicates are collapsed first — a
+/// duplicated member's nearest neighbor is its own twin at distance zero,
+/// and a front where every member is twinned (equal vectors coexist on a
+/// Pareto front) would degenerate to spacing `0` regardless of how the
+/// distinct trade-offs are distributed.
 pub fn schott_spacing(points: &[Vec<f64>]) -> f64 {
-    if points.len() < 2 {
+    let mut distinct: Vec<&Vec<f64>> = Vec::with_capacity(points.len());
+    for p in points {
+        if !distinct.contains(&p) {
+            distinct.push(p);
+        }
+    }
+    if distinct.len() < 2 {
         return 0.0;
     }
-    let nearest: Vec<f64> = points
+    let nearest: Vec<f64> = distinct
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            points
+            distinct
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| *j != i)
-                .map(|(_, q)| p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>())
+                .map(|(_, q)| {
+                    p.iter()
+                        .zip(q.iter())
+                        .map(|(a, b)| (a - b).abs())
+                        .sum::<f64>()
+                })
                 .fold(f64::INFINITY, f64::min)
         })
         .collect();
@@ -204,7 +228,51 @@ mod tests {
     fn degenerate_fronts_are_zero() {
         assert_eq!(schott_spacing(&[]), 0.0);
         assert_eq!(schott_spacing(&[vec![0.5]]), 0.0);
+        // A front of identical vectors has one distinct member: spacing 0.
+        assert_eq!(schott_spacing(&[vec![0.5, 0.5], vec![0.5, 0.5]]), 0.0);
         assert_eq!(unit_hypervolume(&[]), 0.0);
+    }
+
+    #[test]
+    fn duplicated_members_do_not_zero_the_spacing() {
+        // The BENCH_explore.json regression: every front member twinned
+        // (two sim specs measuring the same trade-off on one synthesized
+        // design). Pre-fix, each twin's nearest neighbor sat at distance
+        // 0, so the spacing collapsed to exactly 0 for a front whose
+        // three distinct trade-offs are clearly unevenly spaced.
+        let distinct = [vec![0.1, 0.9], vec![0.12, 0.88], vec![0.9, 0.1]];
+        let twinned: Vec<Vec<f64>> = distinct
+            .iter()
+            .flat_map(|p| [p.clone(), p.clone()])
+            .collect();
+        let spacing = schott_spacing(&twinned);
+        assert!(
+            spacing > 0.0,
+            "≥ 2 distinct, non-uniform members must report spread > 0"
+        );
+        // Collapsing duplicates makes the twinned front equivalent to the
+        // distinct one.
+        assert_eq!(spacing, schott_spacing(&distinct));
+    }
+
+    #[test]
+    fn of_front_reports_positive_spread_for_twinned_fronts() {
+        // Same regression at the fold-time entry point campaigns use.
+        let kinds = [ObjectiveKind::EnergyJoules, ObjectiveKind::AvgLatencyCycles];
+        let mut front = ParetoFront::new(2);
+        let vectors = [
+            [8.4e-9, 3.43],
+            [5.5e-9, 3.45],
+            [8.7e-9, 3.33], // non-uniform: two clumped, one apart
+        ];
+        for (i, v) in vectors.iter().enumerate() {
+            // Twin every member, as scenario pairs sharing a measurement do.
+            front.offer(2 * i, v.to_vec());
+            front.offer(2 * i + 1, v.to_vec());
+        }
+        assert_eq!(front.len(), 6);
+        let m = FrontMetrics::of_front(front.members(), &kinds);
+        assert!(m.spread > 0.0, "twinned front reported spread {}", m.spread);
     }
 
     #[test]

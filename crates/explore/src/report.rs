@@ -10,6 +10,20 @@ use crate::json::JsonValue;
 use crate::metrics::FrontMetrics;
 use crate::pareto::{ObjectiveKind, ParetoFront};
 
+/// Schema version written into every report by
+/// [`CampaignReport::to_json`]. The version is a single major: any report
+/// claiming a **newer** version than this reader was built for is
+/// rejected outright (its fields may mean something this code cannot
+/// know), while older versions get a compatibility path
+/// ([`from_json`](CampaignReport::from_json) treats a missing
+/// `schema_version` as v1, the PR 3 wire format).
+///
+/// History: **v1** — the unversioned PR 3 format; **v2** — adds
+/// `schema_version` itself and the optional `sampler` provenance object
+/// written by budgeted sampling campaigns
+/// ([`Campaign::run_sampled`](crate::Campaign::run_sampled)).
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// One sampled load point of a scenario's sweep, as recorded in reports.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPointRecord {
@@ -34,6 +48,46 @@ pub struct CacheSizeRecord {
     pub hits: u64,
     /// Enumerations that had to run.
     pub misses: u64,
+}
+
+/// One round of an adaptive sampling campaign, as recorded in reports:
+/// which arms the planner pulled and where the folded front's hypervolume
+/// stood once the round's points were in (see [`crate::sample`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerRoundRecord {
+    /// Round number, starting at 0.
+    pub round: usize,
+    /// Scenario points evaluated this round.
+    pub flows: usize,
+    /// Reference-normalized hypervolume of the folded front *after* this
+    /// round — the trajectory is monotone non-decreasing because records
+    /// only accumulate.
+    pub hypervolume: f64,
+    /// Arm labels pulled this round (`axis=value`, one entry per pull, in
+    /// pull order — deterministic per (grid, budget, seed)).
+    pub arms: Vec<String>,
+}
+
+/// Provenance of a budgeted sampling campaign
+/// ([`Campaign::run_sampled`](crate::Campaign::run_sampled)): policy,
+/// seed, budget and the per-round trajectory. Carried verbatim through
+/// `to_json → from_json`, so sampled reports stay first-class interchange
+/// artifacts — they can be resumed (completing the grid) and merged like
+/// any other partial report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerRecord {
+    /// Planner policy label (`"bandit"` or `"halving"`).
+    pub policy: String,
+    /// RNG seed the scenario sequence was derived from.
+    pub seed: u64,
+    /// Flow budget the sampler was given.
+    pub budget: usize,
+    /// Scenario points actually evaluated (≤ budget, and ≤ grid size).
+    pub flows_spent: usize,
+    /// Total points in the grid the sampler drew from.
+    pub grid_len: usize,
+    /// Per-round provenance, in round order.
+    pub rounds: Vec<SamplerRoundRecord>,
 }
 
 /// Everything recorded about one evaluated scenario point.
@@ -240,11 +294,16 @@ pub struct CampaignReport {
     /// Reference-normalized hypervolume of the front (see
     /// [`crate::metrics`]); `0` for an empty front.
     pub hypervolume: f64,
-    /// Schott spacing of the normalized front; `0` below two members.
+    /// Schott spacing of the distinct normalized front vectors; `0` below
+    /// two distinct members.
     pub spread: f64,
     /// Per-graph-size traffic of the campaign-shared match cache,
     /// ascending by vertex count (empty when sharing was disabled).
     pub match_cache: Vec<CacheSizeRecord>,
+    /// Adaptive-sampling provenance when this report came from
+    /// [`Campaign::run_sampled`](crate::Campaign::run_sampled); `None`
+    /// for exhaustive campaigns, merges and resumes.
+    pub sampler: Option<SamplerRecord>,
 }
 
 impl CampaignReport {
@@ -290,6 +349,7 @@ impl CampaignReport {
             hypervolume: metrics.hypervolume,
             spread: metrics.spread,
             match_cache: Vec::new(),
+            sampler: None,
         }
     }
 
@@ -330,8 +390,39 @@ impl CampaignReport {
             .iter()
             .map(|p| format!("    {}", p.to_json(&self.objective_kinds)))
             .collect();
+        let sampler = match &self.sampler {
+            None => String::new(),
+            Some(s) => {
+                let rounds: Vec<String> = s
+                    .rounds
+                    .iter()
+                    .map(|r| {
+                        // Arm labels embed user-settable axis values
+                        // (workload/engine/sim labels) — escape them like
+                        // every other string field.
+                        let arms: Vec<String> = r.arms.iter().map(|a| json_string(a)).collect();
+                        format!(
+                            "{{\"round\": {}, \"flows\": {}, \"hypervolume\": {}, \"arms\": [{}]}}",
+                            r.round,
+                            r.flows,
+                            json_f64(r.hypervolume),
+                            arms.join(", "),
+                        )
+                    })
+                    .collect();
+                format!(
+                    "  \"sampler\": {{\"policy\": {}, \"seed\": {}, \"budget\": {}, \"flows_spent\": {}, \"grid_len\": {}, \"rounds\": [{}]}},\n",
+                    json_string(&s.policy),
+                    s.seed,
+                    s.budget,
+                    s.flows_spent,
+                    s.grid_len,
+                    rounds.join(", "),
+                )
+            }
+        };
         format!(
-            "{{\n  \"report\": \"noc_explore_campaign\",\n  \"objectives\": [{}],\n  \"threads\": {},\n  \"flows_synthesized\": {},\n  \"synthesis_reused\": {},\n  \"carried_points\": {},\n  \"wall_ms\": {},\n  \"hypervolume\": {},\n  \"spread\": {},\n  \"match_cache\": [{}],\n  \"pareto_front\": [{}],\n  \"points\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"report\": \"noc_explore_campaign\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"objectives\": [{}],\n  \"threads\": {},\n  \"flows_synthesized\": {},\n  \"synthesis_reused\": {},\n  \"carried_points\": {},\n  \"wall_ms\": {},\n  \"hypervolume\": {},\n  \"spread\": {},\n{}  \"match_cache\": [{}],\n  \"pareto_front\": [{}],\n  \"points\": [\n{}\n  ]\n}}\n",
             kinds.join(", "),
             self.threads,
             self.flows_synthesized,
@@ -340,6 +431,7 @@ impl CampaignReport {
             json_f64(self.wall_ms),
             json_f64(self.hypervolume),
             json_f64(self.spread),
+            sampler,
             cache.join(", "),
             front.join(", "),
             points.join(",\n"),
@@ -350,12 +442,30 @@ impl CampaignReport {
     /// the reader half of the resume/shard story. Round-trips exactly:
     /// records, front, metrics and provenance all survive
     /// `to_json → from_json`.
+    ///
+    /// Reports are a cross-PR interchange format, so the reader is
+    /// explicitly versioned: a missing `schema_version` means **v1** (the
+    /// format before versioning existed) and parses normally, while a
+    /// version newer than [`SCHEMA_VERSION`] is rejected with a clear
+    /// error instead of being silently misparsed.
     pub fn from_json(text: &str) -> Result<CampaignReport, String> {
         let v = JsonValue::parse(text).map_err(|e| format!("malformed report JSON: {e}"))?;
         match v.get("report").and_then(JsonValue::as_str) {
             Some("noc_explore_campaign") => {}
             Some(other) => return Err(format!("not a campaign report: '{other}'")),
             None => return Err("missing 'report' marker".to_string()),
+        }
+        let version = match v.get("schema_version") {
+            None => 1, // pre-versioning reports (PR 3 and earlier)
+            Some(n) => n
+                .as_u64()
+                .ok_or("'schema_version' must be a non-negative integer")?,
+        };
+        if version > SCHEMA_VERSION {
+            return Err(format!(
+                "report schema v{version} is newer than this reader understands (v{SCHEMA_VERSION}) \
+                 — refusing to guess at unknown fields; re-read it with the noc-explore that wrote it"
+            ));
         }
         let objective_kinds = v
             .get("objectives")
@@ -412,6 +522,43 @@ impl CampaignReport {
                 })
                 .collect::<Result<Vec<CacheSizeRecord>, String>>()?,
         };
+        let sampler = match v.get("sampler") {
+            None => None,
+            Some(s) => {
+                let rounds = s
+                    .get("rounds")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("'sampler' missing 'rounds'")?
+                    .iter()
+                    .map(|r| {
+                        Ok(SamplerRoundRecord {
+                            round: need_usize(r, "round")?,
+                            flows: need_usize(r, "flows")?,
+                            hypervolume: need_f64(r, "hypervolume")?,
+                            arms: r
+                                .get("arms")
+                                .and_then(JsonValue::as_array)
+                                .ok_or("sampler round missing 'arms'")?
+                                .iter()
+                                .map(|a| {
+                                    a.as_str()
+                                        .map(str::to_string)
+                                        .ok_or_else(|| "arm labels must be strings".to_string())
+                                })
+                                .collect::<Result<Vec<String>, String>>()?,
+                        })
+                    })
+                    .collect::<Result<Vec<SamplerRoundRecord>, String>>()?;
+                Some(SamplerRecord {
+                    policy: need_str(s, "policy")?,
+                    seed: need_u64(s, "seed")?,
+                    budget: need_usize(s, "budget")?,
+                    flows_spent: need_usize(s, "flows_spent")?,
+                    grid_len: need_usize(s, "grid_len")?,
+                    rounds,
+                })
+            }
+        };
         Ok(CampaignReport {
             objective_kinds,
             points,
@@ -427,6 +574,7 @@ impl CampaignReport {
             hypervolume: v.get("hypervolume").and_then(parse_f64).unwrap_or(0.0),
             spread: v.get("spread").and_then(parse_f64).unwrap_or(0.0),
             match_cache,
+            sampler,
         })
     }
 
@@ -582,7 +730,8 @@ fn push_kv(s: &mut String, key: &str, raw_value: &str) {
     s.push_str(raw_value);
 }
 
-fn push_str_kv(s: &mut String, key: &str, value: &str) {
+/// `value` as a quoted, escaped JSON string literal.
+fn json_string(value: &str) -> String {
     let escaped: String = value
         .chars()
         .flat_map(|c| match c {
@@ -593,7 +742,11 @@ fn push_str_kv(s: &mut String, key: &str, value: &str) {
             c => vec![c],
         })
         .collect();
-    push_kv(s, key, &format!("\"{escaped}\""));
+    format!("\"{escaped}\"")
+}
+
+fn push_str_kv(s: &mut String, key: &str, value: &str) {
+    push_kv(s, key, &json_string(value));
 }
 
 #[cfg(test)]
@@ -728,6 +881,100 @@ mod tests {
         assert!(CampaignReport::from_json("{}").is_err());
         assert!(CampaignReport::from_json("{\"report\": \"other\"}").is_err());
         assert!(CampaignReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn reports_carry_the_schema_version() {
+        let json = report().to_json();
+        assert!(
+            json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn versionless_v1_reports_still_parse() {
+        // A PR 3-era report predates `schema_version`; strip the field to
+        // reproduce one and check the compatibility path keeps it
+        // resumable.
+        let original = report();
+        let v1 = original
+            .to_json()
+            .replace(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"), "");
+        assert!(!v1.contains("schema_version"));
+        let parsed = CampaignReport::from_json(&v1).unwrap();
+        assert_eq!(parsed.front, original.front);
+        assert_eq!(parsed.points[0], original.points[0]);
+    }
+
+    #[test]
+    fn future_schema_versions_are_rejected_with_a_clear_error() {
+        let future = report().to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 99",
+        );
+        let err = CampaignReport::from_json(&future).unwrap_err();
+        assert!(err.contains("v99"), "{err}");
+        assert!(err.contains(&format!("v{SCHEMA_VERSION}")), "{err}");
+
+        let garbage = report().to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": \"two\"",
+        );
+        let err = CampaignReport::from_json(&garbage).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn sampler_provenance_round_trips() {
+        let mut original = report();
+        original.sampler = Some(SamplerRecord {
+            policy: "bandit".into(),
+            seed: 7,
+            budget: 8,
+            flows_spent: 8,
+            grid_len: 12,
+            rounds: vec![
+                SamplerRoundRecord {
+                    round: 0,
+                    flows: 4,
+                    hypervolume: 0.9,
+                    arms: vec!["workload=fig5".into(), "sim=ramp".into()],
+                },
+                SamplerRoundRecord {
+                    round: 1,
+                    flows: 4,
+                    hypervolume: 0.95,
+                    arms: vec!["workload=tgff_n8_s8".into()],
+                },
+            ],
+        });
+        let parsed = CampaignReport::from_json(&original.to_json()).unwrap();
+        assert_eq!(parsed.sampler, original.sampler);
+        // And writing the parsed report reproduces the bytes.
+        assert_eq!(parsed.to_json(), original.to_json());
+    }
+
+    #[test]
+    fn sampler_arm_labels_are_escaped() {
+        // Arm labels embed user-settable axis labels, which can contain
+        // JSON-hostile characters.
+        let mut original = report();
+        original.sampler = Some(SamplerRecord {
+            policy: "bandit".into(),
+            seed: 1,
+            budget: 2,
+            flows_spent: 2,
+            grid_len: 4,
+            rounds: vec![SamplerRoundRecord {
+                round: 0,
+                flows: 2,
+                hypervolume: 0.5,
+                arms: vec!["sim=ramp\"hot\"".into(), "workload=a\\b\nc".into()],
+            }],
+        });
+        let parsed = CampaignReport::from_json(&original.to_json()).unwrap();
+        assert_eq!(parsed.sampler, original.sampler);
     }
 
     #[test]

@@ -124,6 +124,23 @@ impl Scenario {
         )
     }
 
+    /// The scenario's value on each named grid axis, in enumeration-nest
+    /// order (workload outermost, sim innermost). This is the coordinate
+    /// system adaptive samplers plan over: an *arm* is one `(axis,
+    /// value)` pair, and pulling it means evaluating scenarios that carry
+    /// that value (see [`crate::sample`]). `core_area_mm2` is excluded —
+    /// it is a grid-wide constant, not an axis.
+    pub fn axis_values(&self) -> [(&'static str, String); 6] {
+        [
+            ("workload", self.workload.label()),
+            ("engine", self.engine_label.clone()),
+            ("synthesis_objective", format!("{:?}", self.objective)),
+            ("technology", self.technology.name().to_string()),
+            ("floorplan_seed", self.floorplan_seed.to_string()),
+            ("sim", self.sim.label.clone()),
+        ]
+    }
+
     /// Key of everything that feeds *synthesis* (workload, engine,
     /// objective, technology, floorplan) — scenarios sharing this key
     /// differ only in simulation spec, so their synthesized architecture

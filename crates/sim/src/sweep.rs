@@ -36,11 +36,14 @@ pub struct SweepConfig {
     /// Simulator configuration.
     pub sim: SimConfig,
     /// Stop the rate ramp once a point's mean latency exceeds this multiple
-    /// of the zero-load latency (the first sampled point that delivered
-    /// packets). `None` (the default) simulates every configured rate.
-    /// Past saturation the closed-loop latency only keeps climbing, so
-    /// cutting the ramp saves the most expensive points of a sweep without
-    /// changing any point that is reported.
+    /// of the zero-load latency — anchored at the delivered point with the
+    /// **lowest offered rate** sampled so far, not simply the first
+    /// delivered point: a ramp that starts at a high rate would otherwise
+    /// compare against an already-congested baseline and never (or
+    /// spuriously) cut. `None` (the default) simulates every configured
+    /// rate. Past saturation the closed-loop latency only keeps climbing,
+    /// so cutting the ramp saves the most expensive points of a sweep
+    /// without changing any point that is reported.
     pub saturation_cutoff: Option<f64>,
     /// Restrict traffic to these source–destination pairs (see
     /// [`traffic::bernoulli_pairs`]). `None` (the default) draws uniform
@@ -103,7 +106,12 @@ pub fn sweep(
     energy: &EnergyModel,
 ) -> Result<Vec<LoadPoint>, SimError> {
     let mut points = Vec::with_capacity(config.rates.len());
-    let mut zero_load_latency: Option<f64> = None;
+    // Zero-load anchor: (offered rate, latency) of the delivered point
+    // with the lowest rate so far. On an ascending ramp this is the first
+    // delivered point; on a ramp that opens past saturation it re-anchors
+    // as soon as a lower-rate point delivers, so the cutoff never
+    // compares against a congested baseline.
+    let mut zero_load: Option<(f64, f64)> = None;
     for &rate in &config.rates {
         let events = match &config.pairs {
             Some(pairs) => traffic::bernoulli_pairs(
@@ -132,11 +140,11 @@ pub fn sweep(
         let latency = point.avg_latency_cycles;
         let delivered = point.packets > 0;
         points.push(point);
-        if delivered && zero_load_latency.is_none() {
-            zero_load_latency = Some(latency);
+        if delivered && zero_load.is_none_or(|(anchor_rate, _)| rate < anchor_rate) {
+            zero_load = Some((rate, latency));
         }
-        if let (Some(cutoff), Some(zero_load)) = (config.saturation_cutoff, zero_load_latency) {
-            if latency > cutoff * zero_load {
+        if let (Some(cutoff), Some((_, baseline))) = (config.saturation_cutoff, zero_load) {
+            if latency > cutoff * baseline {
                 break;
             }
         }
@@ -215,6 +223,45 @@ mod tests {
         for p in &cut[..cut.len() - 1] {
             assert!(p.avg_latency_cycles <= 2.0 * zero_load);
         }
+    }
+
+    #[test]
+    fn cutoff_anchors_at_the_lowest_rate_not_the_first_delivered() {
+        // A ramp that *opens* past saturation: the first delivered point
+        // is already congested. Anchoring zero-load there (the pre-fix
+        // behavior) inflates the baseline by the congestion factor, so a
+        // later saturated point never exceeds cutoff × baseline and the
+        // ramp runs to the end. Anchoring at the lowest offered rate
+        // re-baselines when the genuine low-load point arrives, and the
+        // next saturated point cuts the ramp.
+        let model = NocModel::mesh(4, 4, 1.0);
+        let rates = vec![0.45, 0.02, 0.55, 0.65];
+        let config = SweepConfig {
+            rates: rates.clone(),
+            duration_cycles: 400,
+            saturation_cutoff: Some(2.0),
+            ..Default::default()
+        };
+        let points = sweep(&model, &config, &energy()).unwrap();
+        // Sanity: the opening point really is past saturation relative to
+        // the true zero-load latency measured at rate 0.02.
+        assert!(points[0].avg_latency_cycles > 2.0 * points[1].avg_latency_cycles);
+        // The 0.55 point exceeds 2 × the (re-anchored) zero-load latency,
+        // so the ramp stops there instead of simulating 0.65 too.
+        assert_eq!(points.len(), 3, "ramp should cut after the 0.55 point");
+        assert_eq!(points[2].injection_rate, 0.55);
+        // And every reported point matches the uncut sweep.
+        let full = sweep(
+            &model,
+            &SweepConfig {
+                rates,
+                duration_cycles: 400,
+                ..Default::default()
+            },
+            &energy(),
+        )
+        .unwrap();
+        assert_eq!(points, full[..points.len()]);
     }
 
     #[test]
