@@ -1,16 +1,23 @@
 //! Design-space exploration campaigns from the command line: run, resume,
-//! shard and merge.
+//! shard, merge, and coordinate worker fleets.
 //!
 //! Usage:
 //!
 //! ```text
 //! explore [run] [--smoke | --full] [--threads N] [--out PATH] [--stream]
-//!               [--resume PATH]
+//!               [--resume PATH] [--cache PATH]
 //! explore sample --budget N [--policy bandit|halving] [--seed S]
 //!               [--smoke | --full] [--threads N] [--out PATH] [--stream]
 //! explore shard --index I --of K [--mode modulo|range]
 //!               [--smoke | --full] [--threads N] [--out PATH] [--stream]
+//!               [--cache PATH]
 //! explore merge --out PATH REPORT...
+//! explore coordinate --workers N [--deadline SECS] [--cache PATH]
+//!               [--work-dir DIR] [--chaos-kill-first]
+//!               [--smoke | --full] [--threads N] [--out PATH]
+//! explore worker --ids I,J,... --stream-out PATH --out PATH
+//!               [--cache-in PATH] [--cache-out PATH] [--stall-ms MS]
+//!               [--smoke | --full] [--threads N]
 //! ```
 //!
 //! * `run` (default subcommand) — plan and execute a grid. With
@@ -32,6 +39,20 @@
 //!   exactly the single-shot front.
 //! * `merge` — re-fold previously written shard reports into one report
 //!   (permutation-invariant: any order, any grouping).
+//! * `coordinate` — the closed distributed loop: spawn `--workers N`
+//!   worker *processes* (this same binary, `worker` subcommand), deal
+//!   each a slice of the grid, watch their artifacts land under
+//!   `--work-dir`, kill stragglers at `--deadline` and re-deal exactly
+//!   their unfinished scenario ids, then merge everything into one
+//!   report. With `--cache PATH` every worker warm-starts its VF2 match
+//!   cache from the persisted file and the coordinator folds the grown
+//!   caches back between waves. `--chaos-kill-first` injects the CI
+//!   fault: worker 0 is stalled and killed mid-stream, proving the
+//!   salvage + re-deal path converges to the exact single-shot front.
+//! * `worker` — one coordinated worker: run exactly the `--ids` slice,
+//!   streaming each point to `--stream-out` (the salvage artifact) and
+//!   finishing with a report at `--out`. Not usually typed by hand, but
+//!   it is a stable wire format — any fleet scheduler can exec it.
 //! * `--smoke` (default grid) — the CI grid: 12 scenario points over 3
 //!   small workloads. In `run` mode (without `--resume`) this is the CI
 //!   acceptance gate: it additionally proves the **three-way front
@@ -53,8 +74,12 @@
 use std::process::ExitCode;
 
 use noc::prelude::*;
+use noc_explore::coordinate::{
+    coordinate, run_worker, ChaosKill, CoordinatorConfig, ProcessTransport, WorkerAssignment,
+    CACHE_CAPACITY,
+};
 use noc_explore::prelude::*;
-use noc_explore::NullSink;
+use noc_explore::{NullSink, WarmCacheRecord};
 
 /// Human-readable progress text. With `--stream` active, stdout carries
 /// the machine-readable JSON Lines records (the resumable crash
@@ -99,6 +124,10 @@ struct CommonArgs {
     threads: usize,
     out: String,
     stream: bool,
+    /// Persistent warm-start match-cache file (`--cache`), honored by
+    /// `run` and `shard`; `coordinate` parses its own `--cache` (the
+    /// coordinator owns the file), and `sample` rejects it.
+    cache: Option<String>,
 }
 
 fn main() -> ExitCode {
@@ -107,6 +136,8 @@ fn main() -> ExitCode {
         Some("shard") => ("shard", &args[1..]),
         Some("merge") => ("merge", &args[1..]),
         Some("sample") => ("sample", &args[1..]),
+        Some("coordinate") => ("coordinate", &args[1..]),
+        Some("worker") => ("worker", &args[1..]),
         Some("run") => ("run", &args[1..]),
         _ => ("run", &args[..]),
     };
@@ -114,6 +145,8 @@ fn main() -> ExitCode {
         "merge" => merge_command(rest),
         "shard" => shard_command(rest),
         "sample" => sample_command(rest),
+        "coordinate" => coordinate_command(rest),
+        "worker" => worker_command(rest),
         _ => run_command(rest),
     }
 }
@@ -134,6 +167,10 @@ fn parse_common(
         "--out" => match iter.next() {
             Some(path) => common.out = path.clone(),
             None => return Err(usage("--out needs a path")),
+        },
+        "--cache" => match iter.next() {
+            Some(path) => common.cache = Some(path.clone()),
+            None => return Err(usage("--cache needs a path")),
         },
         _ => return Ok(false),
     }
@@ -200,7 +237,7 @@ fn run_command(args: &[String]) -> ExitCode {
         thread_label(common.threads),
     );
 
-    let report = execute(&campaign, plan, common.stream);
+    let report = execute(&campaign, plan, common.stream, common.cache.as_ref());
 
     // The acceptance gates run on a fresh smoke campaign only: a resume
     // must never cost a full re-run just to check itself (CI asserts the
@@ -248,6 +285,9 @@ fn sample_command(args: &[String]) -> ExitCode {
     let Some(budget) = budget else {
         return usage("sample needs --budget N");
     };
+    if common.cache.is_some() {
+        return usage("sample does not support --cache (the sampler recreates its cache per run)");
+    }
 
     let grid = if common.smoke {
         ScenarioGrid::smoke()
@@ -378,9 +418,251 @@ fn shard_command(args: &[String]) -> ExitCode {
         plan.grid_len(),
         thread_label(common.threads),
     );
-    let report = execute(&campaign, plan, common.stream);
+    let report = execute(&campaign, plan, common.stream, common.cache.as_ref());
     print_summary(&report, common.stream);
     write_report(&common.out, &report, common.stream)
+}
+
+fn coordinate_command(args: &[String]) -> ExitCode {
+    let mut common = CommonArgs {
+        smoke: true,
+        out: "EXPLORE_coordinated.json".into(),
+        ..CommonArgs::default()
+    };
+    let mut workers: Option<usize> = None;
+    let mut deadline_secs = 60.0f64;
+    let mut work_dir = "EXPLORE_coordinate".to_string();
+    let mut chaos = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match parse_common(arg, &mut iter, &mut common) {
+            Ok(true) => continue,
+            Err(code) => return code,
+            Ok(false) => {}
+        }
+        match arg.as_str() {
+            "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => workers = Some(n),
+                _ => return usage("--workers needs a positive integer"),
+            },
+            "--deadline" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(s) if s > 0.0 => deadline_secs = s,
+                _ => return usage("--deadline needs a positive number of seconds"),
+            },
+            "--work-dir" => match iter.next() {
+                Some(dir) => work_dir = dir.clone(),
+                None => return usage("--work-dir needs a path"),
+            },
+            "--chaos-kill-first" => chaos = true,
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(workers) = workers else {
+        return usage("coordinate needs --workers N");
+    };
+    let cache = common.cache.clone();
+
+    let grid = if common.smoke {
+        ScenarioGrid::smoke()
+    } else {
+        full_grid()
+    };
+    let campaign = Campaign::new(grid).threads(common.threads);
+    let mut config = CoordinatorConfig::new(workers)
+        .deadline(std::time::Duration::from_secs_f64(deadline_secs))
+        .work_dir(&work_dir);
+    if let Some(cache) = &cache {
+        config = config.cache_path(cache);
+    }
+    if chaos {
+        config = config.chaos(ChaosKill::first_worker());
+    }
+
+    // Workers are this very binary, re-invoked with the worker
+    // subcommand and the same grid/thread flags.
+    let program = match std::env::current_exe() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut base_args = vec![if common.smoke { "--smoke" } else { "--full" }.to_string()];
+    if common.threads != 0 {
+        base_args.push("--threads".into());
+        base_args.push(common.threads.to_string());
+    }
+    let mut transport = ProcessTransport::new(program, base_args);
+
+    println!(
+        "coordinating {} worker(s) over {} scenario points, deadline {deadline_secs} s{}{}",
+        workers,
+        campaign.plan().grid_len(),
+        match &cache {
+            Some(path) => format!(", cache {path}"),
+            None => String::new(),
+        },
+        if chaos { ", chaos: kill worker 0" } else { "" },
+    );
+    let report = match coordinate(&campaign, &config, &mut transport) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let provenance = report.coordinator.as_ref().expect("coordinator provenance");
+    for wave in &provenance.waves {
+        println!(
+            "wave {}: {} worker(s), {} completed, {} killed, {} point(s) salvaged, {} id(s) re-dealt",
+            wave.wave, wave.workers, wave.completed, wave.killed, wave.salvaged_points, wave.redealt,
+        );
+    }
+    if let Some(warm) = &report.warm_cache {
+        let warm_hits: u64 = report.match_cache.iter().map(|c| c.warm_hits).sum();
+        println!(
+            "warm cache {}: {} graph(s) loaded, {} saved, {} warm hit(s){}",
+            warm.path,
+            warm.loaded_graphs,
+            warm.saved_graphs,
+            warm_hits,
+            match &warm.degraded {
+                Some(reason) => format!(" (degraded to cold start: {reason})"),
+                None => String::new(),
+            },
+        );
+    }
+
+    // The CI acceptance gate: whatever died on the way, the merged front
+    // must be the single-shot front — and the injected kill must actually
+    // have exercised the salvage + re-deal + warm-restart path.
+    if common.smoke {
+        let single = Campaign::new(ScenarioGrid::smoke())
+            .threads(common.threads)
+            .run();
+        assert_eq!(
+            report.front, single.front,
+            "coordinated front diverged from single-shot"
+        );
+        assert_eq!(report.hypervolume, single.hypervolume);
+        assert_eq!(report.points.len(), single.points.len());
+        for (a, b) in report.points.iter().zip(&single.points) {
+            assert_eq!(a.objectives, b.objectives, "point {} diverged", a.label);
+        }
+        if chaos {
+            assert!(provenance.killed() >= 1, "chaos killed no worker");
+            assert!(
+                provenance.redealt() >= 1,
+                "the killed worker left nothing to re-deal"
+            );
+            assert!(
+                provenance.waves.len() >= 2,
+                "re-dealing must take a second wave"
+            );
+            if cache.is_some() {
+                let warm_hits: u64 = report.match_cache.iter().map(|c| c.warm_hits).sum();
+                assert!(
+                    warm_hits > 0,
+                    "re-dealt worker warm-started from the persisted cache but reported no warm hits: {:?}",
+                    report.match_cache
+                );
+            }
+        }
+        println!("coordination gate: merged front == single-shot front");
+    }
+
+    print_summary(&report, false);
+    write_report(&common.out, &report, false)
+}
+
+fn worker_command(args: &[String]) -> ExitCode {
+    let mut common = CommonArgs {
+        smoke: true,
+        ..CommonArgs::default()
+    };
+    let mut ids: Option<Vec<usize>> = None;
+    let mut stream_out: Option<String> = None;
+    let mut cache_in: Option<String> = None;
+    let mut cache_out: Option<String> = None;
+    let mut stall_ms = 0u64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match parse_common(arg, &mut iter, &mut common) {
+            Ok(true) => continue,
+            Err(code) => return code,
+            Ok(false) => {}
+        }
+        match arg.as_str() {
+            "--ids" => {
+                let parsed: Option<Vec<usize>> = iter
+                    .next()
+                    .map(|csv| csv.split(',').map(|id| id.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(list) if !list.is_empty() => ids = Some(list),
+                    _ => return usage("--ids needs a comma-separated id list"),
+                }
+            }
+            "--stream-out" => match iter.next() {
+                Some(path) => stream_out = Some(path.clone()),
+                None => return usage("--stream-out needs a path"),
+            },
+            "--cache-in" => match iter.next() {
+                Some(path) => cache_in = Some(path.clone()),
+                None => return usage("--cache-in needs a path"),
+            },
+            "--cache-out" => match iter.next() {
+                Some(path) => cache_out = Some(path.clone()),
+                None => return usage("--cache-out needs a path"),
+            },
+            "--stall-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => stall_ms = ms,
+                None => return usage("--stall-ms needs an integer"),
+            },
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let (Some(ids), Some(stream_out)) = (ids, stream_out) else {
+        return usage("worker needs --ids and --stream-out");
+    };
+    if common.cache.is_some() {
+        return usage("worker takes --cache-in/--cache-out, not --cache");
+    }
+    if common.out.is_empty() {
+        return usage("worker needs --out");
+    }
+
+    let grid = if common.smoke {
+        ScenarioGrid::smoke()
+    } else {
+        full_grid()
+    };
+    let campaign = Campaign::new(grid).threads(common.threads);
+    let assignment = WorkerAssignment {
+        ordinal: 0,
+        wave: 0,
+        ids,
+        stream_path: stream_out.into(),
+        report_path: common.out.clone().into(),
+        cache_in: cache_in.map(Into::into),
+        cache_out: cache_out.map(Into::into),
+        stall_per_point_ms: stall_ms,
+    };
+    match run_worker(&campaign, &assignment) {
+        Ok(report) => {
+            eprintln!(
+                "worker: {} point(s) done, report at {}",
+                report.points.len(),
+                common.out
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn merge_command(args: &[String]) -> ExitCode {
@@ -437,12 +719,39 @@ fn load_report(path: &str) -> Result<CampaignReport, String> {
     }
 }
 
-fn execute(campaign: &Campaign, plan: CampaignPlan, stream: bool) -> CampaignReport {
-    if stream {
-        let mut sink = JsonLinesSink::new(std::io::stdout(), ObjectiveKind::DEFAULT.to_vec());
-        campaign.run_plan_with_sink(plan, &mut sink)
+fn execute(
+    campaign: &Campaign,
+    plan: CampaignPlan,
+    stream: bool,
+    cache: Option<&String>,
+) -> CampaignReport {
+    let mut sink: Box<dyn ResultSink> = if stream {
+        Box::new(JsonLinesSink::new(
+            std::io::stdout(),
+            ObjectiveKind::DEFAULT.to_vec(),
+        ))
     } else {
-        campaign.run_plan_with_sink(plan, &mut NullSink)
+        Box::new(NullSink)
+    };
+    match cache {
+        None => campaign.run_plan_with_sink(plan, sink.as_mut()),
+        // Warm-start the VF2 match cache from the persisted file (a
+        // missing file is a cold start, a corrupt one degrades with the
+        // reason recorded) and save the grown cache back afterwards.
+        Some(path) => {
+            let warm = SharedMatchCache::warm_start(path, CACHE_CAPACITY);
+            let mut report = campaign.run_plan_with_cache(plan, sink.as_mut(), &warm.cache);
+            report.warm_cache = Some(WarmCacheRecord {
+                path: path.clone(),
+                loaded_graphs: warm.loaded_graphs,
+                saved_graphs: warm.cache.graph_count(),
+                degraded: warm.degraded,
+            });
+            if let Err(e) = warm.cache.save_to(path) {
+                eprintln!("warning: cannot save cache {path}: {e}");
+            }
+            report
+        }
     }
 }
 
@@ -580,9 +889,11 @@ fn thread_label(threads: usize) -> String {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
-    eprintln!("usage: explore [run] [--smoke | --full] [--threads N] [--out PATH] [--stream] [--resume PATH]");
+    eprintln!("usage: explore [run] [--smoke | --full] [--threads N] [--out PATH] [--stream] [--resume PATH] [--cache PATH]");
     eprintln!("       explore sample --budget N [--policy bandit|halving] [--seed S] [--smoke | --full] [--threads N] [--out PATH]");
-    eprintln!("       explore shard --index I --of K [--mode modulo|range] [--smoke | --full] [--threads N] [--out PATH]");
+    eprintln!("       explore shard --index I --of K [--mode modulo|range] [--smoke | --full] [--threads N] [--out PATH] [--cache PATH]");
     eprintln!("       explore merge --out PATH REPORT...");
+    eprintln!("       explore coordinate --workers N [--deadline SECS] [--cache PATH] [--work-dir DIR] [--chaos-kill-first] [--smoke | --full] [--threads N] [--out PATH]");
+    eprintln!("       explore worker --ids I,J,... --stream-out PATH --out PATH [--cache-in PATH] [--cache-out PATH] [--stall-ms MS] [--smoke | --full] [--threads N]");
     ExitCode::from(2)
 }

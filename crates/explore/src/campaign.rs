@@ -64,6 +64,13 @@ use crate::report::{
 use crate::scenario::{Scenario, ScenarioGrid};
 use crate::shard::ShardManifest;
 
+/// Capacity (distinct size-tagged remaining graphs) of every match cache
+/// the exploration layer creates: the campaign engine's internal cache,
+/// the sampler's cross-round cache, coordinator workers and accumulator,
+/// and `explore --cache` loads. One shared constant so a cache file
+/// persisted by any of them can be held in full by all the others.
+pub const CACHE_CAPACITY: usize = 1 << 16;
+
 /// The synthesized artifacts shared by every scenario with one synthesis
 /// key: the flow result plus the simulation-ready model (all-pairs routes
 /// filled once).
@@ -262,6 +269,22 @@ impl Campaign {
     }
 
     /// Plans the whole grid: every scenario, nothing carried.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc::workloads::WorkloadFamily;
+    /// use noc_explore::{Campaign, ScenarioGrid, WorkloadSpec};
+    ///
+    /// let campaign = Campaign::new(
+    ///     ScenarioGrid::new().workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)]),
+    /// );
+    /// let plan = campaign.plan();
+    /// assert_eq!((plan.to_run(), plan.carried()), (1, 0));
+    /// assert_eq!(plan.scenario_ids(), vec![0]);
+    /// let report = campaign.run_plan(plan);
+    /// assert_eq!(report.points.len(), 1);
+    /// ```
     pub fn plan(&self) -> CampaignPlan {
         CampaignPlan {
             scenarios: self.grid.enumerate(),
@@ -299,6 +322,28 @@ impl Campaign {
     /// Fails when `prior` ranks a different objective vector — its
     /// recorded objective values would be meaningless in this campaign's
     /// front.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc::prelude::*;
+    /// use noc::workloads::WorkloadFamily;
+    /// use noc_explore::{Campaign, ScenarioGrid, ShardManifest, WorkloadSpec};
+    ///
+    /// let campaign = Campaign::new(
+    ///     ScenarioGrid::new()
+    ///         .workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)])
+    ///         .synthesis_objectives([Objective::Links, Objective::Energy]),
+    /// );
+    /// // A prior partial report (here: half the grid) is planned around.
+    /// let prior = campaign.run_plan(campaign.plan_shard(&ShardManifest::range(0, 2)));
+    /// let plan = campaign.plan_resume(&prior).unwrap();
+    /// assert_eq!((plan.to_run(), plan.carried()), (1, 1));
+    /// // Executing the plan completes the grid, carrying the old record.
+    /// let report = campaign.run_plan(plan);
+    /// assert_eq!(report.points.len(), 2);
+    /// assert_eq!(report.front, campaign.run().front);
+    /// ```
     pub fn plan_resume(&self, prior: &CampaignReport) -> Result<CampaignPlan, String> {
         if prior.objective_kinds != self.objectives {
             return Err(format!(
@@ -360,7 +405,7 @@ impl Campaign {
     /// The engine: executes `plan`'s scenarios (streaming completions
     /// into `sink`), then folds fresh and carried records into the
     /// report. All other `run_*`/`resume_*` entry points funnel here —
-    /// each with run-lifetime shared state ([`run_plan_shared`](Self::run_plan_shared)
+    /// each with run-lifetime shared state (`run_plan_shared`
     /// lets a multi-round caller like the sampler keep artifacts and the
     /// match cache alive across plans).
     pub fn run_plan_with_sink(
@@ -370,8 +415,27 @@ impl Campaign {
     ) -> CampaignReport {
         let match_cache = self
             .share_match_cache
-            .then(|| SharedMatchCache::new(1 << 16));
+            .then(|| SharedMatchCache::new(CACHE_CAPACITY));
         self.run_plan_shared(plan, sink, &mut HashMap::new(), match_cache.as_ref())
+    }
+
+    /// [`run_plan_with_sink`](Self::run_plan_with_sink) with a
+    /// **caller-owned** campaign-wide match cache instead of a fresh
+    /// internal one — the hook the [coordinator](crate::coordinate()) and
+    /// cache [persistence](SharedMatchCache::warm_start) need: warm-start
+    /// a cache from a file, run the plan against it, save it back.
+    /// Overrides [`share_match_cache`](Self::share_match_cache); the
+    /// report's `match_cache` rows are cumulative over the cache's
+    /// lifetime, so a warmed cache can show hits (and
+    /// [`warm_hits`](crate::report::CacheSizeRecord::warm_hits)) from its
+    /// very first decomposition.
+    pub fn run_plan_with_cache(
+        &self,
+        plan: CampaignPlan,
+        sink: &mut dyn ResultSink,
+        cache: &SharedMatchCache,
+    ) -> CampaignReport {
+        self.run_plan_shared(plan, sink, &mut HashMap::new(), Some(cache))
     }
 
     /// [`run_plan_with_sink`](Self::run_plan_with_sink) with
@@ -490,6 +554,7 @@ impl Campaign {
                         vertex_count: s.vertex_count,
                         hits: s.hits,
                         misses: s.misses,
+                        warm_hits: s.warm_hits,
                     })
                     .collect()
             })

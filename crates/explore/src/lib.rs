@@ -46,7 +46,17 @@
 //!   adaptive [sampling planner](sample) (ε-greedy bandit or successive
 //!   halving over grid-axis arms, seeded and fully deterministic) plans
 //!   each round against the accumulated report via the same resume
-//!   machinery, and the report records the per-round provenance.
+//!   machinery, and the report records the per-round provenance;
+//! * [`coordinate()`] closes the distributed loop: it deals id slices to N
+//!   workers over a pluggable [`WorkerTransport`] (OS processes or
+//!   in-process threads out of the box), detects stragglers by deadline,
+//!   salvages a killed worker's streamed points and re-deals only its
+//!   *unfinished* ids, warm-starting every worker from a **persistent
+//!   match-cache file**
+//!   ([`SharedMatchCache::save_to`](noc::prelude::SharedMatchCache::save_to)
+//!   / [`warm_start`](noc::prelude::SharedMatchCache::warm_start)) — the
+//!   merged front is identical to the single-shot front even with
+//!   workers dying mid-run.
 //!
 //! # Quickstart
 //!
@@ -69,10 +79,11 @@
 //! Reports are deterministic per grid at any thread count; see the
 //! [`campaign`] module docs for why.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod coordinate;
 pub mod json;
 pub mod metrics;
 pub mod pareto;
@@ -81,12 +92,16 @@ pub mod sample;
 pub mod scenario;
 pub mod shard;
 
-pub use campaign::{Campaign, CampaignPlan};
+pub use campaign::{Campaign, CampaignPlan, CACHE_CAPACITY};
+pub use coordinate::{
+    coordinate, run_worker, ChaosKill, CoordinatorConfig, ProcessTransport, ThreadTransport,
+    WorkerAssignment, WorkerHandle, WorkerStatus, WorkerTransport,
+};
 pub use metrics::FrontMetrics;
 pub use pareto::{dominates, pareto_indices, ObjectiveKind, ParetoFront};
 pub use report::{
-    CacheSizeRecord, CampaignReport, JsonLinesSink, NullSink, PointRecord, ResultSink,
-    SamplerRecord, SamplerRoundRecord, SCHEMA_VERSION,
+    CacheSizeRecord, CampaignReport, CoordinatorRecord, JsonLinesSink, NullSink, PointRecord,
+    ResultSink, SamplerRecord, SamplerRoundRecord, WarmCacheRecord, WaveRecord, SCHEMA_VERSION,
 };
 pub use sample::{SamplerConfig, SamplerPolicy};
 pub use scenario::{Scenario, ScenarioGrid, SimSpec, WorkloadSpec};

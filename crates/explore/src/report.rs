@@ -21,8 +21,13 @@ use crate::pareto::{ObjectiveKind, ParetoFront};
 /// History: **v1** — the unversioned PR 3 format; **v2** — adds
 /// `schema_version` itself and the optional `sampler` provenance object
 /// written by budgeted sampling campaigns
-/// ([`Campaign::run_sampled`](crate::Campaign::run_sampled)).
-pub const SCHEMA_VERSION: u64 = 2;
+/// ([`Campaign::run_sampled`](crate::Campaign::run_sampled)); **v3** —
+/// adds `warm_hits` to every `match_cache` row plus two optional
+/// provenance objects: `warm_cache` (written by runs that warm-started
+/// from a persisted match-cache file) and `coordinator` (written on the
+/// merged report of [`coordinate`](crate::coordinate::coordinate) runs).
+/// All v3 additions default to zero/absent when reading older reports.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One sampled load point of a scenario's sweep, as recorded in reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +53,11 @@ pub struct CacheSizeRecord {
     pub hits: u64,
     /// Enumerations that had to run.
     pub misses: u64,
+    /// The subset of [`hits`](Self::hits) answered by entries loaded from
+    /// a persisted cache file rather than computed this run — zero unless
+    /// the campaign warm-started its match cache (schema v3; absent in
+    /// older reports and parsed as zero).
+    pub warm_hits: u64,
 }
 
 /// One round of an adaptive sampling campaign, as recorded in reports:
@@ -88,6 +98,69 @@ pub struct SamplerRecord {
     pub grid_len: usize,
     /// Per-round provenance, in round order.
     pub rounds: Vec<SamplerRoundRecord>,
+}
+
+/// Provenance of a campaign that warm-started its VF2 match cache from a
+/// persisted file (`SharedMatchCache::warm_start`): where the cache came
+/// from, how much of it loaded, and how much was saved back. Written by
+/// coordinator workers and `explore --cache` runs (schema v3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmCacheRecord {
+    /// Path of the cache file the run loaded (and typically re-saved).
+    pub path: String,
+    /// Distinct size-tagged graphs loaded; `0` on a cold start.
+    pub loaded_graphs: usize,
+    /// Distinct size-tagged graphs persisted after the run.
+    pub saved_graphs: usize,
+    /// `Some(reason)` when the file existed but was corrupt/unreadable and
+    /// the run degraded to a cold start instead of failing.
+    pub degraded: Option<String>,
+}
+
+/// One re-dealing wave of a coordinated campaign (see
+/// [`coordinate`](crate::coordinate::coordinate)): how many workers
+/// launched, how they ended, and how much work rolled into the next wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveRecord {
+    /// Wave number, starting at 0.
+    pub wave: usize,
+    /// Worker processes launched this wave.
+    pub workers: usize,
+    /// Workers that exited with a complete shard report.
+    pub completed: usize,
+    /// Workers killed — straggler deadline or injected fault.
+    pub killed: usize,
+    /// Point records salvaged from killed/failed workers' JSON-Lines
+    /// streams (these ids are *not* re-dealt).
+    pub salvaged_points: usize,
+    /// Scenario ids left unfinished by this wave and re-dealt to the next.
+    pub redealt: usize,
+}
+
+/// Provenance of a coordinated (multi-worker, straggler-re-dealing)
+/// campaign, written on the merged report by
+/// [`coordinate`](crate::coordinate::coordinate) (schema v3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatorRecord {
+    /// Configured fleet width (workers per wave).
+    pub workers: usize,
+    /// Straggler deadline per wave, milliseconds.
+    pub deadline_ms: f64,
+    /// Per-wave provenance, in wave order. More than one wave means work
+    /// was re-dealt.
+    pub waves: Vec<WaveRecord>,
+}
+
+impl CoordinatorRecord {
+    /// Total workers killed across every wave.
+    pub fn killed(&self) -> usize {
+        self.waves.iter().map(|w| w.killed).sum()
+    }
+
+    /// Total scenario ids re-dealt across every wave.
+    pub fn redealt(&self) -> usize {
+        self.waves.iter().map(|w| w.redealt).sum()
+    }
 }
 
 /// Everything recorded about one evaluated scenario point.
@@ -304,6 +377,12 @@ pub struct CampaignReport {
     /// [`Campaign::run_sampled`](crate::Campaign::run_sampled); `None`
     /// for exhaustive campaigns, merges and resumes.
     pub sampler: Option<SamplerRecord>,
+    /// Warm-start provenance when this run loaded a persisted match-cache
+    /// file; `None` for cold runs (schema v3).
+    pub warm_cache: Option<WarmCacheRecord>,
+    /// Fleet provenance when this is the merged report of a coordinated
+    /// campaign; `None` otherwise (schema v3).
+    pub coordinator: Option<CoordinatorRecord>,
 }
 
 impl CampaignReport {
@@ -350,6 +429,8 @@ impl CampaignReport {
             spread: metrics.spread,
             match_cache: Vec::new(),
             sampler: None,
+            warm_cache: None,
+            coordinator: None,
         }
     }
 
@@ -380,8 +461,8 @@ impl CampaignReport {
             .iter()
             .map(|c| {
                 format!(
-                    "{{\"vertex_count\": {}, \"hits\": {}, \"misses\": {}}}",
-                    c.vertex_count, c.hits, c.misses
+                    "{{\"vertex_count\": {}, \"hits\": {}, \"misses\": {}, \"warm_hits\": {}}}",
+                    c.vertex_count, c.hits, c.misses, c.warm_hits
                 )
             })
             .collect();
@@ -421,8 +502,45 @@ impl CampaignReport {
                 )
             }
         };
+        let warm_cache = match &self.warm_cache {
+            None => String::new(),
+            Some(w) => {
+                let degraded = match &w.degraded {
+                    None => String::new(),
+                    Some(reason) => format!(", \"degraded\": {}", json_string(reason)),
+                };
+                format!(
+                    "  \"warm_cache\": {{\"path\": {}, \"loaded_graphs\": {}, \"saved_graphs\": {}{}}},\n",
+                    json_string(&w.path),
+                    w.loaded_graphs,
+                    w.saved_graphs,
+                    degraded,
+                )
+            }
+        };
+        let coordinator = match &self.coordinator {
+            None => String::new(),
+            Some(c) => {
+                let waves: Vec<String> = c
+                    .waves
+                    .iter()
+                    .map(|w| {
+                        format!(
+                            "{{\"wave\": {}, \"workers\": {}, \"completed\": {}, \"killed\": {}, \"salvaged_points\": {}, \"redealt\": {}}}",
+                            w.wave, w.workers, w.completed, w.killed, w.salvaged_points, w.redealt
+                        )
+                    })
+                    .collect();
+                format!(
+                    "  \"coordinator\": {{\"workers\": {}, \"deadline_ms\": {}, \"waves\": [{}]}},\n",
+                    c.workers,
+                    json_f64(c.deadline_ms),
+                    waves.join(", "),
+                )
+            }
+        };
         format!(
-            "{{\n  \"report\": \"noc_explore_campaign\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"objectives\": [{}],\n  \"threads\": {},\n  \"flows_synthesized\": {},\n  \"synthesis_reused\": {},\n  \"carried_points\": {},\n  \"wall_ms\": {},\n  \"hypervolume\": {},\n  \"spread\": {},\n{}  \"match_cache\": [{}],\n  \"pareto_front\": [{}],\n  \"points\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"report\": \"noc_explore_campaign\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"objectives\": [{}],\n  \"threads\": {},\n  \"flows_synthesized\": {},\n  \"synthesis_reused\": {},\n  \"carried_points\": {},\n  \"wall_ms\": {},\n  \"hypervolume\": {},\n  \"spread\": {},\n{}{}{}  \"match_cache\": [{}],\n  \"pareto_front\": [{}],\n  \"points\": [\n{}\n  ]\n}}\n",
             kinds.join(", "),
             self.threads,
             self.flows_synthesized,
@@ -432,6 +550,8 @@ impl CampaignReport {
             json_f64(self.hypervolume),
             json_f64(self.spread),
             sampler,
+            warm_cache,
+            coordinator,
             cache.join(", "),
             front.join(", "),
             points.join(",\n"),
@@ -518,9 +638,54 @@ impl CampaignReport {
                         vertex_count: need_usize(row, "vertex_count")?,
                         hits: need_u64(row, "hits")?,
                         misses: need_u64(row, "misses")?,
+                        // v3 field; v1/v2 rows predate warm starts.
+                        warm_hits: row
+                            .get("warm_hits")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or(0),
                     })
                 })
                 .collect::<Result<Vec<CacheSizeRecord>, String>>()?,
+        };
+        let warm_cache = match v.get("warm_cache") {
+            None => None,
+            Some(w) => Some(WarmCacheRecord {
+                path: need_str(w, "path")?,
+                loaded_graphs: need_usize(w, "loaded_graphs")?,
+                saved_graphs: need_usize(w, "saved_graphs")?,
+                degraded: match w.get("degraded") {
+                    None => None,
+                    Some(reason) => Some(
+                        reason
+                            .as_str()
+                            .ok_or("'degraded' must be a string")?
+                            .to_string(),
+                    ),
+                },
+            }),
+        };
+        let coordinator = match v.get("coordinator") {
+            None => None,
+            Some(c) => Some(CoordinatorRecord {
+                workers: need_usize(c, "workers")?,
+                deadline_ms: need_f64(c, "deadline_ms")?,
+                waves: c
+                    .get("waves")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("'coordinator' missing 'waves'")?
+                    .iter()
+                    .map(|w| {
+                        Ok(WaveRecord {
+                            wave: need_usize(w, "wave")?,
+                            workers: need_usize(w, "workers")?,
+                            completed: need_usize(w, "completed")?,
+                            killed: need_usize(w, "killed")?,
+                            salvaged_points: need_usize(w, "salvaged_points")?,
+                            redealt: need_usize(w, "redealt")?,
+                        })
+                    })
+                    .collect::<Result<Vec<WaveRecord>, String>>()?,
+            }),
         };
         let sampler = match v.get("sampler") {
             None => None,
@@ -575,6 +740,8 @@ impl CampaignReport {
             spread: v.get("spread").and_then(parse_f64).unwrap_or(0.0),
             match_cache,
             sampler,
+            warm_cache,
+            coordinator,
         })
     }
 
@@ -799,11 +966,13 @@ mod tests {
                 vertex_count: 8,
                 hits: 3,
                 misses: 10,
+                warm_hits: 2,
             },
             CacheSizeRecord {
                 vertex_count: 10,
                 hits: 1,
                 misses: 9,
+                warm_hits: 0,
             },
         ];
         r
@@ -953,6 +1122,73 @@ mod tests {
         assert_eq!(parsed.sampler, original.sampler);
         // And writing the parsed report reproduces the bytes.
         assert_eq!(parsed.to_json(), original.to_json());
+    }
+
+    #[test]
+    fn warm_cache_and_coordinator_provenance_round_trip() {
+        let mut original = report();
+        original.warm_cache = Some(WarmCacheRecord {
+            path: "cache/match_cache.json".into(),
+            loaded_graphs: 41,
+            saved_graphs: 58,
+            degraded: None,
+        });
+        original.coordinator = Some(CoordinatorRecord {
+            workers: 2,
+            deadline_ms: 30000.0,
+            waves: vec![
+                WaveRecord {
+                    wave: 0,
+                    workers: 2,
+                    completed: 1,
+                    killed: 1,
+                    salvaged_points: 2,
+                    redealt: 4,
+                },
+                WaveRecord {
+                    wave: 1,
+                    workers: 1,
+                    completed: 1,
+                    killed: 0,
+                    salvaged_points: 0,
+                    redealt: 0,
+                },
+            ],
+        });
+        let parsed = CampaignReport::from_json(&original.to_json()).unwrap();
+        assert_eq!(parsed.warm_cache, original.warm_cache);
+        assert_eq!(parsed.coordinator, original.coordinator);
+        assert_eq!(parsed.coordinator.as_ref().unwrap().killed(), 1);
+        assert_eq!(parsed.coordinator.as_ref().unwrap().redealt(), 4);
+        // And writing the parsed report reproduces the bytes.
+        assert_eq!(parsed.to_json(), original.to_json());
+
+        // A degraded warm start keeps its reason through the round trip.
+        original.warm_cache.as_mut().unwrap().degraded = Some("truncated \"file\"".into());
+        let parsed = CampaignReport::from_json(&original.to_json()).unwrap();
+        assert_eq!(parsed.warm_cache, original.warm_cache);
+    }
+
+    #[test]
+    fn v2_cache_rows_without_warm_hits_parse_as_zero() {
+        // A v2-era report predates warm_hits on match_cache rows; strip
+        // the field (and claim v2) to reproduce one.
+        let original = report();
+        let v2 = original
+            .to_json()
+            .replace(
+                &format!("\"schema_version\": {SCHEMA_VERSION}"),
+                "\"schema_version\": 2",
+            )
+            .replace(", \"warm_hits\": 2}", "}")
+            .replace(", \"warm_hits\": 0}", "}");
+        assert!(!v2.contains("warm_hits"));
+        let parsed = CampaignReport::from_json(&v2).unwrap();
+        assert_eq!(parsed.match_cache.len(), 2);
+        assert!(parsed.match_cache.iter().all(|c| c.warm_hits == 0));
+        assert_eq!(parsed.match_cache[0].hits, 3);
+        assert!(parsed.warm_cache.is_none());
+        assert!(parsed.coordinator.is_none());
     }
 
     #[test]

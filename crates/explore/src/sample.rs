@@ -8,7 +8,7 @@
 //! Strategies*) shows budgeted heuristic search matching exhaustive
 //! sweeps at a fraction of the evaluations. This module applies that idea
 //! to campaigns: [`Campaign::run_sampled`] runs a campaign in **rounds**
-//! under an explicit budget, each round a [`CampaignPlan`] chosen by a
+//! under an explicit budget, each round a [`CampaignPlan`](crate::CampaignPlan) chosen by a
 //! planner policy and folded into the accumulated [`CampaignReport`]
 //! before the next round is planned.
 //!
@@ -52,7 +52,7 @@
 //!
 //! A round's plan is literally [`Campaign::plan_resume`] against the
 //! accumulated report, restricted to the round's chosen ids
-//! ([`CampaignPlan::restrict`]): the same machinery that lets a killed
+//! ([`CampaignPlan::restrict`](crate::CampaignPlan::restrict)): the same machinery that lets a killed
 //! campaign resume also carries every prior round's records into the next
 //! fold. A sampled report is therefore a normal partial
 //! [`CampaignReport`] — resumable to the full grid, mergeable with other
@@ -537,7 +537,7 @@ impl Campaign {
             artifacts: HashMap::new(),
             match_cache: self
                 .share_match_cache
-                .then(|| SharedMatchCache::new(1 << 16)),
+                .then(|| SharedMatchCache::new(crate::campaign::CACHE_CAPACITY)),
         };
         match config.policy {
             SamplerPolicy::Bandit { epsilon } => {

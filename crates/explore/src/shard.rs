@@ -193,6 +193,7 @@ pub fn merge_reports(reports: &[CampaignReport]) -> Result<CampaignReport, Strin
                 Some(c) => {
                     c.hits += row.hits;
                     c.misses += row.misses;
+                    c.warm_hits += row.warm_hits;
                 }
                 None => cache.push(*row),
             }
@@ -293,6 +294,7 @@ mod tests {
             vertex_count: 8,
             hits: 2,
             misses: 5,
+            warm_hits: 1,
         }];
         r
     }
@@ -317,6 +319,7 @@ mod tests {
                 vertex_count: 8,
                 hits: 4,
                 misses: 10,
+                warm_hits: 2,
             }]
         );
     }

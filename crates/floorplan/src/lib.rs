@@ -1,6 +1,6 @@
 //! Area-driven floorplanning for NoC synthesis.
 //!
-//! The DATE'05 decomposition algorithm "assume[s] that an initial
+//! The DATE'05 decomposition algorithm "assume\[s\] that an initial
 //! floorplanning step has been performed and optimized for chip area.
 //! Hence, the core coordinates are given as inputs to the algorithm"
 //! (Section 4). This crate provides that step:

@@ -173,6 +173,28 @@ impl BitSetKey {
     pub fn words(&self) -> &[u64] {
         &self.0
     }
+
+    /// Rebuilds a key from backing words (least-significant first),
+    /// trimming trailing zero words so the result is canonical — the
+    /// inverse of [`words`](Self::words), used when keys are restored
+    /// from a persisted cache file.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc_graph::{BitSet, BitSetKey};
+    ///
+    /// let key = BitSet::from_iter([3usize, 64]).stable_key();
+    /// assert_eq!(BitSetKey::from_words(key.words().to_vec()), key);
+    /// // Trailing zero words never distinguish keys.
+    /// assert_eq!(BitSetKey::from_words(vec![8, 1, 0, 0]).words(), &[8, 1]);
+    /// ```
+    pub fn from_words(mut words: Vec<u64>) -> BitSetKey {
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        BitSetKey(words.into_boxed_slice())
+    }
 }
 
 impl std::fmt::Debug for BitSet {

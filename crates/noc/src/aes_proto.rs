@@ -15,7 +15,7 @@ use noc_sim::{NocModel, Phase, PhasedReport, SimConfig, SimError, Simulator};
 
 use crate::{FlowError, SynthesisFlow};
 
-/// Runs the mesh-vs-custom AES comparison; see the [module docs](self).
+/// Runs the mesh-vs-custom AES comparison; see the module docs above.
 #[derive(Debug, Clone)]
 pub struct AesPrototype {
     key: [u8; 16],

@@ -212,7 +212,7 @@ impl SynthesisFlow {
 
     /// The placement [`run`](Self::run) would use: the explicit one if set,
     /// otherwise the automatic floorplan. Campaigns floorplan once through
-    /// this and feed the result to [`run_with_placement`] across scenario
+    /// this and feed the result to [`run_with_placement`](Self::run_with_placement) across scenario
     /// points that share physical inputs.
     pub fn auto_placement(&self) -> Placement {
         match &self.placement {

@@ -75,7 +75,7 @@ pub mod prelude {
     pub use noc_sim::{NocModel, SimConfig, Simulator};
     pub use noc_synthesis::{
         Architecture, CostModel, Decomposer, DecomposerConfig, Decomposition, Objective,
-        SearchOrder, SharedMatchCache, SizeCacheStats,
+        SearchOrder, SharedMatchCache, SizeCacheStats, WarmStart,
     };
     pub use noc_workloads::{tgff, TgffConfig};
 }

@@ -75,7 +75,7 @@ pub enum Objective {
 
 /// Evaluates matching, remainder and lower-bound costs against a floorplan
 /// and technology (Section 4.3: "the positions of the cores are determined
-/// by an initial floorplanning stage, [so] accurate Ebit values can be
+/// by an initial floorplanning stage, \[so\] accurate Ebit values can be
 /// imported from the library").
 #[derive(Debug, Clone)]
 pub struct CostModel {

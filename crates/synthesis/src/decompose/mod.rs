@@ -41,6 +41,7 @@
 mod cache;
 mod frontier;
 mod parallel;
+mod persist;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -58,7 +59,7 @@ use crate::{
 use cache::{ImageList, MatchCache};
 use frontier::{path_to_vec, Frontier, PathLink, SearchNode};
 
-pub use cache::{SharedMatchCache, SizeCacheStats};
+pub use cache::{SharedMatchCache, SizeCacheStats, WarmStart};
 
 /// One matched primitive instance on the decomposition path.
 #[derive(Debug, Clone)]
@@ -401,14 +402,18 @@ impl EngineCtx<'_> {
         id: PrimitiveId,
         primitive: &Primitive,
     ) -> ImageList {
+        let pattern = primitive.representation();
         if let (Some(cache), Some(key)) = (self.cache.as_ref(), key) {
-            if let Some(hit) = cache.get(self.vertex_count, key, id) {
+            // The arity argument guards against an in-process cache
+            // shared across different libraries binding this id to
+            // another pattern — a mismatched entry is rejected inside
+            // the cache and counted as a miss, never consumed.
+            if let Some(hit) = cache.get(self.vertex_count, key, id, pattern.node_count()) {
                 self.run_cache_hits.fetch_add(1, Ordering::Relaxed);
                 return hit;
             }
             self.run_cache_misses.fetch_add(1, Ordering::Relaxed);
         }
-        let pattern = primitive.representation();
         let mut matcher = Vf2::new(pattern, remaining).max_matches(self.config.max_raw_matches);
         if let Some(d) = self.deadline {
             matcher = matcher.deadline(d);
@@ -430,7 +435,13 @@ impl EngineCtx<'_> {
         // the same graph.
         if complete {
             if let (Some(cache), Some(key)) = (self.cache.as_ref(), key) {
-                cache.insert(self.vertex_count, key.clone(), id, images.clone());
+                cache.insert(
+                    self.vertex_count,
+                    key.clone(),
+                    id,
+                    pattern.node_count(),
+                    images.clone(),
+                );
             }
         }
         images
@@ -580,7 +591,9 @@ pub(crate) fn expand(
                     .cache
                     .as_ref()
                     .zip(key.as_ref())
-                    .and_then(|(cache, key)| cache.peek(ctx.vertex_count, key, id));
+                    .and_then(|(cache, key)| {
+                        cache.peek(ctx.vertex_count, key, id, pattern.node_count())
+                    });
                 found_match = match cached {
                     Some(images) => !images.is_empty(),
                     None => {
@@ -1070,6 +1083,54 @@ mod tests {
         assert_eq!(sizes, vec![4, 6]);
         assert!(stats.iter().all(|s| s.hits > 0 && s.graphs > 0));
         assert_eq!(shared.hits(), stats.iter().map(|s| s.hits).sum::<u64>());
+    }
+
+    #[test]
+    fn persisted_cache_warms_a_fresh_process_first_decomposition() {
+        // A cache saved by one "process" and loaded by another must serve
+        // the very first decomposition of the restart — with the served
+        // hits attributed to the warm start — and must not perturb the
+        // search result.
+        let acg = pajek::fig5_benchmark();
+        let lib = CommLibrary::standard();
+        let n = acg.core_count();
+        let original = SharedMatchCache::new(1 << 12);
+        let cold = Decomposer::new(&acg, &lib, cost_model(Objective::Links, n))
+            .config(DecomposerConfig {
+                shared_cache: Some(original.clone()),
+                ..DecomposerConfig::default()
+            })
+            .run();
+        let json = original.to_persist_json();
+
+        // "Restart": a fresh cache built only from the persisted bytes.
+        let restored = SharedMatchCache::from_persist_json(&json, 1 << 12).expect("load");
+        assert_eq!(restored.graph_count(), original.graph_count());
+        let warmed = Decomposer::new(&acg, &lib, cost_model(Objective::Links, n))
+            .config(DecomposerConfig {
+                shared_cache: Some(restored.clone()),
+                ..DecomposerConfig::default()
+            })
+            .run();
+        assert_eq!(
+            warmed.best.as_ref().map(|d| d.total_cost.value()),
+            cold.best.as_ref().map(|d| d.total_cost.value()),
+            "a warmed cache perturbed the optimum"
+        );
+        assert!(
+            warmed.stats.cache_hits > 0,
+            "first decomposition after the restart never hit the loaded entries"
+        );
+        let stats = restored.size_stats();
+        let row = stats.iter().find(|s| s.vertex_count == n).expect("row");
+        assert!(
+            row.warm_hits > 0,
+            "hits were not attributed to the warm start: {row:?}"
+        );
+        assert!(row.warm_hits <= row.hits);
+
+        // The cold original never reports warm hits.
+        assert!(original.size_stats().iter().all(|s| s.warm_hits == 0));
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! The paper evaluates its decomposition algorithm on two families of
 //! random benchmarks (Section 5.1):
 //!
-//! * graphs produced by **TGFF** ("Task Graphs For Free", ref. [17]) —
+//! * graphs produced by **TGFF** ("Task Graphs For Free", ref. \[17\]) —
 //!   series-parallel task DAGs up to 18 nodes, including an automotive
 //!   benchmark (Figure 4a); and
-//! * larger random graphs produced with **Pajek** (ref. [14]) up to 40
+//! * larger random graphs produced with **Pajek** (ref. \[14\]) up to 40
 //!   nodes (Figure 4b).
 //!
 //! Both tools are re-implemented here as seeded, deterministic generators

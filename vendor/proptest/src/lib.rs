@@ -3,7 +3,7 @@
 //! The build environment has no network access, so this workspace vendors a
 //! minimal, API-compatible subset of proptest: the [`proptest!`] macro, the
 //! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, numeric
-//! range strategies, tuple strategies, [`collection::vec`], [`bool`]
+//! range strategies, tuple strategies, [`collection::vec`], [`bool`](mod@bool)
 //! strategies, [`sample::select`], and the `prop_assert!`/`prop_assert_eq!`
 //! /`prop_assume!` macros.
 //!
@@ -65,7 +65,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy created by [`vec`].
+    /// Strategy created by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
