@@ -1,25 +1,55 @@
-//! Sequential vs parallel decomposition runtime on the Figure 4b size
-//! sweep (10–40-node Pajek-style graphs), the perf trajectory of the
-//! explicit-frontier engine.
+//! Decomposition runtime on the Figure 4b size sweep (10–40-node
+//! Pajek-style graphs), the perf trajectory of the explicit-frontier
+//! engine.
 //!
 //! Besides the usual criterion output, this bench writes
-//! `BENCH_decompose.json` at the repository root: per-size mean runtimes
-//! for the sequential and the parallel engine plus the speedup, so the
-//! numbers are tracked in-tree across PRs.
+//! `BENCH_decompose.json` at the repository root: one row per (size,
+//! configured thread count) with the mean runtime, plus a per-size phase
+//! breakdown (match enumeration / bounding / frontier / leaf evaluation)
+//! from an instrumented sequential pass, so regressions are attributable
+//! to a specific engine layer rather than to "the search got slower".
 //!
-//! Run with: `cargo bench --bench decompose_scaling`
+//! There is deliberately no headline `speedup` column: each row records
+//! the `hardware_threads` it ran on, and a parallel row whose configured
+//! threads exceed the hardware is labeled `parallel_oversubscribed` — on
+//! a single-core container those rows measure *driver overhead* (the
+//! `vs_seq` ratio should stay near 1.0), not scaling.
+//!
+//! Run with: `cargo bench --bench decompose_scaling`. Set
+//! `NOC_BENCH_QUICK=1` for the CI smoke run (small sizes, short
+//! measurement windows).
+
+use std::time::Duration;
 
 use criterion::{BenchmarkId, Criterion};
+use noc::prelude::DecomposerConfig;
 use noc_bench::{fig4b_workload, parallel_config, timed_decomposition_with, FIG4B_SIZES};
 
 const SEED: u64 = 7;
+/// Configured worker counts: 1 = the sequential engine, >1 = the packet
+/// driver (oversubscribed on single-core hardware — overhead rows).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn quick_mode() -> bool {
+    std::env::var_os("NOC_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+fn sizes() -> &'static [usize] {
+    if quick_mode() {
+        &FIG4B_SIZES[..3]
+    } else {
+        &FIG4B_SIZES
+    }
+}
 
 fn bench_decompose_scaling(c: &mut Criterion) {
-    for (label, threads) in [("decompose_seq", 1usize), ("decompose_par", 0usize)] {
-        let mut group = c.benchmark_group(label);
+    let window = Duration::from_millis(if quick_mode() { 200 } else { 750 });
+    for threads in THREAD_COUNTS {
+        let name = format!("decompose_t{threads}");
+        let mut group = c.benchmark_group(&name);
         group.sample_size(10);
-        group.measurement_time(std::time::Duration::from_millis(750));
-        for n in FIG4B_SIZES {
+        group.measurement_time(window);
+        for &n in sizes() {
             let acg = fig4b_workload(n, SEED);
             group.bench_with_input(BenchmarkId::from_parameter(n), &acg, |b, acg| {
                 b.iter(|| {
@@ -34,18 +64,52 @@ fn bench_decompose_scaling(c: &mut Criterion) {
     }
 }
 
+/// Mean per-phase milliseconds of the instrumented sequential engine.
+fn phase_row(n: usize, reps: u32) -> String {
+    let acg = fig4b_workload(n, SEED);
+    let config = DecomposerConfig {
+        profile_phases: true,
+        ..parallel_config(1)
+    };
+    let mut sums = [0.0f64; 5];
+    for _ in 0..reps {
+        let (result, elapsed) = timed_decomposition_with(&acg, config.clone());
+        let p = result
+            .stats
+            .phases
+            .expect("profile_phases was set but no breakdown came back");
+        for (acc, d) in sums
+            .iter_mut()
+            .zip([p.match_enum, p.bound, p.frontier, p.leaf, elapsed])
+        {
+            *acc += d.as_secs_f64() * 1e3;
+        }
+    }
+    let m = |i: usize| sums[i] / f64::from(reps);
+    format!(
+        "    {{\"n\": {n}, \"seed\": {SEED}, \"match_enum_ms\": {:.4}, \"bound_ms\": {:.4}, \"frontier_ms\": {:.4}, \"leaf_ms\": {:.4}, \"flow_ms\": {:.4}}}",
+        m(0),
+        m(1),
+        m(2),
+        m(3),
+        m(4)
+    )
+}
+
 fn main() {
-    // Cross-check before timing: both engines must prove the same optimum
-    // on every swept size.
-    for n in FIG4B_SIZES {
+    // Cross-check before timing: every engine configuration must prove
+    // the same optimum on every swept size.
+    for &n in sizes() {
         let acg = fig4b_workload(n, SEED);
         let (seq, _) = timed_decomposition_with(&acg, parallel_config(1));
-        let (par, _) = timed_decomposition_with(&acg, parallel_config(0));
-        assert_eq!(
-            seq.decomposition.total_cost.value(),
-            par.decomposition.total_cost.value(),
-            "engine disagreement at n = {n}"
-        );
+        for threads in [2usize, 4, 0] {
+            let (par, _) = timed_decomposition_with(&acg, parallel_config(threads));
+            assert_eq!(
+                seq.decomposition.total_cost.value(),
+                par.decomposition.total_cost.value(),
+                "engine disagreement at n = {n}, threads = {threads}"
+            );
+        }
     }
 
     let mut criterion = Criterion::default();
@@ -59,21 +123,35 @@ fn main() {
             .map(|r| r.mean_ns)
             .unwrap_or(f64::NAN)
     };
+    let hw = std::thread::available_parallelism().map_or(1, |t| t.get());
     let mut rows = Vec::new();
-    for n in FIG4B_SIZES {
-        let seq_ns = mean_of(format!("decompose_seq/{n}"));
-        let par_ns = mean_of(format!("decompose_par/{n}"));
-        rows.push(format!(
-            "    {{\"n\": {n}, \"seed\": {SEED}, \"seq_ms\": {:.4}, \"par_ms\": {:.4}, \"speedup\": {:.3}}}",
-            seq_ns / 1e6,
-            par_ns / 1e6,
-            seq_ns / par_ns
-        ));
+    for &n in sizes() {
+        let seq_ms = mean_of(format!("decompose_t1/{n}")) / 1e6;
+        for threads in THREAD_COUNTS {
+            let ms = mean_of(format!("decompose_t{threads}/{n}")) / 1e6;
+            let mode = if threads == 1 {
+                "sequential"
+            } else if threads > hw {
+                "parallel_oversubscribed"
+            } else {
+                "parallel"
+            };
+            let vs_seq = if threads == 1 {
+                String::new()
+            } else {
+                format!(", \"vs_seq\": {:.3}", seq_ms / ms)
+            };
+            rows.push(format!(
+                "    {{\"n\": {n}, \"seed\": {SEED}, \"threads\": {threads}, \"hardware_threads\": {hw}, \"mode\": \"{mode}\", \"mean_ms\": {ms:.4}{vs_seq}}}"
+            ));
+        }
     }
+    let phase_reps = if quick_mode() { 1 } else { 5 };
+    let phases: Vec<String> = sizes().iter().map(|&n| phase_row(n, phase_reps)).collect();
     let json = format!(
-        "{{\n  \"bench\": \"decompose_scaling\",\n  \"workload\": \"fig4b_pajek_planted\",\n  \"hardware_threads\": {},\n  \"unit\": \"milliseconds_mean_per_decomposition\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
-        rows.join(",\n")
+        "{{\n  \"bench\": \"decompose_scaling\",\n  \"workload\": \"fig4b_pajek_planted\",\n  \"unit\": \"milliseconds_mean_per_decomposition\",\n  \"results\": [\n{}\n  ],\n  \"phases\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        phases.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decompose.json");
     std::fs::write(path, &json).expect("write BENCH_decompose.json");

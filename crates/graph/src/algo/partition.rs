@@ -60,27 +60,69 @@ fn exact_bisection(g: &DiGraph, weight: &impl Fn(NodeId, NodeId) -> f64) -> Bipa
     let n = g.node_count();
     assert!(n >= 2, "bisection needs at least two vertices");
     let half = n / 2;
-    let mut best: Option<(f64, Vec<bool>)> = None;
-    // Fix vertex 0 on side A to halve the symmetric search space.
-    for mask in 0u64..(1 << (n - 1)) {
-        let mut in_a = vec![false; n];
-        in_a[0] = true;
-        let mut count_a = 1;
-        for v in 1..n {
-            if mask & (1 << (v - 1)) != 0 {
-                in_a[v] = true;
-                count_a += 1;
+    // Vertex 0 is fixed on side A (halves the symmetric search space), so
+    // a free-vertex mask of popcount k puts k + 1 vertices on side A.
+    // Enumerate only the balanced popcount classes with Gosper's hack
+    // instead of scanning all 2^(n-1) masks, and test each edge against
+    // the mask directly — no per-candidate allocation.
+    let edges: Vec<(u32, u32, f64)> = g
+        .edges()
+        .map(|e| {
+            (
+                e.src.index() as u32,
+                e.dst.index() as u32,
+                weight(e.src, e.dst),
+            )
+        })
+        .collect();
+    let cut_of = |mask: u64| -> f64 {
+        // Bit v of `full` = vertex v on side A.
+        let full = (mask << 1) | 1;
+        let mut w = 0.0;
+        for &(src, dst, ew) in &edges {
+            if ((full >> src) ^ (full >> dst)) & 1 != 0 {
+                w += ew;
             }
         }
-        if count_a != half && count_a != n - half {
+        w
+    };
+    let mut classes = [half - 1, n - half - 1];
+    classes.sort_unstable();
+    let limit = 1u64 << (n - 1);
+    // Ties keep the numerically smallest mask — exactly what the old
+    // ascending full scan's strict `<` produced.
+    let mut best: Option<(f64, u64)> = None;
+    let consider = |mask: u64, best: &mut Option<(f64, u64)>| {
+        let w = cut_of(mask);
+        if best.is_none_or(|(bw, bm)| w < bw || (w == bw && mask < bm)) {
+            *best = Some((w, mask));
+        }
+    };
+    for (i, &k) in classes.iter().enumerate() {
+        if i > 0 && classes[i] == classes[i - 1] {
+            continue; // n even: both balanced class sizes coincide.
+        }
+        if k == 0 {
+            consider(0, &mut best);
             continue;
         }
-        let w = cut_weight(g, &in_a, weight);
-        if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
-            best = Some((w, in_a));
+        let mut mask = (1u64 << k) - 1;
+        while mask < limit {
+            consider(mask, &mut best);
+            // Gosper's hack: next mask with the same popcount.
+            let c = mask & mask.wrapping_neg();
+            let r = mask + c;
+            mask = (((r ^ mask) >> 2) / c) | r;
         }
     }
-    let (_, in_a) = best.expect("at least one balanced partition exists");
+    let (_, mask) = best.expect("at least one balanced partition exists");
+    let mut in_a = vec![false; n];
+    in_a[0] = true;
+    for v in 1..n {
+        if mask & (1 << (v - 1)) != 0 {
+            in_a[v] = true;
+        }
+    }
     Bipartition::from_mask(g, &in_a, weight)
 }
 

@@ -103,6 +103,49 @@ impl BitSet {
             .sum()
     }
 
+    /// In-place intersection with `other`: `self` keeps only the values
+    /// also present in `other`. Word-parallel; values of `other` beyond
+    /// `self`'s capacity are ignored (they cannot be in `self` anyway).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc_graph::BitSet;
+    ///
+    /// let mut a: BitSet = [1usize, 2, 70].into_iter().collect();
+    /// let b: BitSet = [2usize, 3, 70].into_iter().collect();
+    /// a.intersect_with(&b);
+    /// assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 70]);
+    /// ```
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        let common = self.words.len().min(other.words.len());
+        for (a, b) in self.words[..common].iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        for a in &mut self.words[common..] {
+            *a = 0;
+        }
+    }
+
+    /// Overwrites `self`'s contents with `other`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` holds values beyond `self`'s capacity (i.e. has
+    /// more backing words with any of the extra ones nonzero).
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert!(
+            other.words.len() <= self.words.len()
+                || other.words[self.words.len()..].iter().all(|&w| w == 0),
+            "bitset copy would overflow capacity"
+        );
+        let common = self.words.len().min(other.words.len());
+        self.words[..common].copy_from_slice(&other.words[..common]);
+        for a in &mut self.words[common..] {
+            *a = 0;
+        }
+    }
+
     /// In-place union with `other`.
     ///
     /// # Panics
@@ -313,6 +356,36 @@ mod tests {
         let b: BitSet = [2usize, 3, 4, 70, 71].into_iter().collect();
         assert_eq!(a.intersection_len(&b), 3);
         assert_eq!(b.intersection_len(&a), 3);
+    }
+
+    #[test]
+    fn intersect_with_keeps_common_members() {
+        let mut a: BitSet = [1usize, 2, 3, 70].into_iter().collect();
+        let b: BitSet = [2usize, 3, 4, 70, 200].into_iter().collect();
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 3, 70]);
+        // A shorter other clears self's high words.
+        let mut c: BitSet = [1usize, 200].into_iter().collect();
+        let d: BitSet = [1usize].into_iter().collect();
+        c.intersect_with(&d);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn copy_from_overwrites() {
+        let mut a: BitSet = [1usize, 200].into_iter().collect();
+        let b: BitSet = [3usize, 64].into_iter().collect();
+        a.copy_from(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 64]);
+        assert_eq!(a.capacity(), 201); // capacity unchanged
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn copy_from_rejects_overflow() {
+        let mut a = BitSet::new(4);
+        let b: BitSet = [70usize].into_iter().collect();
+        a.copy_from(&b);
     }
 
     #[test]

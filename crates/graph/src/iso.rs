@@ -214,11 +214,44 @@ impl<'a> Vf2<'a> {
 
     /// Enumerates matches deduplicated by image edge set.
     ///
-    /// Each distinct image is reported once, with the lexicographically
-    /// smallest mapping that produces it; images are sorted by their edge
-    /// lists so the output order is canonical.
+    /// Each distinct image is reported once, represented by the first
+    /// mapping the engine's deterministic enumeration would produce for it;
+    /// images are sorted by their edge lists so the output order is
+    /// canonical.
+    ///
+    /// When the pattern has no isolated vertices, the search *breaks the
+    /// pattern's symmetries up front* (Grochow–Kellis ordering conditions
+    /// derived from the automorphism group) so each image is enumerated
+    /// exactly once instead of `|Aut(pattern)|` times and deduplicated
+    /// after the fact. With a [`max_matches`](Self::max_matches) cap the
+    /// cap therefore bounds *images* on this path, rather than raw
+    /// mappings — strictly more results for the same budget; truncated
+    /// enumerations are marked incomplete either way.
     pub fn distinct_images(&self) -> SearchOutcome<Mapping> {
-        let raw = self.run();
+        if let Some(sym) = SymmetryBreak::for_pattern(self.pattern, self.deadline) {
+            let raw = self.run_inner(Some(&sym));
+            let order = matching_order(self.pattern);
+            let mut keyed: Vec<(Vec<Edge>, Mapping)> = raw
+                .matches
+                .into_iter()
+                .map(|m| {
+                    let canon = sym.canonicalize(m, &order);
+                    (canon.image_edges(self.pattern), canon)
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.cmp(&b.0));
+            return SearchOutcome {
+                matches: keyed.into_iter().map(|(_, m)| m).collect(),
+                complete: raw.complete,
+                nodes_expanded: raw.nodes_expanded,
+            };
+        }
+        // Fallback (isolated pattern vertices, oversized patterns, or a
+        // deadline during automorphism discovery): enumerate everything and
+        // deduplicate. With isolated vertices an image edge set does not
+        // pin the vertex image, so automorphism classes under-count and
+        // only full dedup is exact.
+        let raw = self.run_inner(None);
         let mut by_image: std::collections::BTreeMap<Vec<Edge>, Mapping> =
             std::collections::BTreeMap::new();
         for m in raw.matches {
@@ -233,6 +266,10 @@ impl<'a> Vf2<'a> {
     }
 
     fn run(&self) -> SearchOutcome<Mapping> {
+        self.run_inner(None)
+    }
+
+    fn run_inner(&self, sym: Option<&SymmetryBreak>) -> SearchOutcome<Mapping> {
         let np = self.pattern.node_count();
         let nt = self.target.node_count();
         if np == 0 {
@@ -250,14 +287,65 @@ impl<'a> Vf2<'a> {
             };
         }
         let order = matching_order(self.pattern);
+        // Position of each pattern vertex in the matching order, for
+        // splitting its neighbors into already-mapped vs not-yet-mapped.
+        let mut pos = vec![0usize; np];
+        for (d, &u) in order.iter().enumerate() {
+            pos[u.index()] = d;
+        }
+        let mapped_succs: Vec<Vec<usize>> = order
+            .iter()
+            .enumerate()
+            .map(|(d, &u)| {
+                self.pattern
+                    .successors(u)
+                    .map(NodeId::index)
+                    .filter(|&w| pos[w] < d)
+                    .collect()
+            })
+            .collect();
+        let mapped_preds: Vec<Vec<usize>> = order
+            .iter()
+            .enumerate()
+            .map(|(d, &u)| {
+                self.pattern
+                    .predecessors(u)
+                    .map(NodeId::index)
+                    .filter(|&w| pos[w] < d)
+                    .collect()
+            })
+            .collect();
+        // Static degree-compatibility candidate sets: pattern vertex u can
+        // only map onto targets with at least its in/out degree (the same
+        // test the per-candidate feasibility check used to repeat).
+        let static_cands: Vec<BitSet> = (0..np)
+            .map(|u| {
+                let u = NodeId(u);
+                let mut s = BitSet::new(nt);
+                for v in 0..nt {
+                    let v_id = NodeId(v);
+                    if self.target.out_degree(v_id) >= self.pattern.out_degree(u)
+                        && self.target.in_degree(v_id) >= self.pattern.in_degree(u)
+                    {
+                        s.insert(v);
+                    }
+                }
+                s
+            })
+            .collect();
         let mut state = State {
             pattern: self.pattern,
             target: self.target,
             semantics: self.semantics,
             order,
+            mapped_succs,
+            mapped_preds,
+            static_cands,
+            scratch: (0..np).map(|_| BitSet::new(nt)).collect(),
             core_p: vec![None; np],
             unmapped_p: (0..np).collect(),
             unmapped_t: (0..nt).collect(),
+            sym,
             matches: Vec::new(),
             nodes_expanded: 0,
             deadline: self.deadline,
@@ -270,6 +358,99 @@ impl<'a> Vf2<'a> {
             matches: state.matches,
             nodes_expanded: state.nodes_expanded,
         }
+    }
+}
+
+/// Grochow–Kellis symmetry breaking: ordering conditions on the images of
+/// pattern vertices such that, of the `|Aut(pattern)|` mappings producing
+/// any one image, exactly one satisfies every condition.
+///
+/// Built by repeatedly picking a vertex `u` with a nontrivial orbit under
+/// the (progressively stabilized) automorphism group, emitting
+/// `m(u) < m(w)` for every other orbit member `w`, and restricting the
+/// group to the stabilizer of `u`. See `DESIGN.md` for the exactness
+/// argument.
+struct SymmetryBreak {
+    /// Every automorphism of the pattern (`a[u]` = image of vertex `u`).
+    auts: Vec<Vec<usize>>,
+    /// `smaller[u]` lists `w` with condition `m(u) < m(w)`.
+    smaller: Vec<Vec<usize>>,
+    /// `greater[u]` lists `w` with condition `m(w) < m(u)`.
+    greater: Vec<Vec<usize>>,
+}
+
+/// Patterns above this order skip symmetry breaking: enumerating the
+/// automorphism group of a large graph could dwarf the match search it is
+/// meant to accelerate (library primitives have ≤ 8 vertices).
+const MAX_SYMMETRY_PATTERN: usize = 12;
+
+impl SymmetryBreak {
+    /// Derives the ordering conditions for `pattern`, or `None` when the
+    /// exactness argument does not apply (isolated vertices), the pattern
+    /// is too large to bother, or automorphism discovery hit `deadline`.
+    fn for_pattern(pattern: &DiGraph, deadline: Option<Instant>) -> Option<Self> {
+        let np = pattern.node_count();
+        if np == 0 || np > MAX_SYMMETRY_PATTERN {
+            return None;
+        }
+        if (0..np).any(|u| pattern.degree(NodeId(u)) == 0) {
+            return None;
+        }
+        // Automorphisms = self-monomorphisms: an injective edge-preserving
+        // self-map of a finite graph is onto its own edge set, hence an
+        // edge- and non-edge-preserving bijection.
+        let mut matcher = Vf2::new(pattern, pattern);
+        if let Some(d) = deadline {
+            matcher = matcher.deadline(d);
+        }
+        let out = matcher.find_all();
+        if !out.complete {
+            return None;
+        }
+        let auts: Vec<Vec<usize>> = out
+            .matches
+            .iter()
+            .map(|m| m.images().iter().map(|v| v.index()).collect())
+            .collect();
+        let mut smaller = vec![Vec::new(); np];
+        let mut greater = vec![Vec::new(); np];
+        let mut group = auts.clone();
+        while group.len() > 1 {
+            // Smallest-index vertex moved by the current (stabilized) group.
+            let Some(u) = (0..np).find(|&u| group.iter().any(|a| a[u] != u)) else {
+                break;
+            };
+            let orbit: BTreeSet<usize> = group.iter().map(|a| a[u]).collect();
+            for &w in orbit.iter().filter(|&&w| w != u) {
+                smaller[u].push(w);
+                greater[w].push(u);
+            }
+            group.retain(|a| a[u] == u);
+        }
+        Some(SymmetryBreak {
+            auts,
+            smaller,
+            greater,
+        })
+    }
+
+    /// Replaces a symmetry-broken representative with the mapping the full
+    /// (non-broken) enumeration would have reported first for the same
+    /// image: the minimum over the automorphism class of the assignment
+    /// tuple in matching order — DFS with ascending candidates yields
+    /// class members in exactly that order.
+    fn canonicalize(&self, m: Mapping, order: &[NodeId]) -> Mapping {
+        let imgs = m.images();
+        let mut best: Option<(Vec<NodeId>, Vec<NodeId>)> = None;
+        for a in &self.auts {
+            // (m ∘ a)(u) = m(a(u)).
+            let composed: Vec<NodeId> = (0..imgs.len()).map(|u| imgs[a[u]]).collect();
+            let tuple: Vec<NodeId> = order.iter().map(|&u| composed[u.index()]).collect();
+            if best.as_ref().is_none_or(|(t, _)| tuple < *t) {
+                best = Some((tuple, composed));
+            }
+        }
+        Mapping(best.expect("automorphism group contains the identity").1)
     }
 }
 
@@ -351,9 +532,19 @@ struct State<'a> {
     target: &'a DiGraph,
     semantics: Semantics,
     order: Vec<NodeId>,
+    /// Per depth: pattern successors/predecessors of `order[d]` that are
+    /// already mapped when depth `d` is reached (fixed by the static
+    /// matching order, so computed once).
+    mapped_succs: Vec<Vec<usize>>,
+    mapped_preds: Vec<Vec<usize>>,
+    /// Per pattern vertex: targets with compatible in/out degrees.
+    static_cands: Vec<BitSet>,
+    /// Per depth: reusable candidate buffer (no per-node allocation).
+    scratch: Vec<BitSet>,
     core_p: Vec<Option<NodeId>>,
     unmapped_p: BitSet,
     unmapped_t: BitSet,
+    sym: Option<&'a SymmetryBreak>,
     matches: Vec<Mapping>,
     nodes_expanded: u64,
     deadline: Option<Instant>,
@@ -387,12 +578,20 @@ impl State<'_> {
         }
 
         let u = self.order[depth];
-        let candidates = self.candidates_for(u);
-        for v in candidates {
+        self.fill_candidates(u, depth);
+        // Walk the candidate buffer with a cursor instead of materializing
+        // a vector: deeper levels use their own scratch rows, so the
+        // buffer is stable across the recursive calls.
+        let mut cursor = 0usize;
+        while let Some(v) = self.next_candidate(depth, cursor) {
+            cursor = v + 1;
             if self.stopped {
                 return;
             }
             let v = NodeId(v);
+            if !self.symmetry_ok(u, v) {
+                continue;
+            }
             if !self.feasible(u, v) {
                 continue;
             }
@@ -406,48 +605,74 @@ impl State<'_> {
         }
     }
 
-    /// Candidate target vertices for pattern vertex `u`: unmapped targets
-    /// intersected with the adjacency sets dictated by u's already-mapped
-    /// pattern neighbors. Returns ascending indices for determinism.
-    fn candidates_for(&self, u: NodeId) -> Vec<usize> {
-        let mut cands = self.unmapped_t.clone();
-        for w in self.pattern.successors(u) {
-            if let Some(fw) = self.core_p[w.index()] {
-                // u -> w in pattern, so candidate v needs v -> f(w).
-                let mut filtered = BitSet::new(cands.capacity());
-                for c in cands.iter() {
-                    if self.target.has_edge(NodeId(c), fw) {
-                        filtered.insert(c);
-                    }
+    /// Computes the candidate targets for pattern vertex `u` into the
+    /// depth's scratch row: unmapped targets with compatible degrees,
+    /// intersected word-parallel with the adjacency rows dictated by `u`'s
+    /// already-mapped pattern neighbors (`u -> w` mapped to `f(w)` forces
+    /// `v ∈ pred(f(w))`, `w -> u` forces `v ∈ succ(f(w))`).
+    fn fill_candidates(&mut self, u: NodeId, depth: usize) {
+        let cands = &mut self.scratch[depth];
+        cands.copy_from(&self.unmapped_t);
+        cands.intersect_with(&self.static_cands[u.index()]);
+        for &w in &self.mapped_succs[depth] {
+            let fw = self.core_p[w].expect("neighbor mapped at this depth");
+            cands.intersect_with(self.target.pred_set(fw));
+        }
+        for &w in &self.mapped_preds[depth] {
+            let fw = self.core_p[w].expect("neighbor mapped at this depth");
+            cands.intersect_with(self.target.succ_set(fw));
+        }
+    }
+
+    /// First candidate at index `>= cursor` in the depth's scratch row.
+    fn next_candidate(&self, depth: usize, cursor: usize) -> Option<usize> {
+        let words = self.scratch[depth].words();
+        let mut w = cursor / 64;
+        if w >= words.len() {
+            return None;
+        }
+        let mut bits = words[w] & (u64::MAX << (cursor % 64));
+        loop {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= words.len() {
+                return None;
+            }
+            bits = words[w];
+        }
+    }
+
+    /// Checks the symmetry-breaking ordering conditions that involve `u`
+    /// and an already-mapped vertex (each condition is fully enforced once
+    /// both endpoints are mapped, so checking at assignment time covers
+    /// all of them).
+    fn symmetry_ok(&self, u: NodeId, v: NodeId) -> bool {
+        let Some(sym) = self.sym else {
+            return true;
+        };
+        for &w in &sym.smaller[u.index()] {
+            if let Some(fw) = self.core_p[w] {
+                if v >= fw {
+                    return false;
                 }
-                cands = filtered;
             }
         }
-        for w in self.pattern.predecessors(u) {
-            if let Some(fw) = self.core_p[w.index()] {
-                // w -> u in pattern, so candidate v needs f(w) -> v:
-                // intersect with successors of f(w).
-                let mut filtered = BitSet::new(cands.capacity());
-                for c in cands.iter() {
-                    if self.target.has_edge(fw, NodeId(c)) {
-                        filtered.insert(c);
-                    }
+        for &w in &sym.greater[u.index()] {
+            if let Some(fw) = self.core_p[w] {
+                if v <= fw {
+                    return false;
                 }
-                cands = filtered;
             }
         }
-        cands.iter().collect()
+        true
     }
 
     fn feasible(&self, u: NodeId, v: NodeId) -> bool {
-        // Degree pruning: a pattern vertex cannot map onto a target vertex
-        // with fewer in/out edges (monomorphism) and look-ahead on unmapped
-        // neighbors (safe for both semantics).
-        if self.pattern.out_degree(u) > self.target.out_degree(v)
-            || self.pattern.in_degree(u) > self.target.in_degree(v)
-        {
-            return false;
-        }
+        // Degree compatibility is pre-filtered by the static candidate
+        // sets; here only the look-ahead on unmapped neighbors remains
+        // (safe for both semantics).
         let p_succ_unmapped = self.pattern.succ_set(u).intersection_len(&self.unmapped_p);
         let t_succ_unmapped = self.target.succ_set(v).intersection_len(&self.unmapped_t);
         if p_succ_unmapped > t_succ_unmapped {

@@ -153,6 +153,93 @@ proptest! {
         prop_assert!(got.complete);
         prop_assert_eq!(got.matches.len(), expected.len());
     }
+
+    /// The symmetry-broken `distinct_images` equals the naive reference —
+    /// full enumeration deduplicated by image edge set — *exactly*:
+    /// same images, same representative mappings, same order. Slightly
+    /// larger graphs than the raw-enumeration tests, since this is the
+    /// invariant the decomposition engine's bit-identical results ride on.
+    #[test]
+    fn distinct_images_equal_naive_reference(
+        pattern in arb_graph(5),
+        target in arb_graph(7),
+        induced in proptest::bool::ANY,
+    ) {
+        let semantics = if induced { Semantics::Induced } else { Semantics::Monomorphism };
+        let expected = reference_distinct(&pattern, &target, semantics);
+        let got = Vf2::new(&pattern, &target).semantics(semantics).distinct_images();
+        prop_assert!(got.complete);
+        prop_assert_eq!(got.matches, expected);
+    }
+
+    /// A capped `distinct_images` returns a subset of the reference images
+    /// (each with a valid representative) and reports itself incomplete
+    /// when it was truncated.
+    #[test]
+    fn distinct_images_cap_yields_reference_subset(
+        pattern in arb_graph(4),
+        target in arb_graph(7),
+        cap in 1usize..=6,
+    ) {
+        let reference = reference_distinct(&pattern, &target, Semantics::Monomorphism);
+        let all_images: std::collections::BTreeSet<Vec<_>> = reference
+            .iter()
+            .map(|m| m.image_edges(&pattern))
+            .collect();
+        let got = Vf2::new(&pattern, &target)
+            .max_matches(cap)
+            .distinct_images();
+        prop_assert!(got.matches.len() <= cap);
+        if got.complete {
+            // An uncapped run would have returned everything.
+            prop_assert_eq!(got.matches.len(), all_images.len());
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for m in &got.matches {
+            let image = m.image_edges(&pattern);
+            prop_assert!(all_images.contains(&image), "image not in reference set");
+            prop_assert!(seen.insert(image), "duplicate image under cap");
+        }
+    }
+}
+
+/// The naive specification of `distinct_images`: enumerate every injective
+/// mapping by brute force in VF2's deterministic order (full enumeration is
+/// itself property-tested above), then keep the first mapping per image
+/// edge set, sorted by image.
+fn reference_distinct(pattern: &DiGraph, target: &DiGraph, semantics: Semantics) -> Vec<Mapping> {
+    let raw = Vf2::new(pattern, target).semantics(semantics).find_all();
+    assert!(raw.complete);
+    let mut by_image: std::collections::BTreeMap<Vec<_>, Mapping> =
+        std::collections::BTreeMap::new();
+    for m in raw.matches {
+        by_image.entry(m.image_edges(pattern)).or_insert(m);
+    }
+    by_image.into_values().collect()
+}
+
+/// A deadline already in the past aborts `distinct_images` on both the
+/// symmetry-broken path (pattern with automorphisms) and the dedup
+/// fallback (pattern with an isolated vertex), and marks the outcome
+/// incomplete instead of returning a wrong "complete" answer.
+#[test]
+fn distinct_images_deadline_marks_incomplete() {
+    use std::time::{Duration, Instant};
+    let past = Instant::now() - Duration::from_millis(1);
+    let symmetric = DiGraph::cycle(4);
+    let dense = DiGraph::complete(12);
+    let out = Vf2::new(&symmetric, &dense)
+        .deadline(past)
+        .distinct_images();
+    assert!(!out.complete);
+
+    // Vertex 3 isolated -> fallback path. Big enough that the search
+    // reaches the (256-expansion granularity) deadline check.
+    let mut isolated = DiGraph::new(4);
+    isolated.add_edge(NodeId(0), NodeId(1));
+    isolated.add_edge(NodeId(1), NodeId(2));
+    let out = Vf2::new(&isolated, &dense).deadline(past).distinct_images();
+    assert!(!out.complete);
 }
 
 /// A couple of fixed regression cases worth pinning precisely.

@@ -223,6 +223,58 @@ impl CostModel {
             })
             .sum()
     }
+
+    /// Precomputes the per-edge term of the energy lower bound, indexed by
+    /// edge bit (`src * n + dst`), so the engine can re-bound a shrinking
+    /// remaining graph from its edge mask without re-deriving distances and
+    /// volumes. Entries for absent edges stay zero.
+    pub(crate) fn edge_bound_table(&self, acg: &Acg) -> Vec<Energy> {
+        let n = acg.graph().node_count();
+        let mut table = vec![Energy::ZERO; n * n];
+        for e in acg.graph().edges() {
+            let d = self.placement.distance_mm(e.src, e.dst);
+            table[e.src.index() * n + e.dst.index()] = self
+                .energy
+                .direct_transfer_lower_bound(acg.volume(e.src, e.dst), d);
+        }
+        table
+    }
+
+    /// [`CostModel::lower_bound`] evaluated from an edge *mask* (bit
+    /// `src * n + dst`) and its popcount instead of a materialized graph.
+    /// Summation walks set bits ascending — the same order as
+    /// [`DiGraph::edges`] — with the same fold, so the result is bitwise
+    /// identical to the graph-based bound.
+    pub(crate) fn lower_bound_masked(
+        &self,
+        mask: &[u64],
+        edge_count: usize,
+        table: &[Energy],
+        best_link_ratio: f64,
+    ) -> Cost {
+        match self.objective {
+            Objective::Links => Cost((edge_count as f64 / best_link_ratio.max(1.0)).ceil()),
+            Objective::Energy => Cost(masked_energy(mask, table).joules()),
+            Objective::Hybrid { link_equivalent } => {
+                let links = (edge_count as f64 / best_link_ratio.max(1.0)).ceil();
+                Cost(masked_energy(mask, table).joules() + link_equivalent.joules() * links)
+            }
+        }
+    }
+}
+
+/// Sums `table` over the set bits of `mask`, lowest bit first.
+fn masked_energy(mask: &[u64], table: &[Energy]) -> Energy {
+    let mut total = Energy::ZERO;
+    for (w, &word) in mask.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            total += table[w * 64 + b];
+            bits &= bits - 1;
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -387,6 +439,37 @@ mod tests {
         assert!(!images.matches.is_empty());
         for mapping in &images.matches {
             assert_eq!(m.matching_cost(&p, mapping, &acg).value(), 4.0);
+        }
+    }
+
+    #[test]
+    fn masked_lower_bound_is_bitwise_identical_to_graph_bound() {
+        // The engine swaps the graph-walking bound for the mask-walking one
+        // mid-search, so they must agree to the last bit, not within an
+        // epsilon — otherwise pruning (strict >=) could diverge.
+        let acg = gossip_acg();
+        for objective in [
+            Objective::Links,
+            Objective::Energy,
+            Objective::Hybrid {
+                link_equivalent: Energy::from_picojoules(100.0),
+            },
+        ] {
+            let m = model(objective);
+            let table = m.edge_bound_table(&acg);
+            // Remaining graphs of shrinking size, as the search would see.
+            let mut remaining = acg.graph().clone();
+            loop {
+                let mask = remaining.edge_bitset();
+                let via_graph = m.lower_bound(&remaining, &acg, 3.0);
+                let via_mask =
+                    m.lower_bound_masked(mask.words(), remaining.edge_count(), &table, 3.0);
+                assert_eq!(via_graph.value().to_bits(), via_mask.value().to_bits());
+                let Some(e) = remaining.edges().next() else {
+                    break;
+                };
+                remaining.remove_edge(e.src, e.dst);
+            }
         }
     }
 

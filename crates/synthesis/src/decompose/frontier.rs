@@ -1,5 +1,5 @@
-//! The explicit search frontier: open search-tree nodes plus the pluggable
-//! expansion order.
+//! The explicit search frontier: an arena of open search-tree nodes plus
+//! the pluggable expansion order.
 //!
 //! The engine is an *iterative* tree search — nodes live on an explicit
 //! frontier instead of the call stack, which is what makes the expansion
@@ -7,6 +7,23 @@
 //! recursive branch-and-bound exactly, [`SearchOrder::BestFirst`] pops the
 //! node with the smallest optimistic bound first) and what lets the
 //! parallel driver hand whole subtrees to worker threads.
+//!
+//! # Arena layout
+//!
+//! A node is *not* a materialized graph: it is an edge bitmask (bit
+//! `src * n + dst`, the same layout as [`noc_graph::DiGraph::edge_bitset`]
+//! and the match-cache keys) plus scalar metadata. The frontier owns a
+//! struct-of-arrays slab: all masks live in one flat `Vec<u64>` indexed by
+//! `slot * stride`, the canonical-ordering min-keys in a second, and the
+//! scalars (cost, bound, edge count, path link) in a parallel `Vec`. Freed
+//! slots are recycled through a free list, so a depth-first search reuses a
+//! working set of O(depth × branching) slots with zero steady-state
+//! allocation. Children are *staged* into the slab while a node expands and
+//! committed in one batch, which is also where insertion order is stamped.
+//!
+//! Popping copies the node out into a caller-owned [`PoppedNode`] (the slab
+//! slot is recycled immediately); the engine materializes a [`DiGraph`]
+//! from the mask once per expansion instead of cloning graphs per child.
 //!
 //! Paths are shared structurally: each node holds an `Arc` link to its
 //! parent's matching, so sibling subtrees share their common prefix
@@ -16,7 +33,6 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use noc_graph::{DiGraph, Edge};
 use noc_primitives::PrimitiveId;
 
 use super::{Matching, SearchOrder};
@@ -41,62 +57,141 @@ pub(crate) fn path_to_vec(path: &Option<Arc<PathLink>>) -> Vec<Matching> {
     out
 }
 
-/// An open node of the decomposition search tree.
-#[derive(Debug)]
-pub(crate) struct SearchNode {
-    /// Uncovered edges (full vertex set).
-    pub(crate) remaining: DiGraph,
+/// A search-tree node copied out of the arena: the unit the engine expands
+/// and the packet the parallel driver ships between workers.
+#[derive(Debug, Clone)]
+pub(crate) struct PoppedNode {
+    /// Uncovered edges as a bitmask (bit `src * n + dst`).
+    pub(crate) mask: Vec<u64>,
+    /// Image mask of the canonical-ordering cut (valid iff `min_prim` is
+    /// set): children may only use images of `min_prim` exceeding this, or
+    /// later primitives.
+    pub(crate) min_mask: Vec<u64>,
     /// Cost accumulated along the path (Σ matching costs).
     pub(crate) cost: Cost,
-    /// Matchings subtracted so far, shared with sibling subtrees.
-    pub(crate) path: Option<Arc<PathLink>>,
-    /// Canonical sibling-ordering key: children may only use matchings
-    /// whose `(primitive, image)` exceeds this.
-    pub(crate) min_key: Option<(PrimitiveId, Vec<Edge>)>,
     /// Optimistic completion bound (`cost` plus the admissible remaining
     /// bound); doubles as the best-first priority.
     pub(crate) bound: f64,
-    /// Monotone insertion index, assigned by the [`Frontier`] on push —
-    /// the deterministic oldest-first tie-break for equal bounds.
-    pub(crate) seq: u64,
+    /// Popcount of `mask`.
+    pub(crate) edges: u32,
+    /// Primitive of the canonical-ordering cut, if any.
+    pub(crate) min_prim: Option<PrimitiveId>,
+    /// Matchings subtracted so far, shared with sibling subtrees.
+    pub(crate) path: Option<Arc<PathLink>>,
 }
 
-impl SearchNode {
-    /// The search root: the whole application graph, nothing matched.
-    pub(crate) fn root(remaining: DiGraph) -> Self {
-        SearchNode {
-            remaining,
+impl PoppedNode {
+    /// An all-zero node with `stride`-word masks, ready for `pop_into`.
+    pub(crate) fn empty(stride: usize) -> Self {
+        PoppedNode {
+            mask: vec![0; stride],
+            min_mask: vec![0; stride],
             cost: Cost(0.0),
-            path: None,
-            min_key: None,
             bound: 0.0,
-            seq: 0,
+            edges: 0,
+            min_prim: None,
+            path: None,
+        }
+    }
+
+    /// The search root over `mask` (nothing matched yet).
+    pub(crate) fn root(mask: Vec<u64>, edges: u32) -> Self {
+        let stride = mask.len();
+        PoppedNode {
+            mask,
+            min_mask: vec![0; stride],
+            cost: Cost(0.0),
+            bound: 0.0,
+            edges,
+            min_prim: None,
+            path: None,
         }
     }
 }
 
-/// The open list, in one of the pluggable expansion orders. Owns the
-/// monotone insertion counter stamped onto every pushed node, so seqs are
-/// unique and strictly increasing in push order.
+/// `a <= b` on equal-cardinality edge masks, equivalent to `<=` on their
+/// sorted `Vec<Edge>` forms: scanning words from low to high, the lowest
+/// differing bit decides — if it belongs to `a`, then `a`'s edge list has
+/// the smaller edge at the first differing position.
+///
+/// The equivalence needs equal popcounts (with unequal counts a strict
+/// subset could order either way); the engine only compares images of the
+/// *same* primitive, which always cover the same number of edges.
+pub(crate) fn mask_le(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(
+        a.iter().map(|w| w.count_ones()).sum::<u32>(),
+        b.iter().map(|w| w.count_ones()).sum::<u32>(),
+        "mask_le compares equal-cardinality edge sets only"
+    );
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x ^ y;
+        if d != 0 {
+            let low = d & d.wrapping_neg();
+            return x & low != 0;
+        }
+    }
+    true
+}
+
+/// Is every bit of `sub` also set in `sup`? (Edge-set inclusion; the
+/// root-image filter's test for "this image survives in the remaining
+/// graph".)
+pub(crate) fn mask_subset(sub: &[u64], sup: &[u64]) -> bool {
+    sub.iter().zip(sup).all(|(&a, &b)| a & !b == 0)
+}
+
+/// Scalar metadata of an arena slot (the masks live in the flat rows).
+#[derive(Debug, Default)]
+struct NodeMeta {
+    cost: Cost,
+    bound: f64,
+    edges: u32,
+    /// Monotone insertion index stamped on commit — the deterministic
+    /// oldest-first tie-break for equal bounds.
+    seq: u64,
+    min_prim: Option<PrimitiveId>,
+    path: Option<Arc<PathLink>>,
+}
+
+/// The arena slab plus the open list in one of the pluggable expansion
+/// orders. Owns the monotone insertion counter, so seqs are unique and
+/// strictly increasing in commit order.
 #[derive(Debug)]
 pub(crate) struct Frontier {
+    /// Words per mask row: `(n * n).div_ceil(64)`.
+    stride: usize,
+    /// Edge masks, `stride` words per slot.
+    masks: Vec<u64>,
+    /// Canonical-cut image masks, `stride` words per slot.
+    min_masks: Vec<u64>,
+    meta: Vec<NodeMeta>,
+    /// Recycled slots.
+    free: Vec<u32>,
+    /// Children staged by the current expansion, in generated order.
+    staged: Vec<u32>,
     open: OpenList,
     next_seq: u64,
 }
 
 #[derive(Debug)]
 enum OpenList {
-    /// LIFO stack — children are pushed in reverse so the first child pops
-    /// first, reproducing recursive DFS preorder exactly.
-    Dfs(Vec<SearchNode>),
+    /// LIFO stack — staged children enter in reverse so the first child
+    /// pops first, reproducing recursive DFS preorder exactly.
+    Dfs(Vec<u32>),
     /// Min-heap on `(bound, seq)` — smallest optimistic bound first.
     Best(BinaryHeap<Reverse<HeapEntry>>),
 }
 
 impl Frontier {
-    /// An empty frontier with the given expansion order.
-    pub(crate) fn new(order: SearchOrder) -> Self {
+    /// An empty frontier for masks of `stride` words.
+    pub(crate) fn new(order: SearchOrder, stride: usize) -> Self {
         Frontier {
+            stride,
+            masks: Vec::new(),
+            min_masks: Vec::new(),
+            meta: Vec::new(),
+            free: Vec::new(),
+            staged: Vec::new(),
             open: match order {
                 SearchOrder::DepthFirst => OpenList::Dfs(Vec::new()),
                 SearchOrder::BestFirst => OpenList::Best(BinaryHeap::new()),
@@ -105,67 +200,194 @@ impl Frontier {
         }
     }
 
-    /// Adds a single node, stamping its insertion index.
-    pub(crate) fn push(&mut self, mut node: SearchNode) {
-        node.seq = self.next_seq;
-        self.next_seq += 1;
-        match &mut self.open {
-            OpenList::Dfs(stack) => stack.push(node),
-            OpenList::Best(heap) => heap.push(Reverse(HeapEntry(node))),
-        }
-    }
-
-    /// Adds a node's children, preserving the order's semantics: for DFS
-    /// the drained children pop in their generated (canonical) order, and
-    /// seqs increase in generated order (earlier child = older).
-    pub(crate) fn extend(&mut self, children: &mut Vec<SearchNode>) {
-        for node in children.iter_mut() {
-            node.seq = self.next_seq;
-            self.next_seq += 1;
-        }
-        match &mut self.open {
-            OpenList::Dfs(stack) => stack.extend(children.drain(..).rev()),
-            OpenList::Best(heap) => heap.extend(children.drain(..).map(|n| Reverse(HeapEntry(n)))),
-        }
-    }
-
-    /// Removes the next node to expand.
-    pub(crate) fn pop(&mut self) -> Option<SearchNode> {
-        match &mut self.open {
-            OpenList::Dfs(stack) => stack.pop(),
-            OpenList::Best(heap) => heap.pop().map(|Reverse(HeapEntry(n))| n),
-        }
-    }
-
-    /// Number of open nodes.
-    #[cfg(test)]
+    /// Number of open (committed, unpopped) nodes.
     pub(crate) fn len(&self) -> usize {
         match &self.open {
             OpenList::Dfs(stack) => stack.len(),
             OpenList::Best(heap) => heap.len(),
         }
     }
+
+    /// Grabs a slot off the free list or grows the slab by one row.
+    fn alloc(&mut self) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            return slot;
+        }
+        let slot = u32::try_from(self.meta.len()).expect("frontier slab exceeds u32 slots");
+        self.masks.resize(self.masks.len() + self.stride, 0);
+        self.min_masks.resize(self.min_masks.len() + self.stride, 0);
+        self.meta.push(NodeMeta::default());
+        slot
+    }
+
+    /// Adds an owned node (the root, or a packet from another worker)
+    /// directly to the open list, stamping its insertion index.
+    pub(crate) fn push_node(&mut self, node: PoppedNode) {
+        debug_assert_eq!(node.mask.len(), self.stride);
+        let slot = self.alloc();
+        let base = slot as usize * self.stride;
+        self.masks[base..base + self.stride].copy_from_slice(&node.mask);
+        self.min_masks[base..base + self.stride].copy_from_slice(&node.min_mask);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.meta[slot as usize] = NodeMeta {
+            cost: node.cost,
+            bound: node.bound,
+            edges: node.edges,
+            seq,
+            min_prim: node.min_prim,
+            path: node.path,
+        };
+        match &mut self.open {
+            OpenList::Dfs(stack) => stack.push(slot),
+            OpenList::Best(heap) => heap.push(Reverse(HeapEntry {
+                bound_bits: node.bound.to_bits(),
+                seq,
+                slot,
+            })),
+        }
+    }
+
+    /// Stages a child of the node being expanded; staged children enter
+    /// the open list together on [`Frontier::commit_staged`].
+    pub(crate) fn stage(
+        &mut self,
+        mask: &[u64],
+        min_key: Option<(PrimitiveId, &[u64])>,
+        cost: Cost,
+        bound: f64,
+        edges: u32,
+        path: Option<Arc<PathLink>>,
+    ) {
+        debug_assert_eq!(mask.len(), self.stride);
+        let slot = self.alloc();
+        let base = slot as usize * self.stride;
+        self.masks[base..base + self.stride].copy_from_slice(mask);
+        let min_prim = match min_key {
+            Some((id, min_mask)) => {
+                self.min_masks[base..base + self.stride].copy_from_slice(min_mask);
+                Some(id)
+            }
+            None => {
+                self.min_masks[base..base + self.stride].fill(0);
+                None
+            }
+        };
+        self.meta[slot as usize] = NodeMeta {
+            cost,
+            bound,
+            edges,
+            seq: 0, // stamped on commit
+            min_prim,
+            path,
+        };
+        self.staged.push(slot);
+    }
+
+    /// Commits the staged children, preserving the order's semantics: for
+    /// DFS the batch pops in its generated (canonical) order, and seqs
+    /// increase in generated order (earlier child = older).
+    pub(crate) fn commit_staged(&mut self) {
+        for &slot in &self.staged {
+            self.meta[slot as usize].seq = self.next_seq;
+            self.next_seq += 1;
+        }
+        match &mut self.open {
+            OpenList::Dfs(stack) => stack.extend(self.staged.drain(..).rev()),
+            OpenList::Best(heap) => {
+                for slot in self.staged.drain(..) {
+                    let m = &self.meta[slot as usize];
+                    heap.push(Reverse(HeapEntry {
+                        bound_bits: m.bound.to_bits(),
+                        seq: m.seq,
+                        slot,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Pops the next node into `out` (recycling its slot); returns whether
+    /// a node was available.
+    pub(crate) fn pop_into(&mut self, out: &mut PoppedNode) -> bool {
+        let slot = match &mut self.open {
+            OpenList::Dfs(stack) => match stack.pop() {
+                Some(slot) => slot,
+                None => return false,
+            },
+            OpenList::Best(heap) => match heap.pop() {
+                Some(Reverse(entry)) => entry.slot,
+                None => return false,
+            },
+        };
+        self.read_and_release(slot, out);
+        true
+    }
+
+    /// Removes up to `k` open nodes for donation to another worker: DFS
+    /// gives away the *bottom* of its stack (the shallowest, largest
+    /// subtrees), best-first gives its current best entries.
+    pub(crate) fn steal(&mut self, k: usize) -> Vec<PoppedNode> {
+        let slots: Vec<u32> = match &mut self.open {
+            OpenList::Dfs(stack) => {
+                let take = k.min(stack.len());
+                stack.drain(..take).collect()
+            }
+            OpenList::Best(heap) => {
+                let mut taken = Vec::new();
+                while taken.len() < k {
+                    match heap.pop() {
+                        Some(Reverse(entry)) => taken.push(entry.slot),
+                        None => break,
+                    }
+                }
+                taken
+            }
+        };
+        slots
+            .into_iter()
+            .map(|slot| {
+                let mut node = PoppedNode::empty(self.stride);
+                self.read_and_release(slot, &mut node);
+                node
+            })
+            .collect()
+    }
+
+    /// Copies a slot into `out` and recycles it (dropping its path Arc).
+    fn read_and_release(&mut self, slot: u32, out: &mut PoppedNode) {
+        let base = slot as usize * self.stride;
+        out.mask.clear();
+        out.mask
+            .extend_from_slice(&self.masks[base..base + self.stride]);
+        out.min_mask.clear();
+        out.min_mask
+            .extend_from_slice(&self.min_masks[base..base + self.stride]);
+        let meta = &mut self.meta[slot as usize];
+        out.cost = meta.cost;
+        out.bound = meta.bound;
+        out.edges = meta.edges;
+        out.min_prim = meta.min_prim;
+        out.path = meta.path.take();
+        self.free.push(slot);
+    }
 }
 
-/// Heap adapter ordering nodes by `(bound, seq)` ascending. Bounds are
+/// Heap adapter ordering slots by `(bound, seq)` ascending. Bounds are
 /// non-negative finite floats, so their IEEE-754 bit patterns order
 /// identically to their values.
-#[derive(Debug)]
-pub(crate) struct HeapEntry(pub(crate) SearchNode);
+#[derive(Debug, PartialEq, Eq)]
+struct HeapEntry {
+    bound_bits: u64,
+    seq: u64,
+    slot: u32,
+}
 
 impl HeapEntry {
     fn rank(&self) -> (u64, u64) {
-        (self.0.bound.to_bits(), self.0.seq)
+        (self.bound_bits, self.seq)
     }
 }
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.rank() == other.rank()
-    }
-}
-
-impl Eq for HeapEntry {}
 
 impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
@@ -182,61 +404,154 @@ impl Ord for HeapEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_graph::{DiGraph, Edge, NodeId};
 
-    fn node(bound: f64, seq: u64) -> SearchNode {
-        SearchNode {
-            remaining: DiGraph::new(1),
+    const STRIDE: usize = 1;
+
+    fn node(bound: f64, edges: u32) -> PoppedNode {
+        PoppedNode {
+            mask: vec![edges as u64; STRIDE],
+            min_mask: vec![0; STRIDE],
             cost: Cost(0.0),
-            path: None,
-            min_key: None,
             bound,
-            seq,
+            edges,
+            min_prim: None,
+            path: None,
         }
+    }
+
+    fn stage(f: &mut Frontier, bound: f64, edges: u32) {
+        let mask = vec![edges as u64; STRIDE];
+        f.stage(&mask, None, Cost(0.0), bound, edges, None);
+    }
+
+    fn pop(f: &mut Frontier) -> Option<PoppedNode> {
+        let mut out = PoppedNode::empty(STRIDE);
+        f.pop_into(&mut out).then_some(out)
     }
 
     #[test]
     fn dfs_pops_children_in_generated_order() {
-        let mut f = Frontier::new(SearchOrder::DepthFirst);
-        let mut children = vec![node(0.0, 0), node(1.0, 0), node(2.0, 0)];
-        f.extend(&mut children);
-        // Stamped seqs are 0, 1, 2 in generated order; DFS pops generated
-        // order first.
-        assert_eq!(f.pop().unwrap().bound, 0.0);
-        assert_eq!(f.pop().unwrap().bound, 1.0);
-        assert_eq!(f.pop().unwrap().bound, 2.0);
-        assert!(f.pop().is_none());
+        let mut f = Frontier::new(SearchOrder::DepthFirst, STRIDE);
+        stage(&mut f, 0.0, 10);
+        stage(&mut f, 1.0, 11);
+        stage(&mut f, 2.0, 12);
+        assert_eq!(f.len(), 0, "staged nodes are not open until commit");
+        f.commit_staged();
+        assert_eq!(f.len(), 3);
+        assert_eq!(pop(&mut f).unwrap().bound, 0.0);
+        assert_eq!(pop(&mut f).unwrap().bound, 1.0);
+        assert_eq!(pop(&mut f).unwrap().bound, 2.0);
+        assert!(pop(&mut f).is_none());
         assert_eq!(f.len(), 0);
     }
 
     #[test]
     fn best_first_pops_lowest_bound_then_oldest() {
-        let mut f = Frontier::new(SearchOrder::BestFirst);
-        f.push(node(5.0, 0)); // seq 0
-        f.push(node(2.0, 0)); // seq 1
-        f.push(node(2.0, 0)); // seq 2
-        f.push(node(9.0, 0)); // seq 3
+        let mut f = Frontier::new(SearchOrder::BestFirst, STRIDE);
+        f.push_node(node(5.0, 0)); // seq 0
+        f.push_node(node(2.0, 1)); // seq 1
+        f.push_node(node(2.0, 2)); // seq 2
+        f.push_node(node(9.0, 3)); // seq 3
         assert_eq!(f.len(), 4);
-        assert_eq!(f.pop().unwrap().seq, 1); // bound 2, oldest
-        assert_eq!(f.pop().unwrap().seq, 2); // bound 2, newer
-        assert_eq!(f.pop().unwrap().seq, 0); // bound 5
-        assert_eq!(f.pop().unwrap().seq, 3); // bound 9
+        // Equal bounds break ties oldest-first; `edges` identifies pushes.
+        assert_eq!(pop(&mut f).unwrap().edges, 1); // bound 2, oldest
+        assert_eq!(pop(&mut f).unwrap().edges, 2); // bound 2, newer
+        assert_eq!(pop(&mut f).unwrap().edges, 0); // bound 5
+        assert_eq!(pop(&mut f).unwrap().edges, 3); // bound 9
     }
 
     #[test]
-    fn seqs_are_unique_and_monotone_across_pushes() {
-        let mut f = Frontier::new(SearchOrder::BestFirst);
-        f.push(node(1.0, 0));
-        let mut batch = vec![node(1.0, 0), node(1.0, 0)];
-        f.extend(&mut batch);
-        let mut seqs: Vec<u64> = (0..3).map(|_| f.pop().unwrap().seq).collect();
-        seqs.sort_unstable();
-        assert_eq!(seqs, vec![0, 1, 2]);
+    fn slots_are_recycled_and_contents_survive_reuse() {
+        let mut f = Frontier::new(SearchOrder::DepthFirst, STRIDE);
+        f.push_node(node(1.0, 7));
+        let a = pop(&mut f).unwrap();
+        assert_eq!(a.mask, vec![7u64]);
+        // The slab should not grow: the freed slot is reused.
+        f.push_node(node(2.0, 9));
+        assert_eq!(f.meta.len(), 1);
+        let b = pop(&mut f).unwrap();
+        assert_eq!(b.mask, vec![9u64]);
+        assert_eq!(b.bound, 2.0);
+    }
+
+    #[test]
+    fn dfs_steals_from_the_stack_bottom() {
+        let mut f = Frontier::new(SearchOrder::DepthFirst, STRIDE);
+        for i in 0..4 {
+            f.push_node(node(i as f64, i));
+        }
+        // Bottom of the stack = oldest pushes = shallowest subtrees.
+        let stolen = f.steal(2);
+        assert_eq!(
+            stolen.iter().map(|n| n.edges).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(f.len(), 2);
+        // Remaining pops are unaffected LIFO.
+        assert_eq!(pop(&mut f).unwrap().edges, 3);
+        assert_eq!(pop(&mut f).unwrap().edges, 2);
+    }
+
+    #[test]
+    fn min_key_round_trips_through_the_slab() {
+        let mut f = Frontier::new(SearchOrder::DepthFirst, STRIDE);
+        let mask = vec![0b1100u64];
+        let min_mask = vec![0b0011u64];
+        f.stage(
+            &mask,
+            Some((PrimitiveId(3), &min_mask[..])),
+            Cost(1.5),
+            2.5,
+            2,
+            None,
+        );
+        f.commit_staged();
+        let n = pop(&mut f).unwrap();
+        assert_eq!(n.min_prim, Some(PrimitiveId(3)));
+        assert_eq!(n.min_mask, min_mask);
+        assert_eq!(n.mask, mask);
+        assert_eq!(n.cost, Cost(1.5));
+        assert_eq!(n.edges, 2);
+    }
+
+    /// Exhaustively checks `mask_le` against the `Vec<Edge>` comparison it
+    /// replaces, over every pair of equal-cardinality edge sets of a
+    /// 4-vertex graph (the decomposer compares same-primitive images, which
+    /// always have equal edge counts).
+    #[test]
+    fn mask_le_matches_edge_vec_ordering() {
+        let n = 4usize;
+        let valid: Vec<usize> = (0..n * n).filter(|i| i / n != i % n).collect();
+        // All 3-edge subsets of the 12 valid edge slots.
+        let mut sets: Vec<(u64, Vec<Edge>)> = Vec::new();
+        for a in 0..valid.len() {
+            for b in (a + 1)..valid.len() {
+                for c in (b + 1)..valid.len() {
+                    let bits = [valid[a], valid[b], valid[c]];
+                    let mask = bits.iter().fold(0u64, |m, &i| m | (1 << i));
+                    let mut g = DiGraph::new(n);
+                    for &i in &bits {
+                        g.add_edge(NodeId(i / n), NodeId(i % n));
+                    }
+                    sets.push((mask, g.edge_vec()));
+                }
+            }
+        }
+        for (ma, ea) in &sets {
+            for (mb, eb) in &sets {
+                assert_eq!(
+                    mask_le(&[*ma], &[*mb]),
+                    ea <= eb,
+                    "mask_le diverged on {ea:?} vs {eb:?}"
+                );
+            }
+        }
     }
 
     #[test]
     fn path_to_vec_is_root_to_leaf() {
         use noc_graph::iso::Mapping;
-        use noc_graph::NodeId;
         let m = |label: &str| Matching {
             primitive: PrimitiveId(0),
             label: label.to_string(),

@@ -27,16 +27,20 @@
 //!   with a pluggable expansion order ([`SearchOrder`]): LIFO depth-first
 //!   (reproducing the recursive search's preorder exactly, and therefore
 //!   the paper's printed decompositions) or best-first on the optimistic
-//!   bound.
+//!   bound. Open nodes are edge bitmasks in a struct-of-arrays arena, not
+//!   materialized graphs; bounds are recomputed incrementally from a
+//!   precomputed per-edge table instead of rescanning graphs.
 //! * [`cache`] — a VF2 match-enumeration cache keyed by the remaining
 //!   graph's edge bitset, so identical remaining graphs reached along
 //!   different paths never re-enumerate matchings. Hits and misses are
 //!   reported in [`SearchStats`].
-//! * [`parallel`] — the top-level fan-out runs on `rayon`-scoped worker
-//!   threads which share the incumbent best cost through an atomic, so
-//!   pruning stays global; statistics are aggregated through atomics.
-//!   Sequential and parallel searches prove the same optimum (the bound is
-//!   admissible and pruning is strict), so best costs are identical.
+//! * [`parallel`] — workers claim whole subtrees as *packets* and expand
+//!   them on private frontiers, donating shallow nodes through a shared
+//!   injector only when peers are starved; the incumbent best cost is
+//!   shared through an atomic, so pruning stays global, and statistics are
+//!   aggregated through atomics. Sequential and parallel searches prove
+//!   the same optimum (the bound is admissible and pruning is strict), so
+//!   best costs are identical.
 
 mod cache;
 mod frontier;
@@ -47,17 +51,21 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use noc_graph::{iso::Vf2, ops, Acg, BitSetKey, DiGraph, Edge};
+use noc_energy::Energy;
+use noc_graph::{
+    iso::{Mapping, Vf2},
+    Acg, BitSetKey, DiGraph, Edge, NodeId,
+};
 use noc_primitives::{CommLibrary, Primitive, PrimitiveId};
 
 use crate::{
     constraints,
-    cost::{Cost, CostModel},
+    cost::{Cost, CostModel, Objective},
     Architecture,
 };
 
 use cache::{ImageList, MatchCache};
-use frontier::{path_to_vec, Frontier, PathLink, SearchNode};
+use frontier::{mask_le, mask_subset, path_to_vec, Frontier, PathLink, PoppedNode};
 
 pub use cache::{SharedMatchCache, SizeCacheStats, WarmStart};
 
@@ -156,6 +164,28 @@ impl Decomposition {
     }
 }
 
+/// Wall-clock attribution of the search to its hot phases, collected when
+/// [`DecomposerConfig::profile_phases`] is set. Workers time each phase on
+/// thread-local counters and flush once at exit, so profiling adds only a
+/// pair of `Instant` reads per phase entry and nothing when disabled.
+///
+/// The phases partition the *accounted* time; the (small) remainder of
+/// [`SearchStats::elapsed`] is loop overhead and thread coordination.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// VF2 match enumeration, including cache probes and the canonical-cut
+    /// existence probes.
+    pub match_enum: Duration,
+    /// Matching-cost evaluation and lower-bound recomputation.
+    pub bound: Duration,
+    /// Frontier operations: pops, child staging and commits, and graph
+    /// materialization from edge masks.
+    pub frontier: Duration,
+    /// Leaf evaluation: remainder cost, constraint checks, incumbent
+    /// installs.
+    pub leaf: Duration,
+}
+
 /// Search statistics for the runtime figures (Figures 4a/4b).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SearchStats {
@@ -175,6 +205,9 @@ pub struct SearchStats {
     pub timed_out: bool,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
+    /// Per-phase wall-clock attribution; present iff
+    /// [`DecomposerConfig::profile_phases`] was set.
+    pub phases: Option<PhaseBreakdown>,
 }
 
 /// Outcome of a decomposition run.
@@ -243,6 +276,11 @@ pub struct DecomposerConfig {
     pub use_match_cache: bool,
     /// Maximum match-cache entries kept (bounds memory on huge searches).
     pub match_cache_capacity: usize,
+    /// Collect the per-phase wall-clock breakdown
+    /// ([`SearchStats::phases`]). Off by default: profiling reads the
+    /// clock around every phase entry, which is measurable on tiny
+    /// searches.
+    pub profile_phases: bool,
     /// A [`SharedMatchCache`] reused *across* runs (exploration campaigns
     /// hand one cache to every scenario). Only honored while
     /// `use_match_cache` is `true`. Cache keys are size-tagged (vertex
@@ -265,6 +303,7 @@ impl Default for DecomposerConfig {
             threads: 1,
             use_match_cache: true,
             match_cache_capacity: 1 << 16,
+            profile_phases: false,
             shared_cache: None,
         }
     }
@@ -335,15 +374,30 @@ impl<'a> Decomposer<'a> {
                 None => Arc::new(MatchCache::new(self.config.match_cache_capacity)),
             }
         });
-        let ctx = EngineCtx {
+        let vertex_count = self.acg.graph().node_count();
+        let stride = (vertex_count * vertex_count).div_ceil(64);
+        let needs_bound =
+            self.config.use_lower_bound || self.config.order == SearchOrder::BestFirst;
+        // The Links bound needs only the popcount; the energy term is
+        // rescanned per child from this table.
+        let bound_table = if needs_bound && !matches!(self.cost_model.objective(), Objective::Links)
+        {
+            self.cost_model.edge_bound_table(self.acg)
+        } else {
+            Vec::new()
+        };
+        let mut ctx = EngineCtx {
             acg: self.acg,
             library: self.library,
             cost_model: &self.cost_model,
             config: &self.config,
             deadline,
             best_ratio,
-            vertex_count: self.acg.graph().node_count(),
+            vertex_count,
+            stride,
+            bound_table,
             cache,
+            root_images: Vec::new(),
             // Counted here, not derived from the cache's cumulative
             // counters: a shared cache may serve other concurrently
             // running decomposers, whose traffic must not leak into this
@@ -352,7 +406,54 @@ impl<'a> Decomposer<'a> {
             run_cache_misses: AtomicU64::new(0),
         };
         let shared = SharedSearch::new();
-        let root = SearchNode::root(self.acg.graph().clone());
+        let root_mask = {
+            let mut words = self.acg.graph().edge_bitset().words().to_vec();
+            words.resize(stride, 0);
+            words
+        };
+        // Enumerate every primitive once on the root graph; complete lists
+        // power the subset filter (see [`RootImages`]), truncated ones fall
+        // back to per-node enumeration. Root enumerations go through the
+        // cache like any other, so warm shared-cache runs still hit.
+        ctx.root_images = {
+            let root_graph = self.acg.graph();
+            let root_key = ctx
+                .cache
+                .as_ref()
+                .map(|_| BitSetKey::from_words(root_mask.clone()));
+            let mut phases = PhaseAcc::new(self.config.profile_phases);
+            let mut table = Vec::new();
+            for (id, primitive) in self.library.iter() {
+                let pattern = primitive.representation();
+                if pattern.edge_count() > root_graph.edge_count()
+                    || pattern.node_count() > vertex_count
+                {
+                    table.push(None);
+                    continue;
+                }
+                let t = phases.start();
+                let (images, complete) =
+                    ctx.enumerate(root_graph, root_key.as_ref(), id, primitive);
+                phases.match_enum(t);
+                if !complete {
+                    table.push(None);
+                    continue;
+                }
+                let mut masks = vec![0u64; images.len() * stride];
+                for (i, (_, covered)) in images.iter().enumerate() {
+                    let row = &mut masks[i * stride..(i + 1) * stride];
+                    for e in covered {
+                        let bit = e.src.index() * vertex_count + e.dst.index();
+                        row[bit / 64] |= 1 << (bit % 64);
+                    }
+                }
+                table.push(Some(RootImages { images, masks }));
+            }
+            phases.flush(&shared);
+            table
+        };
+        let ctx = ctx;
+        let root = PoppedNode::root(root_mask, self.acg.graph().edge_count() as u32);
         let threads = match self.config.threads {
             0 => rayon::current_num_threads(),
             t => t,
@@ -360,13 +461,18 @@ impl<'a> Decomposer<'a> {
         if threads > 1 {
             parallel::run(&ctx, &shared, root, threads);
         } else {
-            run_frontier(&ctx, &shared, root);
+            let mut open = Frontier::new(self.config.order, stride);
+            open.push_node(root);
+            run_frontier(&ctx, &shared, &mut open);
         }
 
         let mut stats = shared.snapshot();
         stats.cache_hits = ctx.run_cache_hits.load(Ordering::Relaxed);
         stats.cache_misses = ctx.run_cache_misses.load(Ordering::Relaxed);
         stats.elapsed = start.elapsed();
+        if self.config.profile_phases {
+            stats.phases = Some(shared.phase_breakdown());
+        }
         DecompositionOutcome {
             best: shared.take_best(),
             stats,
@@ -385,23 +491,75 @@ pub(crate) struct EngineCtx<'a> {
     /// Vertex count of this search's graph — the size tag on every cache
     /// key (the remaining graph's vertex *set* is constant within a run).
     pub(crate) vertex_count: usize,
+    /// Words per edge mask: `(vertex_count²).div_ceil(64)`.
+    pub(crate) stride: usize,
+    /// Per-edge energy lower-bound terms indexed by edge bit (empty when
+    /// the objective needs none — see [`CostModel::lower_bound_masked`]).
+    bound_table: Vec<Energy>,
     pub(crate) cache: Option<Arc<MatchCache>>,
+    /// Per-primitive root enumerations for the subset filter (indexed by
+    /// [`PrimitiveId::index`]; `None` = fall back to per-node VF2).
+    root_images: Vec<Option<RootImages>>,
     /// This run's cache traffic (the cache's own counters are cumulative
     /// across every run sharing it).
     run_cache_hits: AtomicU64,
     run_cache_misses: AtomicU64,
 }
 
+/// A primitive's complete image list on the *root* graph, with each
+/// image's covered-edge bitmask precomputed.
+///
+/// Matching is monomorphic and the vertex set never changes, so the images
+/// of a primitive in any remaining graph are exactly the root images whose
+/// covered edges all survive — an enumeration anywhere in the tree is a
+/// subset *filter* of this list, not a fresh VF2 run. Filtering preserves
+/// the enumeration order (VF2 visits mappings in a fixed lexicographic
+/// order and deduplication keeps first occurrences, so a subset keeps its
+/// relative order), which keeps capped searches bit-identical to per-node
+/// enumeration. Only complete root enumerations are stored: a cap- or
+/// deadline-truncated list could hide images a deeper node still has.
+struct RootImages {
+    images: ImageList,
+    /// Flat covered-edge masks, `stride` words per image, parallel to
+    /// `images`.
+    masks: Vec<u64>,
+}
+
 impl EngineCtx<'_> {
+    /// Builds the remaining graph a node's edge mask describes (bit
+    /// `src * n + dst`, matching [`DiGraph::edge_bitset`]).
+    pub(crate) fn materialize(&self, mask: &[u64]) -> DiGraph {
+        let n = self.vertex_count;
+        let mut g = DiGraph::new(n);
+        for (w, &word) in mask.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                let idx = w * 64 + b;
+                g.add_edge(NodeId(idx / n), NodeId(idx % n));
+                bits &= bits - 1;
+            }
+        }
+        g
+    }
+
+    /// The admissible completion bound of a child's edge mask.
+    fn masked_bound(&self, mask: &[u64], edges: u32) -> Cost {
+        self.cost_model
+            .lower_bound_masked(mask, edges as usize, &self.bound_table, self.best_ratio)
+    }
+
     /// Distinct images of `primitive`'s representation in `remaining`,
-    /// served from the match cache when possible.
+    /// served from the match cache when possible. The flag reports whether
+    /// the enumeration is complete (cache entries always are; a fresh run
+    /// may be truncated by the raw-match cap or the deadline).
     fn enumerate(
         &self,
         remaining: &DiGraph,
         key: Option<&BitSetKey>,
         id: PrimitiveId,
         primitive: &Primitive,
-    ) -> ImageList {
+    ) -> (ImageList, bool) {
         let pattern = primitive.representation();
         if let (Some(cache), Some(key)) = (self.cache.as_ref(), key) {
             // The arity argument guards against an in-process cache
@@ -410,7 +568,7 @@ impl EngineCtx<'_> {
             // the cache and counted as a miss, never consumed.
             if let Some(hit) = cache.get(self.vertex_count, key, id, pattern.node_count()) {
                 self.run_cache_hits.fetch_add(1, Ordering::Relaxed);
-                return hit;
+                return (hit, true);
             }
             self.run_cache_misses.fetch_add(1, Ordering::Relaxed);
         }
@@ -444,7 +602,7 @@ impl EngineCtx<'_> {
                 );
             }
         }
-        images
+        (images, complete)
     }
 }
 
@@ -460,6 +618,9 @@ pub(crate) struct SharedSearch {
     branches_pruned: AtomicU64,
     constraint_rejections: AtomicU64,
     timed_out: AtomicBool,
+    /// Phase nanoseconds, summed across workers at flush time (zero unless
+    /// profiling is on).
+    phase_ns: [AtomicU64; 4],
 }
 
 impl SharedSearch {
@@ -472,6 +633,18 @@ impl SharedSearch {
             branches_pruned: AtomicU64::new(0),
             constraint_rejections: AtomicU64::new(0),
             timed_out: AtomicBool::new(false),
+            phase_ns: [const { AtomicU64::new(0) }; 4],
+        }
+    }
+
+    /// The aggregated phase breakdown (meaningful only when profiling ran).
+    fn phase_breakdown(&self) -> PhaseBreakdown {
+        let ns = |i: usize| Duration::from_nanos(self.phase_ns[i].load(Ordering::Relaxed));
+        PhaseBreakdown {
+            match_enum: ns(0),
+            bound: ns(1),
+            frontier: ns(2),
+            leaf: ns(3),
         }
     }
 
@@ -519,6 +692,7 @@ impl SharedSearch {
             cache_misses: 0,
             timed_out: self.timed_out.load(Ordering::Relaxed),
             elapsed: Duration::default(),
+            phases: None,
         }
     }
 
@@ -527,15 +701,99 @@ impl SharedSearch {
     }
 }
 
-/// Runs the iterative engine over the subtree rooted at `root` until the
-/// frontier drains (or the deadline fires, salvaging the current path as a
-/// leaf). Used directly for sequential runs and per-worker for parallel
-/// runs.
-pub(crate) fn run_frontier(ctx: &EngineCtx<'_>, shared: &SharedSearch, root: SearchNode) {
-    let mut open = Frontier::new(ctx.config.order);
-    open.push(root);
-    let mut children: Vec<SearchNode> = Vec::new();
-    while let Some(node) = open.pop() {
+/// Per-worker phase timers: nanoseconds accumulate thread-locally and
+/// flush to [`SharedSearch`] once at worker exit. When disabled, every
+/// call is a no-op on a `None` (no clock reads).
+pub(crate) struct PhaseAcc {
+    enabled: bool,
+    /// match_enum, bound, frontier, leaf — indexed like
+    /// [`SharedSearch::phase_ns`].
+    ns: [u64; 4],
+}
+
+impl PhaseAcc {
+    pub(crate) fn new(enabled: bool) -> Self {
+        PhaseAcc {
+            enabled,
+            ns: [0; 4],
+        }
+    }
+
+    /// Starts a phase interval (reads the clock only when profiling).
+    #[inline]
+    pub(crate) fn start(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    #[inline]
+    fn add(&mut self, i: usize, t: Option<Instant>) {
+        if let Some(t) = t {
+            self.ns[i] += t.elapsed().as_nanos() as u64;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn match_enum(&mut self, t: Option<Instant>) {
+        self.add(0, t);
+    }
+
+    #[inline]
+    pub(crate) fn bound(&mut self, t: Option<Instant>) {
+        self.add(1, t);
+    }
+
+    #[inline]
+    pub(crate) fn frontier(&mut self, t: Option<Instant>) {
+        self.add(2, t);
+    }
+
+    #[inline]
+    pub(crate) fn leaf(&mut self, t: Option<Instant>) {
+        self.add(3, t);
+    }
+
+    /// Adds this worker's counters to the shared totals.
+    pub(crate) fn flush(&self, shared: &SharedSearch) {
+        if !self.enabled {
+            return;
+        }
+        for (i, &ns) in self.ns.iter().enumerate() {
+            shared.phase_ns[i].fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Reusable per-worker mask buffers for [`expand`].
+pub(crate) struct ExpandScratch {
+    /// The candidate image's covered edges.
+    covered: Vec<u64>,
+    /// The child's remaining edges (`parent & !covered`).
+    child: Vec<u64>,
+}
+
+impl ExpandScratch {
+    pub(crate) fn new(stride: usize) -> Self {
+        ExpandScratch {
+            covered: vec![0; stride],
+            child: vec![0; stride],
+        }
+    }
+}
+
+/// Runs the iterative engine until `open` drains (or the deadline fires,
+/// salvaging the current path as a leaf). Used directly for sequential
+/// runs; the parallel driver runs its own per-packet variant of this loop.
+pub(crate) fn run_frontier(ctx: &EngineCtx<'_>, shared: &SharedSearch, open: &mut Frontier) {
+    let mut phases = PhaseAcc::new(ctx.config.profile_phases);
+    let mut node = PoppedNode::empty(ctx.stride);
+    let mut scratch = ExpandScratch::new(ctx.stride);
+    loop {
+        let t = phases.start();
+        let popped = open.pop_into(&mut node);
+        phases.frontier(t);
+        if !popped {
+            break;
+        }
         // Re-test the bound at pop time: the incumbent may have improved
         // since this node was generated.
         if ctx.config.use_lower_bound && node.bound >= shared.best_cost() {
@@ -543,82 +801,163 @@ pub(crate) fn run_frontier(ctx: &EngineCtx<'_>, shared: &SharedSearch, root: Sea
             continue;
         }
         shared.nodes_visited.fetch_add(1, Ordering::Relaxed);
+        let t = phases.start();
+        let remaining = ctx.materialize(&node.mask);
+        phases.frontier(t);
         if shared.out_of_time(ctx.deadline) {
             // Salvage: evaluate the current path as if it were a leaf so a
             // timed-out search still returns something useful.
-            consider_leaf(ctx, shared, &node.remaining, node.cost, &node.path);
-            return;
+            let t = phases.start();
+            consider_leaf(ctx, shared, &remaining, node.cost, &node.path);
+            phases.leaf(t);
+            break;
         }
-        children.clear();
-        let found_match = expand(ctx, shared, &node, &mut children);
+        let found_match = expand(
+            ctx,
+            shared,
+            &node,
+            &remaining,
+            open,
+            &mut scratch,
+            &mut phases,
+        );
         if !found_match {
-            consider_leaf(ctx, shared, &node.remaining, node.cost, &node.path);
-            continue;
+            let t = phases.start();
+            consider_leaf(ctx, shared, &remaining, node.cost, &node.path);
+            phases.leaf(t);
         }
-        open.extend(&mut children);
     }
+    phases.flush(shared);
 }
 
-/// Generates a node's children; returns whether *any* primitive matches
-/// the remaining graph (Figure 3's leaf test — primitives below the
-/// canonical ordering cut count toward leaf detection but produce no
-/// children).
+/// Expands a node — staging its children onto `open` and committing them
+/// as one batch — and returns whether *any* primitive matches the
+/// remaining graph (Figure 3's leaf test — primitives below the canonical
+/// ordering cut count toward leaf detection but produce no children).
+/// `remaining` must be the graph `node.mask` describes.
 pub(crate) fn expand(
     ctx: &EngineCtx<'_>,
     shared: &SharedSearch,
-    node: &SearchNode,
-    children: &mut Vec<SearchNode>,
+    node: &PoppedNode,
+    remaining: &DiGraph,
+    open: &mut Frontier,
+    scratch: &mut ExpandScratch,
+    phases: &mut PhaseAcc,
 ) -> bool {
-    let key = ctx.cache.as_ref().map(|_| node.remaining.edge_key());
+    let n = ctx.vertex_count;
+    let stride = ctx.stride;
+    let ExpandScratch { covered, child } = scratch;
+    // Only primitives without a complete root enumeration hit the cache,
+    // so the per-node key is built lazily.
+    let mut key: Option<BitSetKey> = None;
     let mut found_match = false;
     for (id, primitive) in ctx.library.iter() {
         let pattern = primitive.representation();
-        if pattern.edge_count() > node.remaining.edge_count()
-            || pattern.node_count() > node.remaining.node_count()
-        {
+        if pattern.edge_count() > node.edges as usize || pattern.node_count() > n {
             continue;
         }
-        let below_cut = node
-            .min_key
-            .as_ref()
-            .is_some_and(|(min_id, _)| id < *min_id);
+        let below_cut = node.min_prim.is_some_and(|min_id| id < min_id);
+        let root_set = ctx.root_images[id.index()].as_ref();
         if below_cut {
-            // Existence only. A cached enumeration answers for free;
-            // otherwise run a first-match probe (cheaper than enumerating,
-            // so the probe result is not cached).
+            // Existence only: a root image surviving in `node.mask` (or,
+            // on the fallback path, a cached enumeration or a first-match
+            // probe — cheaper than enumerating, so it is not cached).
             if !found_match {
-                let cached = ctx
-                    .cache
-                    .as_ref()
-                    .zip(key.as_ref())
-                    .and_then(|(cache, key)| {
-                        cache.peek(ctx.vertex_count, key, id, pattern.node_count())
-                    });
-                found_match = match cached {
-                    Some(images) => !images.is_empty(),
+                let t = phases.start();
+                found_match = match root_set {
+                    Some(set) => set
+                        .masks
+                        .chunks_exact(stride)
+                        .any(|m| mask_subset(m, &node.mask)),
                     None => {
-                        let mut probe = Vf2::new(pattern, &node.remaining);
-                        if let Some(d) = ctx.deadline {
-                            probe = probe.deadline(d);
+                        if ctx.cache.is_some() && key.is_none() {
+                            key = Some(BitSetKey::from_words(node.mask.clone()));
                         }
-                        probe.exists()
+                        let cached =
+                            ctx.cache
+                                .as_ref()
+                                .zip(key.as_ref())
+                                .and_then(|(cache, key)| {
+                                    cache.peek(ctx.vertex_count, key, id, pattern.node_count())
+                                });
+                        match cached {
+                            Some(images) => !images.is_empty(),
+                            None => {
+                                let mut probe = Vf2::new(pattern, remaining);
+                                if let Some(d) = ctx.deadline {
+                                    probe = probe.deadline(d);
+                                }
+                                probe.exists()
+                            }
+                        }
                     }
                 };
+                phases.match_enum(t);
             }
             continue;
-        }
-        let images = ctx.enumerate(&node.remaining, key.as_ref(), id, primitive);
-        if !images.is_empty() {
-            found_match = true;
         }
         // Filter by the canonical key first, then apply the per-level
         // cap, so capped searches still advance past the parent's image.
         let mut considered = 0usize;
-        for (mapping, covered) in images.iter() {
-            if let Some((min_id, min_image)) = &node.min_key {
-                if id == *min_id && covered <= min_image {
+        if let Some(set) = root_set {
+            // Fast path: the node's images are the root images whose
+            // covered edges all survive, in root-enumeration order.
+            let mut t = phases.start();
+            for (i, (mapping, covered)) in set.images.iter().enumerate() {
+                let covered_mask = &set.masks[i * stride..(i + 1) * stride];
+                if !mask_subset(covered_mask, &node.mask) {
                     continue;
                 }
+                found_match = true;
+                if node.min_prim == Some(id) && mask_le(covered_mask, &node.min_mask) {
+                    continue;
+                }
+                if ctx
+                    .config
+                    .max_matches_per_level
+                    .is_some_and(|cap| considered >= cap)
+                {
+                    break;
+                }
+                considered += 1;
+                phases.match_enum(t);
+                stage_image(
+                    ctx,
+                    shared,
+                    node,
+                    open,
+                    phases,
+                    id,
+                    primitive,
+                    mapping,
+                    covered_mask,
+                    covered.len() as u32,
+                    child,
+                );
+                t = phases.start();
+            }
+            phases.match_enum(t);
+            continue;
+        }
+        // Fallback: the root enumeration was truncated (raw-match cap or
+        // deadline), so this primitive enumerates per node.
+        if ctx.cache.is_some() && key.is_none() {
+            key = Some(BitSetKey::from_words(node.mask.clone()));
+        }
+        let t = phases.start();
+        let (images, _) = ctx.enumerate(remaining, key.as_ref(), id, primitive);
+        phases.match_enum(t);
+        if !images.is_empty() {
+            found_match = true;
+        }
+        for (mapping, covered_edges) in images.iter() {
+            covered.fill(0);
+            for e in covered_edges {
+                let bit = e.src.index() * n + e.dst.index();
+                covered[bit / 64] |= 1u64 << (bit % 64);
+            }
+            if node.min_prim == Some(id) && mask_le(covered, &node.min_mask) {
+                continue;
             }
             if ctx
                 .config
@@ -628,48 +967,78 @@ pub(crate) fn expand(
                 break;
             }
             considered += 1;
-            let m_cost = ctx.cost_model.matching_cost(primitive, mapping, ctx.acg);
-            let next = ops::subtract_edges(&node.remaining, covered.iter().copied())
-                .expect("matched image is a subgraph of the remaining graph");
-            let new_cost = node.cost.saturating_add(m_cost);
-            let bound = if ctx.config.use_lower_bound || ctx.config.order == SearchOrder::BestFirst
-            {
-                new_cost
-                    .saturating_add(ctx.cost_model.lower_bound(&next, ctx.acg, ctx.best_ratio))
-                    .value()
-            } else {
-                new_cost.value()
-            };
-            if ctx.config.use_lower_bound && bound >= shared.best_cost() {
-                shared.branches_pruned.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            let link = Arc::new(PathLink {
-                matching: Matching {
-                    primitive: id,
-                    label: primitive.label().to_string(),
-                    mapping: mapping.clone(),
-                    cost: m_cost,
-                },
-                parent: node.path.clone(),
-            });
-            let min_key = if ctx.config.use_canonical_ordering {
-                Some((id, covered.clone()))
-            } else {
-                None
-            };
-            children.push(SearchNode {
-                remaining: next,
-                cost: new_cost,
-                path: Some(link),
-                min_key,
-                bound,
-                // Stamped with the real insertion index by the frontier.
-                seq: 0,
-            });
+            stage_image(
+                ctx,
+                shared,
+                node,
+                open,
+                phases,
+                id,
+                primitive,
+                mapping,
+                covered,
+                covered_edges.len() as u32,
+                child,
+            );
         }
     }
+    let t = phases.start();
+    open.commit_staged();
+    phases.frontier(t);
     found_match
+}
+
+/// Stages one matched image as a child of `node`: matching cost, child
+/// mask, completion bound, prune against the incumbent, path link.
+#[allow(clippy::too_many_arguments)]
+fn stage_image(
+    ctx: &EngineCtx<'_>,
+    shared: &SharedSearch,
+    node: &PoppedNode,
+    open: &mut Frontier,
+    phases: &mut PhaseAcc,
+    id: PrimitiveId,
+    primitive: &Primitive,
+    mapping: &Mapping,
+    covered_mask: &[u64],
+    covered_count: u32,
+    child: &mut [u64],
+) {
+    let t = phases.start();
+    let m_cost = ctx.cost_model.matching_cost(primitive, mapping, ctx.acg);
+    for (c, (&parent, &cov)) in child.iter_mut().zip(node.mask.iter().zip(covered_mask)) {
+        *c = parent & !cov;
+    }
+    let child_edges = node.edges - covered_count;
+    let new_cost = node.cost.saturating_add(m_cost);
+    let bound = if ctx.config.use_lower_bound || ctx.config.order == SearchOrder::BestFirst {
+        new_cost
+            .saturating_add(ctx.masked_bound(child, child_edges))
+            .value()
+    } else {
+        new_cost.value()
+    };
+    phases.bound(t);
+    if ctx.config.use_lower_bound && bound >= shared.best_cost() {
+        shared.branches_pruned.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let link = Arc::new(PathLink {
+        matching: Matching {
+            primitive: id,
+            label: primitive.label().to_string(),
+            mapping: mapping.clone(),
+            cost: m_cost,
+        },
+        parent: node.path.clone(),
+    });
+    let min_key = ctx
+        .config
+        .use_canonical_ordering
+        .then_some((id, covered_mask));
+    let t = phases.start();
+    open.stage(child, min_key, new_cost, bound, child_edges, Some(link));
+    phases.frontier(t);
 }
 
 /// Evaluates a completed path (no primitive matches, or the deadline
@@ -952,11 +1321,14 @@ mod tests {
     }
 
     #[test]
-    fn match_cache_hits_when_paths_reconverge() {
+    fn reconverging_paths_do_not_re_enumerate() {
         // With canonical sibling ordering off, permutations of the same
         // matching set reach identical remaining graphs along different
-        // paths — exactly what the match cache absorbs.
+        // paths. The root-image subset filter absorbs the blowup: VF2
+        // runs once per primitive on the root graph, so the permutation
+        // explosion multiplies node visits but not enumerations.
         let acg = fig5();
+        let canonical = run_with(&acg, DecomposerConfig::default());
         let out = run_with(
             &acg,
             DecomposerConfig {
@@ -966,9 +1338,14 @@ mod tests {
         );
         assert!(out.best.is_some());
         assert!(
-            out.stats.cache_hits > 0,
-            "expected cache hits, stats: {:?}",
-            out.stats
+            out.stats.nodes_visited > canonical.stats.nodes_visited,
+            "expected a permutation blowup: {:?} vs {:?}",
+            out.stats,
+            canonical.stats
+        );
+        assert_eq!(
+            out.stats.cache_misses, canonical.stats.cache_misses,
+            "enumeration count must not scale with the blowup"
         );
     }
 

@@ -16,33 +16,40 @@ fn grid_cost_model(acg: &Acg) -> CostModel {
     )
 }
 
-fn engine_configs() -> Vec<(&'static str, DecomposerConfig)> {
-    vec![
-        ("sequential dfs", DecomposerConfig::default()),
-        (
-            "best-first",
-            DecomposerConfig {
-                order: SearchOrder::BestFirst,
-                ..DecomposerConfig::default()
-            },
-        ),
-        (
-            "parallel dfs",
-            DecomposerConfig {
-                threads: 0,
-                ..DecomposerConfig::default()
-            },
-        ),
-        (
-            "parallel best-first, no cache",
-            DecomposerConfig {
-                threads: 4,
-                order: SearchOrder::BestFirst,
-                use_match_cache: false,
-                ..DecomposerConfig::default()
-            },
-        ),
-    ]
+fn engine_configs() -> Vec<(String, DecomposerConfig)> {
+    // The full matrix: every configured worker count (1 = the sequential
+    // engine, >1 = the packet driver) under both expansion orders, plus
+    // the hardware-sized pool and a cache-less run.
+    let mut configs = Vec::new();
+    for threads in [1usize, 2, 4] {
+        for order in [SearchOrder::DepthFirst, SearchOrder::BestFirst] {
+            configs.push((
+                format!("threads {threads}, {order:?}"),
+                DecomposerConfig {
+                    threads,
+                    order,
+                    ..DecomposerConfig::default()
+                },
+            ));
+        }
+    }
+    configs.push((
+        "hardware-sized pool".to_string(),
+        DecomposerConfig {
+            threads: 0,
+            ..DecomposerConfig::default()
+        },
+    ));
+    configs.push((
+        "parallel best-first, no cache".to_string(),
+        DecomposerConfig {
+            threads: 4,
+            order: SearchOrder::BestFirst,
+            use_match_cache: false,
+            ..DecomposerConfig::default()
+        },
+    ));
+    configs
 }
 
 /// Runs every engine mode on `acg`; asserts identical best costs and a
@@ -79,6 +86,12 @@ fn engines_agree_on_fig5() {
     let cost = assert_engines_agree(&pajek::fig5_benchmark());
     // The paper's Figure 5 decomposition: 1 MGG4 + 1 G124 + 3 G123 over 4
     // physical links each... under Links the printed optimum is 17.
+    assert!(cost.is_finite());
+}
+
+#[test]
+fn engines_agree_on_automotive() {
+    let cost = assert_engines_agree(&noc::workloads::automotive_18());
     assert!(cost.is_finite());
 }
 
