@@ -12,6 +12,13 @@
 //! spread is ~3e-4, which `{:.6}`-style truncation can squash toward an
 //! indistinguishable-from-degenerate `0.000000`.
 //!
+//! Rows follow `BENCH_decompose.json`'s labeling: each records the
+//! configured `threads`, the `hardware_threads` it actually ran on, and
+//! a `mode` label — there is deliberately no headline `speedup` column,
+//! because on a single-core container a "parallel" campaign measures
+//! driver overhead, not scaling (the per-row `vs_seq` ratio should sit
+//! near 1.0 there).
+//!
 //! Writes `BENCH_explore.json` at the repository root.
 //!
 //! Run with: `cargo bench --bench explore_campaign`
@@ -73,8 +80,16 @@ fn main() {
         sequential.hypervolume
     );
 
+    // `threads: 0` resolves to one worker per hardware thread; on a
+    // single-core box that is the sequential inline path, so label it
+    // honestly instead of implying a parallel measurement.
+    let par_mode = if hardware_threads == 1 {
+        "sequential"
+    } else {
+        "parallel"
+    };
     let json = format!(
-        "{{\n  \"bench\": \"explore_campaign\",\n  \"grid\": \"smoke\",\n  \"flows_per_campaign\": {flows},\n  \"hardware_threads\": {hardware_threads},\n  \"unit\": \"flows_per_second\",\n  \"front\": {{\"size\": {}, \"hypervolume\": {}, \"spread\": {}}},\n  \"sampled\": {{\"policy\": \"{}\", \"budget\": {}, \"flows_spent\": {}, \"rounds\": {}, \"hypervolume\": {}, \"full_grid_fraction\": {:.6}}},\n  \"results\": [\n    {{\"threads\": 1, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}},\n    {{\"threads\": {hardware_threads}, \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}}\n  ],\n  \"speedup\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"explore_campaign\",\n  \"grid\": \"smoke\",\n  \"flows_per_campaign\": {flows},\n  \"hardware_threads\": {hardware_threads},\n  \"unit\": \"flows_per_second\",\n  \"front\": {{\"size\": {}, \"hypervolume\": {}, \"spread\": {}}},\n  \"sampled\": {{\"policy\": \"{}\", \"budget\": {}, \"flows_spent\": {}, \"rounds\": {}, \"hypervolume\": {}, \"full_grid_fraction\": {:.6}}},\n  \"results\": [\n    {{\"threads\": 1, \"hardware_threads\": {hardware_threads}, \"mode\": \"sequential\", \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}},\n    {{\"threads\": {hardware_threads}, \"hardware_threads\": {hardware_threads}, \"mode\": \"{par_mode}\", \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}, \"vs_seq\": {:.3}}}\n  ]\n}}\n",
         sequential.front.len(),
         sequential.hypervolume,
         sequential.spread,

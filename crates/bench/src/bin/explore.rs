@@ -5,19 +5,21 @@
 //!
 //! ```text
 //! explore [run] [--smoke | --full] [--threads N] [--out PATH] [--stream]
-//!               [--resume PATH] [--cache PATH]
+//!               [--resume PATH] [--cache PATH] [--trace PATH]
 //! explore sample --budget N [--policy bandit|halving] [--seed S]
 //!               [--smoke | --full] [--threads N] [--out PATH] [--stream]
+//!               [--trace PATH]
 //! explore shard --index I --of K [--mode modulo|range]
 //!               [--smoke | --full] [--threads N] [--out PATH] [--stream]
 //!               [--cache PATH]
 //! explore merge --out PATH REPORT...
 //! explore coordinate --workers N [--deadline SECS] [--cache PATH]
-//!               [--work-dir DIR] [--chaos-kill-first]
-//!               [--smoke | --full] [--threads N] [--out PATH]
+//!               [--work-dir DIR] [--chaos-kill-first] [--verbose]
+//!               [--smoke | --full] [--threads N] [--out PATH] [--trace PATH]
 //! explore worker --ids I,J,... --stream-out PATH --out PATH
 //!               [--cache-in PATH] [--cache-out PATH] [--stall-ms MS]
 //!               [--smoke | --full] [--threads N]
+//! explore events [--summarize] PATH
 //! ```
 //!
 //! * `run` (default subcommand) — plan and execute a grid. With
@@ -70,6 +72,18 @@
 //!   points.jsonl`, then `--resume points.jsonl` after a kill). All
 //!   human-readable progress text moves to stderr so the captured stream
 //!   stays pure JSON Lines.
+//! * `--trace PATH` (`run`, `sample`, `coordinate`) — record the
+//!   structured telemetry event stream (spans, counters, lifecycle
+//!   events — see the `noc-telemetry` crate) and write it to `PATH` as
+//!   JSON Lines when the main campaign finishes. The trace covers the
+//!   requested campaign only, not the smoke acceptance gates that re-run
+//!   extra in-process campaigns afterwards. Under `coordinate` the trace
+//!   holds the coordinator's wave lifecycle (deal/complete/kill/salvage/
+//!   re-deal) — worker processes run untraced.
+//! * `events [--summarize] PATH` — read a trace back: validate it and
+//!   report its size, or render the phase-time/counter table with
+//!   `--summarize`.
+//! * `coordinate --verbose` — narrate wave lifecycle to stderr live.
 
 use std::process::ExitCode;
 
@@ -128,6 +142,9 @@ struct CommonArgs {
     /// `run` and `shard`; `coordinate` parses its own `--cache` (the
     /// coordinator owns the file), and `sample` rejects it.
     cache: Option<String>,
+    /// Telemetry trace output (`--trace`), honored by `run`, `sample`
+    /// and `coordinate`.
+    trace: Option<String>,
 }
 
 fn main() -> ExitCode {
@@ -138,6 +155,7 @@ fn main() -> ExitCode {
         Some("sample") => ("sample", &args[1..]),
         Some("coordinate") => ("coordinate", &args[1..]),
         Some("worker") => ("worker", &args[1..]),
+        Some("events") => ("events", &args[1..]),
         Some("run") => ("run", &args[1..]),
         _ => ("run", &args[..]),
     };
@@ -147,6 +165,7 @@ fn main() -> ExitCode {
         "sample" => sample_command(rest),
         "coordinate" => coordinate_command(rest),
         "worker" => worker_command(rest),
+        "events" => events_command(rest),
         _ => run_command(rest),
     }
 }
@@ -171,6 +190,10 @@ fn parse_common(
         "--cache" => match iter.next() {
             Some(path) => common.cache = Some(path.clone()),
             None => return Err(usage("--cache needs a path")),
+        },
+        "--trace" => match iter.next() {
+            Some(path) => common.trace = Some(path.clone()),
+            None => return Err(usage("--trace needs a path")),
         },
         _ => return Ok(false),
     }
@@ -237,7 +260,9 @@ fn run_command(args: &[String]) -> ExitCode {
         thread_label(common.threads),
     );
 
+    let tel = install_trace(&common);
     let report = execute(&campaign, plan, common.stream, common.cache.as_ref());
+    write_trace(&common, tel, common.stream);
 
     // The acceptance gates run on a fresh smoke campaign only: a resume
     // must never cost a full re-run just to check itself (CI asserts the
@@ -305,12 +330,14 @@ fn sample_command(args: &[String]) -> ExitCode {
         seed,
         thread_label(common.threads),
     );
+    let tel = install_trace(&common);
     let report = if common.stream {
         let mut sink = JsonLinesSink::new(std::io::stdout(), ObjectiveKind::DEFAULT.to_vec());
         campaign.run_sampled_with_sink(&config, &mut sink)
     } else {
         campaign.run_sampled(&config)
     };
+    write_trace(&common, tel, common.stream);
 
     let provenance = report.sampler.as_ref().expect("sampled report provenance");
     for round in &provenance.rounds {
@@ -433,6 +460,7 @@ fn coordinate_command(args: &[String]) -> ExitCode {
     let mut deadline_secs = 60.0f64;
     let mut work_dir = "EXPLORE_coordinate".to_string();
     let mut chaos = false;
+    let mut verbose = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match parse_common(arg, &mut iter, &mut common) {
@@ -454,6 +482,7 @@ fn coordinate_command(args: &[String]) -> ExitCode {
                 None => return usage("--work-dir needs a path"),
             },
             "--chaos-kill-first" => chaos = true,
+            "--verbose" => verbose = true,
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
@@ -470,7 +499,8 @@ fn coordinate_command(args: &[String]) -> ExitCode {
     let campaign = Campaign::new(grid).threads(common.threads);
     let mut config = CoordinatorConfig::new(workers)
         .deadline(std::time::Duration::from_secs_f64(deadline_secs))
-        .work_dir(&work_dir);
+        .work_dir(&work_dir)
+        .verbose(verbose);
     if let Some(cache) = &cache {
         config = config.cache_path(cache);
     }
@@ -504,6 +534,7 @@ fn coordinate_command(args: &[String]) -> ExitCode {
         },
         if chaos { ", chaos: kill worker 0" } else { "" },
     );
+    let tel = install_trace(&common);
     let report = match coordinate(&campaign, &config, &mut transport) {
         Ok(report) => report,
         Err(e) => {
@@ -511,6 +542,7 @@ fn coordinate_command(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    write_trace(&common, tel, false);
 
     let provenance = report.coordinator.as_ref().expect("coordinator provenance");
     for wave in &provenance.waves {
@@ -708,6 +740,72 @@ fn merge_command(args: &[String]) -> ExitCode {
     write_report(&out, &merged, false)
 }
 
+fn events_command(args: &[String]) -> ExitCode {
+    let mut summarize = false;
+    let mut path: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--summarize" => summarize = true,
+            p if !p.starts_with("--") => path = Some(p.to_string()),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("events needs a trace path");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match noc_telemetry::read_jsonl(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: corrupt trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = noc_telemetry::summarize(&events);
+    if summarize {
+        print!("{}", summary.render());
+    } else {
+        println!(
+            "{path}: {} event(s), {} span name(s), {} counter(s), {} dropped",
+            summary.events,
+            summary.spans.len(),
+            summary.counters.len(),
+            summary.dropped,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Installs the process-wide recording telemetry handle when `--trace`
+/// was given. Must run before the campaign; the handle is returned for
+/// [`write_trace`] at the end.
+fn install_trace(common: &CommonArgs) -> Option<&'static noc_telemetry::Telemetry> {
+    common.trace.as_ref()?;
+    noc_telemetry::install(noc_telemetry::Telemetry::recording());
+    noc_telemetry::active()
+}
+
+/// Drains the trace and writes it as JSON Lines. Called right after the
+/// main campaign returns — *before* the smoke acceptance gates, which
+/// re-run extra in-process campaigns that would pollute the stream.
+fn write_trace(common: &CommonArgs, tel: Option<&noc_telemetry::Telemetry>, stream: bool) {
+    let (Some(path), Some(tel)) = (common.trace.as_ref(), tel) else {
+        return;
+    };
+    let trace = tel.take_trace();
+    if let Err(e) = std::fs::write(path, noc_telemetry::write_jsonl(&trace)) {
+        eprintln!("warning: cannot write trace {path}: {e}");
+        return;
+    }
+    note!(stream, "wrote trace {path} ({} event(s))", trace.len());
+}
+
 /// Reads a report back: the full JSON form, or — for streams left behind
 /// by a killed campaign — JSON Lines under the default objective vector.
 fn load_report(path: &str) -> Result<CampaignReport, String> {
@@ -838,6 +936,21 @@ fn print_summary(report: &CampaignReport, stream: bool) {
             .map(|c| format!("n={}: {}h/{}m", c.vertex_count, c.hits, c.misses))
             .collect();
         note!(stream, "match cache by size: {}", rows.join("  "));
+        let (hits, misses, warm_hits) = report
+            .match_cache
+            .iter()
+            .fold((0u64, 0u64, 0u64), |(h, m, w), c| {
+                (h + c.hits, m + c.misses, w + c.warm_hits)
+            });
+        let lookups = hits + misses;
+        if lookups > 0 {
+            note!(
+                stream,
+                "match cache total: {:.1}% hit rate ({hits} hit(s) / {misses} miss(es)), \
+                 {warm_hits} warm hit(s)",
+                100.0 * hits as f64 / lookups as f64,
+            );
+        }
     }
     note!(
         stream,
@@ -889,11 +1002,12 @@ fn thread_label(threads: usize) -> String {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
-    eprintln!("usage: explore [run] [--smoke | --full] [--threads N] [--out PATH] [--stream] [--resume PATH] [--cache PATH]");
-    eprintln!("       explore sample --budget N [--policy bandit|halving] [--seed S] [--smoke | --full] [--threads N] [--out PATH]");
+    eprintln!("usage: explore [run] [--smoke | --full] [--threads N] [--out PATH] [--stream] [--resume PATH] [--cache PATH] [--trace PATH]");
+    eprintln!("       explore sample --budget N [--policy bandit|halving] [--seed S] [--smoke | --full] [--threads N] [--out PATH] [--trace PATH]");
     eprintln!("       explore shard --index I --of K [--mode modulo|range] [--smoke | --full] [--threads N] [--out PATH] [--cache PATH]");
     eprintln!("       explore merge --out PATH REPORT...");
-    eprintln!("       explore coordinate --workers N [--deadline SECS] [--cache PATH] [--work-dir DIR] [--chaos-kill-first] [--smoke | --full] [--threads N] [--out PATH]");
+    eprintln!("       explore coordinate --workers N [--deadline SECS] [--cache PATH] [--work-dir DIR] [--chaos-kill-first] [--verbose] [--smoke | --full] [--threads N] [--out PATH] [--trace PATH]");
     eprintln!("       explore worker --ids I,J,... --stream-out PATH --out PATH [--cache-in PATH] [--cache-out PATH] [--stall-ms MS] [--smoke | --full] [--threads N]");
+    eprintln!("       explore events [--summarize] PATH");
     ExitCode::from(2)
 }

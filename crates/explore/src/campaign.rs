@@ -56,6 +56,7 @@ use std::time::Instant;
 use noc::prelude::*;
 use noc::sim::sweep;
 use noc::FlowResult;
+use noc_telemetry::Telemetry;
 
 use crate::pareto::ObjectiveKind;
 use crate::report::{
@@ -198,6 +199,9 @@ pub struct Campaign {
     threads: usize,
     share_synthesis: bool,
     pub(crate) share_match_cache: bool,
+    /// Explicit telemetry override; `None` falls back to the process-wide
+    /// handle ([`noc_telemetry::active`]).
+    telemetry: Option<Telemetry>,
 }
 
 impl Campaign {
@@ -211,6 +215,7 @@ impl Campaign {
             threads: 1,
             share_synthesis: true,
             share_match_cache: true,
+            telemetry: None,
         }
     }
 
@@ -266,6 +271,25 @@ impl Campaign {
     pub fn share_match_cache(mut self, share: bool) -> Self {
         self.share_match_cache = share;
         self
+    }
+
+    /// Routes this campaign's spans, counters and events to an explicit
+    /// telemetry handle instead of the process-wide one — the handle an
+    /// embedding test or tool owns outright. A disabled handle silences
+    /// the campaign even when a global trace is installed.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The handle instrumentation writes to: the explicit override when
+    /// set, otherwise the process-wide handle (if any).
+    pub(crate) fn resolved_telemetry(&self) -> Option<&Telemetry> {
+        match &self.telemetry {
+            Some(t) => Some(t),
+            None => noc_telemetry::active(),
+        }
     }
 
     /// Plans the whole grid: every scenario, nothing carried.
@@ -457,6 +481,13 @@ impl Campaign {
         let CampaignPlan {
             scenarios, carried, ..
         } = plan;
+        let tel = self.resolved_telemetry();
+        let run_span = tel.map(|t| {
+            t.add("campaign.plans", 1);
+            t.span("campaign.run")
+                .field("scenarios", scenarios.len() as u64)
+                .field("carried", carried.len() as u64)
+        });
 
         // Execute phase 1 — synthesis, once per synthesis key not already
         // carried in `artifacts`. Job ownership is a plan property (first
@@ -481,7 +512,16 @@ impl Campaign {
         let synthesize_worker = || loop {
             let i = next_job.fetch_add(1, Ordering::Relaxed);
             let Some(job) = jobs.get(i) else { break };
+            let span = tel.map(|t| {
+                // Depth = jobs not yet claimed (approximate under
+                // concurrency — workers race the gauge, last write wins).
+                t.gauge_set("campaign.synth_queue_depth", (jobs.len() - i - 1) as u64);
+                t.span("campaign.synthesize")
+                    .field("scenario_id", job.id as u64)
+                    .field("label", job.label())
+            });
             let outcome = self.synthesize(job, match_cache);
+            drop(span);
             *synth_results[i].lock().expect("synth slot") = Some(outcome);
         };
         run_pool(threads.min(jobs.len().max(1)), &synthesize_worker);
@@ -516,7 +556,18 @@ impl Campaign {
             let reused = first_of_key
                 .get(&key)
                 .is_none_or(|&owner| owner != scenario.id);
+            let span = tel.map(|t| {
+                t.gauge_set(
+                    "campaign.measure_queue_depth",
+                    (scenarios.len() - i - 1) as u64,
+                );
+                t.span("campaign.measure")
+                    .field("scenario_id", scenario.id as u64)
+                    .field("label", scenario.label())
+                    .field("reused", reused)
+            });
             let record = self.measure(scenario, &artifacts[&key], reused);
+            drop(span);
             sink.lock().expect("sink lock").point(&record);
             *records[i].lock().expect("record slot") = Some(record);
         };
@@ -559,7 +610,33 @@ impl Campaign {
                     .collect()
             })
             .unwrap_or_default();
+        if let Some(t) = tel {
+            t.add(
+                "campaign.flows_synthesized",
+                report.flows_synthesized as u64,
+            );
+            t.add("campaign.synthesis_reused", report.synthesis_reused as u64);
+            t.add("campaign.carried_points", report.carried_points as u64);
+            t.add("campaign.points", report.points.len() as u64);
+            if !report.match_cache.is_empty() {
+                let (hits, misses, warm_hits) = report
+                    .match_cache
+                    .iter()
+                    .fold((0u64, 0u64, 0u64), |(h, m, w), r| {
+                        (h + r.hits, m + r.misses, w + r.warm_hits)
+                    });
+                t.event(
+                    "campaign.match_cache",
+                    &[
+                        ("hits", hits.into()),
+                        ("misses", misses.into()),
+                        ("warm_hits", warm_hits.into()),
+                    ],
+                );
+            }
+        }
         sink.into_inner().expect("sink lock").finish(&report);
+        drop(run_span);
         report
     }
 

@@ -65,6 +65,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use noc::prelude::SharedMatchCache;
+use noc_telemetry::Telemetry;
 
 use crate::campaign::Campaign;
 use crate::report::{
@@ -396,6 +397,12 @@ pub struct CoordinatorConfig {
     pub cache_path: Option<PathBuf>,
     /// Optional fault injection (see [`ChaosKill`]).
     pub chaos: Option<ChaosKill>,
+    /// Narrate wave lifecycle (deal/complete/kill/salvage/re-deal) to
+    /// stderr as it happens.
+    pub verbose: bool,
+    /// Explicit telemetry override; `None` falls back to the process-wide
+    /// handle ([`noc_telemetry::active`]).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl CoordinatorConfig {
@@ -416,6 +423,8 @@ impl CoordinatorConfig {
             work_dir: PathBuf::from("EXPLORE_coordinate"),
             cache_path: None,
             chaos: None,
+            verbose: false,
+            telemetry: None,
         }
     }
 
@@ -452,6 +461,21 @@ impl CoordinatorConfig {
     #[must_use]
     pub fn chaos(mut self, chaos: ChaosKill) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Narrates wave lifecycle to stderr (`explore coordinate --verbose`).
+    #[must_use]
+    pub fn verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
+        self
+    }
+
+    /// Routes the coordinator's lifecycle events to an explicit telemetry
+    /// handle instead of the process-wide one.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -521,6 +545,10 @@ pub fn coordinate(
         .map(|w| w.cache.clone())
         .unwrap_or_else(|| SharedMatchCache::new(CACHE_CAPACITY));
 
+    let tel = match &config.telemetry {
+        Some(t) => Some(t),
+        None => noc_telemetry::active(),
+    };
     let mut reports: Vec<CampaignReport> = Vec::new();
     let mut waves: Vec<WaveRecord> = Vec::new();
     let mut ordinal = 0;
@@ -529,6 +557,7 @@ pub fn coordinate(
         if remaining.is_empty() {
             break;
         }
+        let wave_t0 = Instant::now();
         if wave >= config.max_waves {
             return Err(format!(
                 "{} scenario(s) still unfinished after {} wave(s) — fleet too unreliable, giving up",
@@ -571,6 +600,17 @@ pub fn coordinate(
                 std::fs::remove_file(cache_out).ok();
             }
             let handle = transport.launch(&assignment)?;
+            if let Some(t) = tel {
+                t.event(
+                    "coordinator.deal",
+                    &[
+                        ("wave", (wave as u64).into()),
+                        ("worker", (ordinal as u64).into()),
+                        ("scenarios", assignment.ids.len().into()),
+                        ("ids", assignment.ids_csv().into()),
+                    ],
+                );
+            }
             tracked.push(Tracked {
                 assignment,
                 handle,
@@ -578,6 +618,13 @@ pub fn coordinate(
                 killed: false,
             });
             ordinal += 1;
+        }
+        if config.verbose {
+            eprintln!(
+                "coordinate: wave {wave}: dealt {} worker(s) covering {} scenario(s)",
+                tracked.len(),
+                outstanding.len()
+            );
         }
 
         // Watch: poll until every worker stopped or the deadline passed;
@@ -595,6 +642,22 @@ pub fn coordinate(
                         worker.killed = true;
                         worker.done = true;
                         killed += 1;
+                        if let Some(t) = tel {
+                            t.event(
+                                "coordinator.kill",
+                                &[
+                                    ("wave", (wave as u64).into()),
+                                    ("worker", (worker.assignment.ordinal as u64).into()),
+                                    ("reason", "chaos".into()),
+                                ],
+                            );
+                        }
+                        if config.verbose {
+                            eprintln!(
+                                "coordinate: wave {wave}: killed worker {} (chaos injection)",
+                                worker.assignment.ordinal
+                            );
+                        }
                         continue;
                     }
                 }
@@ -611,6 +674,23 @@ pub fn coordinate(
                     worker.killed = true;
                     worker.done = true;
                     killed += 1;
+                    if let Some(t) = tel {
+                        t.event(
+                            "coordinator.kill",
+                            &[
+                                ("wave", (wave as u64).into()),
+                                ("worker", (worker.assignment.ordinal as u64).into()),
+                                ("reason", "deadline".into()),
+                            ],
+                        );
+                    }
+                    if config.verbose {
+                        eprintln!(
+                            "coordinate: wave {wave}: killed straggler worker {} \
+                             (deadline {:?} passed)",
+                            worker.assignment.ordinal, config.deadline
+                        );
+                    }
                 }
                 break;
             }
@@ -626,11 +706,38 @@ pub fn coordinate(
             let report = match complete_report(worker) {
                 Some(report) => {
                     completed += 1;
+                    if let Some(t) = tel {
+                        t.event(
+                            "coordinator.complete",
+                            &[
+                                ("wave", (wave as u64).into()),
+                                ("worker", (worker.assignment.ordinal as u64).into()),
+                                ("points", report.points.len().into()),
+                            ],
+                        );
+                    }
                     report
                 }
                 None => {
                     let salvaged = salvage_stream(campaign, &worker.assignment.stream_path)?;
                     salvaged_points += salvaged.points.len();
+                    if let Some(t) = tel {
+                        t.event(
+                            "coordinator.salvage",
+                            &[
+                                ("wave", (wave as u64).into()),
+                                ("worker", (worker.assignment.ordinal as u64).into()),
+                                ("points", salvaged.points.len().into()),
+                            ],
+                        );
+                    }
+                    if config.verbose {
+                        eprintln!(
+                            "coordinate: wave {wave}: salvaged {} point(s) from worker {}",
+                            salvaged.points.len(),
+                            worker.assignment.ordinal
+                        );
+                    }
                     salvaged
                 }
             };
@@ -650,6 +757,42 @@ pub fn coordinate(
             accumulator
                 .save_to(path)
                 .map_err(|e| format!("cannot save cache {}: {e}", path.display()))?;
+        }
+        if let Some(t) = tel {
+            t.span_event(
+                "coordinator.wave",
+                wave_t0.elapsed(),
+                &[
+                    ("wave", (wave as u64).into()),
+                    ("workers", launched.into()),
+                    ("completed", completed.into()),
+                    ("killed", killed.into()),
+                    ("salvaged_points", salvaged_points.into()),
+                    ("redealt", remaining.len().into()),
+                ],
+            );
+            if !remaining.is_empty() {
+                let csv = remaining
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                t.event(
+                    "coordinator.redeal",
+                    &[
+                        ("wave", (wave as u64).into()),
+                        ("scenarios", remaining.len().into()),
+                        ("ids", csv.into()),
+                    ],
+                );
+            }
+        }
+        if config.verbose {
+            eprintln!(
+                "coordinate: wave {wave}: {completed} completed, {killed} killed, \
+                 {salvaged_points} salvaged point(s), {} scenario(s) re-dealt",
+                remaining.len()
+            );
         }
         waves.push(WaveRecord {
             wave,

@@ -26,6 +26,7 @@
 //! | [`sim`] | `noc-sim` | cycle-accurate wormhole simulator |
 //! | [`aes`] | `noc-aes` | AES-128 + 16-node distributed engine |
 //! | [`workloads`] | `noc-workloads` | TGFF/Pajek benchmark generators |
+//! | [`telemetry`] | `noc-telemetry` | structured spans, counters, event streams |
 //!
 //! One layer sits *above* this facade: the `noc-explore` crate runs
 //! whole campaigns of [`SynthesisFlow`]s over a declarative scenario grid
@@ -58,6 +59,7 @@ pub use noc_graph as graph;
 pub use noc_primitives as primitives;
 pub use noc_sim as sim;
 pub use noc_synthesis as synthesis;
+pub use noc_telemetry as telemetry;
 pub use noc_workloads as workloads;
 
 pub use aes_proto::{AesPrototype, PrototypeComparison};

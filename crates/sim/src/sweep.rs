@@ -105,6 +105,7 @@ pub fn sweep(
     config: &SweepConfig,
     energy: &EnergyModel,
 ) -> Result<Vec<LoadPoint>, SimError> {
+    let telemetry = noc_telemetry::active();
     let mut points = Vec::with_capacity(config.rates.len());
     // Zero-load anchor: (offered rate, latency) of the delivered point
     // with the lowest rate so far. On an ascending ramp this is the first
@@ -113,6 +114,7 @@ pub fn sweep(
     // compares against a congested baseline.
     let mut zero_load: Option<(f64, f64)> = None;
     for &rate in &config.rates {
+        let point_start = telemetry.map(|_| std::time::Instant::now());
         let events = match &config.pairs {
             Some(pairs) => traffic::bernoulli_pairs(
                 pairs,
@@ -139,12 +141,37 @@ pub fn sweep(
         };
         let latency = point.avg_latency_cycles;
         let delivered = point.packets > 0;
+        if let (Some(tel), Some(t0)) = (telemetry, point_start) {
+            tel.add("sim.sweep.points", 1);
+            tel.span_event(
+                "sim.sweep.point",
+                t0.elapsed(),
+                &[
+                    ("rate", rate.into()),
+                    ("packets", point.packets.into()),
+                    ("latency_cycles", latency.into()),
+                ],
+            );
+        }
         points.push(point);
         if delivered && zero_load.is_none_or(|(anchor_rate, _)| rate < anchor_rate) {
             zero_load = Some((rate, latency));
         }
-        if let (Some(cutoff), Some((_, baseline))) = (config.saturation_cutoff, zero_load) {
+        if let (Some(cutoff), Some((anchor_rate, baseline))) = (config.saturation_cutoff, zero_load)
+        {
             if latency > cutoff * baseline {
+                if let Some(tel) = telemetry {
+                    tel.add("sim.sweep.cutoffs", 1);
+                    tel.event(
+                        "sim.sweep.saturation_cutoff",
+                        &[
+                            ("rate", rate.into()),
+                            ("latency_cycles", latency.into()),
+                            ("anchor_rate", anchor_rate.into()),
+                            ("anchor_latency_cycles", baseline.into()),
+                        ],
+                    );
+                }
                 break;
             }
         }
@@ -302,6 +329,52 @@ mod tests {
         assert!(points[0].energy_joules > 0.0);
         // More offered traffic dissipates more energy.
         assert!(points[1].energy_joules > points[0].energy_joules);
+    }
+
+    #[test]
+    fn an_active_trace_records_each_point_without_changing_the_curve() {
+        // The sweep reads only the process-wide handle, so this test
+        // installs it — and because the unit-test binary runs its tests
+        // concurrently against that shared log, it marks its own events
+        // with distinctive injection rates and filters on them.
+        let model = NocModel::mesh(4, 4, 1.0);
+        let markers = [0.0123, 0.9371];
+        let config = SweepConfig {
+            rates: markers.to_vec(),
+            duration_cycles: 400,
+            saturation_cutoff: Some(2.0),
+            ..Default::default()
+        };
+        let untraced = sweep(&model, &config, &energy()).unwrap();
+        noc_telemetry::install(noc_telemetry::Telemetry::recording());
+        let traced = sweep(&model, &config, &energy()).unwrap();
+        assert_eq!(traced, untraced, "tracing must not change the curve");
+
+        let tel = noc_telemetry::active().expect("handle just installed");
+        let is_marked = |e: &&noc_telemetry::Event| {
+            e.fields.iter().any(|(k, v)| {
+                k == "rate" && matches!(v, noc_telemetry::Field::F64(r) if markers.contains(r))
+            })
+        };
+        let events = tel.drain();
+        let points: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "sim.sweep.point")
+            .filter(is_marked)
+            .collect();
+        assert_eq!(points.len(), traced.len(), "one point span per rate");
+        assert!(points.iter().all(|e| e.dur_us.is_some()));
+        // The saturated second rate trips the cutoff, and the event
+        // names the low-rate anchor the decision was made against.
+        let cutoffs: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "sim.sweep.saturation_cutoff")
+            .filter(is_marked)
+            .collect();
+        assert_eq!(cutoffs.len(), 1, "the 0.9371 point must cut the ramp");
+        assert!(cutoffs[0].fields.iter().any(|(k, v)| {
+            k == "anchor_rate" && matches!(v, noc_telemetry::Field::F64(r) if *r == markers[0])
+        }));
     }
 
     #[test]

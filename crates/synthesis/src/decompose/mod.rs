@@ -348,6 +348,11 @@ impl<'a> Decomposer<'a> {
     /// statistics.
     pub fn run(&self) -> DecompositionOutcome {
         let start = Instant::now();
+        let telemetry = noc_telemetry::active();
+        // An active trace forces phase timing on internally (it only adds
+        // clock reads — results stay bit-identical); `stats.phases` is
+        // still gated on the config so callers see what they asked for.
+        let profile = self.config.profile_phases || telemetry.is_some();
         let deadline = self.config.timeout.map(|t| start + t);
         // Best link-compression ratio in the library, for the Links bound.
         let best_ratio = self
@@ -404,6 +409,7 @@ impl<'a> Decomposer<'a> {
             // run's stats.
             run_cache_hits: AtomicU64::new(0),
             run_cache_misses: AtomicU64::new(0),
+            profile,
         };
         let shared = SharedSearch::new();
         let root_mask = {
@@ -421,7 +427,7 @@ impl<'a> Decomposer<'a> {
                 .cache
                 .as_ref()
                 .map(|_| BitSetKey::from_words(root_mask.clone()));
-            let mut phases = PhaseAcc::new(self.config.profile_phases);
+            let mut phases = PhaseAcc::new(ctx.profile);
             let mut table = Vec::new();
             for (id, primitive) in self.library.iter() {
                 let pattern = primitive.representation();
@@ -473,6 +479,36 @@ impl<'a> Decomposer<'a> {
         if self.config.profile_phases {
             stats.phases = Some(shared.phase_breakdown());
         }
+        if let Some(tel) = telemetry {
+            tel.add("decompose.runs", 1);
+            tel.add("decompose.nodes_visited", stats.nodes_visited);
+            tel.add("decompose.leaves_evaluated", stats.leaves_evaluated);
+            tel.add("decompose.branches_pruned", stats.branches_pruned);
+            tel.add(
+                "decompose.constraint_rejections",
+                stats.constraint_rejections,
+            );
+            tel.add("decompose.cache_hits", stats.cache_hits);
+            tel.add("decompose.cache_misses", stats.cache_misses);
+            if stats.timed_out {
+                tel.add("decompose.timeouts", 1);
+            }
+            tel.record("decompose.run_us", stats.elapsed.as_micros() as u64);
+            let phases = shared.phase_breakdown();
+            tel.span_event("decompose.phase.match_enum", phases.match_enum, &[]);
+            tel.span_event("decompose.phase.bound", phases.bound, &[]);
+            tel.span_event("decompose.phase.frontier", phases.frontier, &[]);
+            tel.span_event("decompose.phase.leaf", phases.leaf, &[]);
+            tel.span_event(
+                "decompose.run",
+                stats.elapsed,
+                &[
+                    ("vertices", vertex_count.into()),
+                    ("threads", (threads as u64).into()),
+                    ("timed_out", stats.timed_out.into()),
+                ],
+            );
+        }
         DecompositionOutcome {
             best: shared.take_best(),
             stats,
@@ -504,6 +540,9 @@ pub(crate) struct EngineCtx<'a> {
     /// across every run sharing it).
     run_cache_hits: AtomicU64,
     run_cache_misses: AtomicU64,
+    /// Phase timing on? `config.profile_phases`, or forced by an active
+    /// telemetry trace (see [`Decomposer::run`]).
+    pub(crate) profile: bool,
 }
 
 /// A primitive's complete image list on the *root* graph, with each
@@ -784,7 +823,7 @@ impl ExpandScratch {
 /// salvaging the current path as a leaf). Used directly for sequential
 /// runs; the parallel driver runs its own per-packet variant of this loop.
 pub(crate) fn run_frontier(ctx: &EngineCtx<'_>, shared: &SharedSearch, open: &mut Frontier) {
-    let mut phases = PhaseAcc::new(ctx.config.profile_phases);
+    let mut phases = PhaseAcc::new(ctx.profile);
     let mut node = PoppedNode::empty(ctx.stride);
     let mut scratch = ExpandScratch::new(ctx.stride);
     loop {

@@ -79,7 +79,7 @@ pub(crate) fn run(ctx: &EngineCtx<'_>, shared: &SharedSearch, root: PoppedNode, 
     local.push_node(root);
     let mut node = PoppedNode::empty(ctx.stride);
     let mut scratch = ExpandScratch::new(ctx.stride);
-    let mut phases = PhaseAcc::new(ctx.config.profile_phases);
+    let mut phases = PhaseAcc::new(ctx.profile);
     let mut pops = 0u64;
     while pops < SPAWN_WARMUP_POPS {
         if !local.pop_into(&mut node) {
@@ -142,7 +142,7 @@ fn worker(ctx: &EngineCtx<'_>, shared: &SharedSearch, queue: &WorkQueue) {
     let mut local = Frontier::new(ctx.config.order, ctx.stride);
     let mut node = PoppedNode::empty(ctx.stride);
     let mut scratch = ExpandScratch::new(ctx.stride);
-    let mut phases = PhaseAcc::new(ctx.config.profile_phases);
+    let mut phases = PhaseAcc::new(ctx.profile);
     while let Some(packet) = next_packet(ctx, shared, queue) {
         local.push_node(packet);
         let mut pops_since_share = 0u64;

@@ -1,0 +1,675 @@
+//! The telemetry event model and its JSON-Lines codec.
+//!
+//! Events are flat, schema-stable records: a fixed header (`seq`, `t_us`,
+//! `kind`, `name`), two optional numeric payloads (`dur_us` for spans,
+//! `value` for counter/gauge snapshots) and an ordered bag of typed
+//! `fields`. The writer emits keys in a fixed order and the reader
+//! preserves field order, so `write → read → write` reproduces a stream
+//! byte for byte — the invariant the round-trip tests lock.
+//!
+//! Like every artifact format in this workspace the codec is hand-rolled
+//! (the build environment has no registry access, so there is no serde):
+//! a small recursive-descent reader over the event grammar, mirroring
+//! `noc_explore::json` in spirit but specialized to one schema.
+
+use std::fmt;
+
+/// A typed field value on an [`Event`].
+///
+/// The closed set keeps the codec exact: `u64` for ids and counts, `f64`
+/// for rates and metrics, strings for labels, bools for flags. Non-finite
+/// floats serialize as `null` (JSON has no NaN) and read back as NaN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// An unsigned integer (ids, counts, ordinals).
+    U64(u64),
+    /// A float (rates, metric values). Written with a decimal point so it
+    /// re-reads as a float.
+    F64(f64),
+    /// A label or path.
+    Str(String),
+    /// A flag.
+    Bool(bool),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+
+impl From<u32> for Field {
+    fn from(v: u32) -> Self {
+        Field::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Str(v)
+    }
+}
+
+impl From<bool> for Field {
+    fn from(v: bool) -> Self {
+        Field::Bool(v)
+    }
+}
+
+impl Field {
+    /// The value as a u64, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Field::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (floats and integers both qualify).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Field::F64(v) => Some(*v),
+            Field::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Field::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A point-in-time occurrence (a wave dealt, a cutoff tripped).
+    Event,
+    /// A scoped duration; carries [`Event::dur_us`].
+    Span,
+    /// A counter snapshot; carries [`Event::value`].
+    Counter,
+    /// A gauge snapshot; carries [`Event::value`].
+    Gauge,
+    /// A histogram snapshot; `count`/`min`/`max`/`sum` ride in the fields.
+    Hist,
+}
+
+impl EventKind {
+    /// The wire label (`"event"`, `"span"`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Event => "event",
+            EventKind::Span => "span",
+            EventKind::Counter => "counter",
+            EventKind::Gauge => "gauge",
+            EventKind::Hist => "hist",
+        }
+    }
+
+    /// Parses a wire label back.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Some(match label {
+            "event" => EventKind::Event,
+            "span" => EventKind::Span,
+            "counter" => EventKind::Counter,
+            "gauge" => EventKind::Gauge,
+            "hist" => EventKind::Hist,
+            _ => return None,
+        })
+    }
+}
+
+/// One telemetry record: what happened (`kind` + `name`), when (`t_us`
+/// microseconds since the [`Telemetry`](crate::Telemetry) handle's epoch),
+/// in what order (`seq`, strictly increasing per handle), and the typed
+/// payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Strictly increasing sequence number (deterministic for a
+    /// deterministic instrumented program; timestamps are not).
+    pub seq: u64,
+    /// Microseconds since the emitting handle's epoch.
+    pub t_us: u64,
+    /// Record kind.
+    pub kind: EventKind,
+    /// Dotted event name, e.g. `campaign.synthesize`.
+    pub name: String,
+    /// Span duration in microseconds (spans only).
+    pub dur_us: Option<u64>,
+    /// Snapshot value (counter/gauge records only).
+    pub value: Option<u64>,
+    /// Ordered typed fields.
+    pub fields: Vec<(String, Field)>,
+}
+
+impl Event {
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Field> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes to one JSON line (no trailing newline), with the fixed
+    /// key order the round-trip invariant relies on.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"t_us\":");
+        out.push_str(&self.t_us.to_string());
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.label());
+        out.push_str("\",\"name\":");
+        push_json_string(&mut out, &self.name);
+        if let Some(dur) = self.dur_us {
+            out.push_str(",\"dur_us\":");
+            out.push_str(&dur.to_string());
+        }
+        if let Some(value) = self.value {
+            out.push_str(",\"value\":");
+            out.push_str(&value.to_string());
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (key, value)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, key);
+                out.push(':');
+                match value {
+                    Field::U64(v) => out.push_str(&v.to_string()),
+                    Field::F64(v) => push_json_f64(&mut out, *v),
+                    Field::Str(s) => push_json_string(&mut out, s),
+                    Field::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSON line produced by [`Event::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the first malformed construct.
+    pub fn from_json(line: &str) -> Result<Event, ParseError> {
+        let mut parser = Parser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        let event = parser.parse_event()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after event object"));
+        }
+        Ok(event)
+    }
+}
+
+/// Renders events as a JSON-Lines document (one event per line, trailing
+/// newline).
+pub fn write_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-Lines event stream (blank lines ignored).
+///
+/// # Errors
+///
+/// Returns the first line-level [`ParseError`], tagged with its line
+/// number.
+pub fn read_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = Event::from_json(line).map_err(|e| ParseError {
+            message: format!("line {}: {}", lineno + 1, e.message),
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// A malformed event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Appends `s` as a JSON string literal (quotes, escapes).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a float so it re-reads as a float: Rust's shortest-round-trip
+/// `Display`, forced to carry a decimal point (or exponent); non-finite
+/// values become `null` (read back as NaN).
+fn push_json_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+/// Recursive-descent reader over one event line.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: format!("{message} at byte {}", self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn consume(&mut self, byte: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_event(&mut self) -> Result<Event, ParseError> {
+        let mut seq = None;
+        let mut t_us = None;
+        let mut kind = None;
+        let mut name = None;
+        let mut dur_us = None;
+        let mut value = None;
+        let mut fields = Vec::new();
+
+        self.expect(b'{')?;
+        if !self.consume(b'}') {
+            loop {
+                let key = self.parse_string()?;
+                self.expect(b':')?;
+                match key.as_str() {
+                    "seq" => seq = Some(self.parse_u64()?),
+                    "t_us" => t_us = Some(self.parse_u64()?),
+                    "kind" => {
+                        let label = self.parse_string()?;
+                        kind = Some(
+                            EventKind::from_label(&label)
+                                .ok_or_else(|| self.error(&format!("unknown kind '{label}'")))?,
+                        );
+                    }
+                    "name" => name = Some(self.parse_string()?),
+                    "dur_us" => dur_us = Some(self.parse_u64()?),
+                    "value" => value = Some(self.parse_u64()?),
+                    "fields" => fields = self.parse_fields()?,
+                    other => return Err(self.error(&format!("unknown event key '{other}'"))),
+                }
+                if self.consume(b'}') {
+                    break;
+                }
+                self.expect(b',')?;
+            }
+        }
+        Ok(Event {
+            seq: seq.ok_or_else(|| self.error("event missing 'seq'"))?,
+            t_us: t_us.ok_or_else(|| self.error("event missing 't_us'"))?,
+            kind: kind.ok_or_else(|| self.error("event missing 'kind'"))?,
+            name: name.ok_or_else(|| self.error("event missing 'name'"))?,
+            dur_us,
+            value,
+            fields,
+        })
+    }
+
+    fn parse_fields(&mut self) -> Result<Vec<(String, Field)>, ParseError> {
+        let mut fields = Vec::new();
+        self.expect(b'{')?;
+        if self.consume(b'}') {
+            return Ok(fields);
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_field_value()?;
+            fields.push((key, value));
+            if self.consume(b'}') {
+                return Ok(fields);
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn parse_field_value(&mut self) -> Result<Field, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Field::Str(self.parse_string()?)),
+            Some(b't') => {
+                self.literal("true")?;
+                Ok(Field::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Ok(Field::Bool(false))
+            }
+            Some(b'n') => {
+                // Non-finite floats serialize as null.
+                self.literal("null")?;
+                Ok(Field::F64(f64::NAN))
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a field value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    /// A number: integers without '.', 'e' or a sign read as `U64`,
+    /// everything else as `F64` — matching what the writer emits.
+    fn parse_number(&mut self) -> Result<Field, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = self.bytes.get(start) == Some(&b'-');
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if float {
+            text.parse::<f64>()
+                .map(Field::F64)
+                .map_err(|_| self.error(&format!("invalid float '{text}'")))
+        } else {
+            text.parse::<u64>()
+                .map(Field::U64)
+                .map_err(|_| self.error(&format!("invalid integer '{text}'")))
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, ParseError> {
+        match self.parse_number()? {
+            Field::U64(v) => Ok(v),
+            _ => Err(self.error("expected an unsigned integer")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.error("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("non-scalar \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(
+                                self.error(&format!("unknown escape '\\{}'", other as char))
+                            );
+                        }
+                    }
+                }
+                // Multi-byte UTF-8: copy the whole scalar through.
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    let rest = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.error("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            seq: 7,
+            t_us: 1234,
+            kind: EventKind::Span,
+            name: "campaign.measure".into(),
+            dur_us: Some(456),
+            value: None,
+            fields: vec![
+                ("scenario_id".into(), Field::U64(3)),
+                ("rate".into(), Field::F64(0.25)),
+                ("label".into(), Field::Str("fig5 \"quoted\"\npath".into())),
+                ("reused".into(), Field::Bool(true)),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let events = vec![
+            sample(),
+            Event {
+                seq: 8,
+                t_us: 2000,
+                kind: EventKind::Counter,
+                name: "decompose.nodes_visited".into(),
+                dur_us: None,
+                value: Some(99),
+                fields: Vec::new(),
+            },
+        ];
+        let text = write_jsonl(&events);
+        let reread = read_jsonl(&text).unwrap();
+        assert_eq!(reread, events);
+        assert_eq!(write_jsonl(&reread), text);
+    }
+
+    #[test]
+    fn integral_floats_keep_their_decimal_point() {
+        let event = Event {
+            seq: 0,
+            t_us: 0,
+            kind: EventKind::Event,
+            name: "x".into(),
+            dur_us: None,
+            value: None,
+            fields: vec![("rate".into(), Field::F64(2.0))],
+        };
+        let line = event.to_json();
+        assert!(line.contains("\"rate\":2.0"), "{line}");
+        let reread = Event::from_json(&line).unwrap();
+        assert_eq!(reread.field("rate"), Some(&Field::F64(2.0)));
+        assert_eq!(reread.to_json(), line);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_and_read_back_nan() {
+        let event = Event {
+            seq: 0,
+            t_us: 0,
+            kind: EventKind::Event,
+            name: "x".into(),
+            dur_us: None,
+            value: None,
+            fields: vec![("bad".into(), Field::F64(f64::INFINITY))],
+        };
+        let line = event.to_json();
+        assert!(line.contains("\"bad\":null"), "{line}");
+        let reread = Event::from_json(&line).unwrap();
+        assert!(reread.field("bad").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(reread.to_json(), line);
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers_parse_as_floats() {
+        let line = r#"{"seq":0,"t_us":0,"kind":"event","name":"x","fields":{"a":-2.5,"b":1e3}}"#;
+        let event = Event::from_json(line).unwrap();
+        assert_eq!(event.field("a"), Some(&Field::F64(-2.5)));
+        assert_eq!(event.field("b"), Some(&Field::F64(1000.0)));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        for bad in [
+            "{",
+            "{}",
+            r#"{"seq":1}"#,
+            r#"{"seq":1,"t_us":2,"kind":"nope","name":"x"}"#,
+            r#"{"seq":1,"t_us":2,"kind":"event","name":"x","bogus":3}"#,
+            r#"{"seq":1,"t_us":2,"kind":"event","name":"x"} trailing"#,
+        ] {
+            assert!(Event::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = format!("\n{}\n\n", sample().to_json());
+        assert_eq!(read_jsonl(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn control_characters_escape_and_round_trip() {
+        let event = Event {
+            seq: 0,
+            t_us: 0,
+            kind: EventKind::Event,
+            name: "weird\u{0001}name".into(),
+            dur_us: None,
+            value: None,
+            fields: vec![("k".into(), Field::Str("tab\there".into()))],
+        };
+        let line = event.to_json();
+        assert!(line.contains("\\u0001"), "{line}");
+        let reread = Event::from_json(&line).unwrap();
+        assert_eq!(reread, event);
+        assert_eq!(reread.to_json(), line);
+    }
+}
