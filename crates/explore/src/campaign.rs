@@ -507,6 +507,18 @@ impl Campaign {
         }
         let synth_results: Vec<Mutex<Option<SynthOutcome>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
+        // The automatic floorplan depends only on the workload's demand
+        // graph, the floorplan seed and the core area — not on the
+        // synthesis objective or engine — so synthesis keys differing
+        // only in those axes share one placement. The floorplanner
+        // dominates flow cost (simulated annealing vs sub-ms synthesis
+        // on campaign-sized graphs), so this dedup, not artifact reuse,
+        // is what the smoke grid's flows/sec mostly measures. Racing
+        // workers may both compute a placement; the floorplanner is
+        // deterministic per key, so the duplicate is wasted work, never
+        // a results change.
+        let placements: Mutex<HashMap<(String, u64, u64), Placement>> =
+            Mutex::new(HashMap::new());
         let threads = self.resolve_threads(scenarios.len());
         let next_job = AtomicUsize::new(0);
         let synthesize_worker = || loop {
@@ -520,7 +532,7 @@ impl Campaign {
                     .field("scenario_id", job.id as u64)
                     .field("label", job.label())
             });
-            let outcome = self.synthesize(job, match_cache);
+            let outcome = self.synthesize(job, match_cache, &placements);
             drop(span);
             *synth_results[i].lock().expect("synth slot") = Some(outcome);
         };
@@ -662,6 +674,7 @@ impl Campaign {
         &self,
         scenario: &Scenario,
         match_cache: Option<&SharedMatchCache>,
+        placements: &Mutex<HashMap<(String, u64, u64), Placement>>,
     ) -> SynthOutcome {
         let acg = scenario.workload.instantiate();
         let pairs: Vec<(NodeId, NodeId)> = acg
@@ -683,8 +696,36 @@ impl Campaign {
             .seed(scenario.floorplan_seed)
             .core_area_mm2(scenario.core_area_mm2)
             .decomposer_config(engine);
+        let placement_key = (
+            scenario.workload.label(),
+            scenario.floorplan_seed,
+            scenario.core_area_mm2.to_bits(),
+        );
+        let cached = placements
+            .lock()
+            .expect("placement cache")
+            .get(&placement_key)
+            .cloned();
+        let placement = match cached {
+            Some(p) => {
+                if let Some(t) = self.resolved_telemetry() {
+                    t.add("campaign.floorplan_reuses", 1);
+                }
+                p
+            }
+            None => {
+                let p = flow.auto_placement();
+                placements
+                    .lock()
+                    .expect("placement cache")
+                    .insert(placement_key, p.clone());
+                p
+            }
+        };
         let t0 = Instant::now();
-        let result = flow.run().map_err(|e| e.to_string())?;
+        let result = flow
+            .run_with_placement(placement)
+            .map_err(|e| e.to_string())?;
         let synth_ms = t0.elapsed().as_secs_f64() * 1e3;
         let model = result.noc_model();
         Ok(Arc::new(SynthArtifacts {
@@ -735,6 +776,9 @@ impl Campaign {
             seed: scenario.sim.seed,
             saturation_cutoff: scenario.sim.saturation_cutoff,
             pairs: Some(artifacts.pairs.clone()),
+            // The campaign's worker pool owns the parallelism; each flow's
+            // sweep stays sequential so workers don't oversubscribe cores.
+            threads: 1,
             ..Default::default()
         };
         let energy = EnergyModel::new(scenario.technology.clone());

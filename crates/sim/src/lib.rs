@@ -36,9 +36,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod engine;
 mod model;
 mod packet;
 mod phased;
+pub mod reference;
 mod sim;
 mod stats;
 pub mod sweep;
@@ -47,5 +49,5 @@ pub mod traffic;
 pub use model::{NocModel, RoutePolicy};
 pub use packet::{Flit, FlitKind, Packet, TrafficEvent};
 pub use phased::{Phase, PhasedReport};
-pub use sim::{SimConfig, SimError, Simulator};
+pub use sim::{BlockedVc, SimConfig, SimError, Simulator};
 pub use stats::SimReport;

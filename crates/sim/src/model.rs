@@ -353,6 +353,26 @@ impl NocModel {
         }
     }
 
+    /// The full primary route table, for route compilation by the engine.
+    pub(crate) fn routes_map(&self) -> &BTreeMap<(NodeId, NodeId), Vec<NodeId>> {
+        &self.routes
+    }
+
+    /// The full primary VC table, for route compilation by the engine.
+    pub(crate) fn vcs_map(&self) -> &BTreeMap<(NodeId, NodeId), Vec<usize>> {
+        &self.vcs
+    }
+
+    /// The alternate route table, for route compilation by the engine.
+    pub(crate) fn alt_routes_map(&self) -> &BTreeMap<(NodeId, NodeId), Vec<NodeId>> {
+        &self.alt_routes
+    }
+
+    /// The alternate VC table, for route compilation by the engine.
+    pub(crate) fn alt_vcs_map(&self) -> &BTreeMap<(NodeId, NodeId), Vec<usize>> {
+        &self.alt_vcs
+    }
+
     /// Mean route length in hops over all routed pairs.
     pub fn avg_route_hops(&self) -> f64 {
         if self.routes.is_empty() {

@@ -104,9 +104,13 @@ impl Simulator<'_> {
         let mut energy = EnergyBreakdown::default();
         let mut phase_reports = Vec::with_capacity(phases.len());
         let mut clock_hz = 0.0;
+        // One reusable engine state across all phases: buffers, locks and
+        // scheduling structures are allocated once, and the compiled core
+        // inside `self` is shared — no per-phase event clone or rebuild.
+        let mut state = crate::engine::SimState::default();
         for phase in phases {
             compute_cycles += phase.compute_cycles;
-            let report = self.run(phase.events.clone())?;
+            let report = self.run_in(&mut state, &phase.events)?;
             comm_cycles += report.total_cycles;
             packets += report.packets_delivered;
             latency_weighted += report.avg_packet_latency_cycles * report.packets_delivered as f64;

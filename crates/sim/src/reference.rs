@@ -1,0 +1,334 @@
+//! The reference cycle loop: the original rescan-everything semantics,
+//! kept verbatim as the golden oracle for the event-driven engine.
+//!
+//! [`run_reference`] is the simulator exactly as first written: per-cycle
+//! full scans over every channel, `BTreeMap` route lookups per flit,
+//! `VecDeque` buffers and a linear staged-arrival scan in the credit
+//! check. It is deliberately *not* optimized — its value is that every
+//! behavior (grant order, f64 accumulation order, error cycles) is
+//! manifest in straight-line code, so the equivalence suite and the
+//! `sim_throughput` bench can hold the fast engine to "bit-identical to
+//! this" rather than "close to this".
+
+use std::collections::{BTreeMap, VecDeque};
+
+use noc_energy::{EnergyBreakdown, EnergyModel};
+use noc_graph::NodeId;
+
+use crate::{
+    BlockedVc, Flit, FlitKind, NocModel, Packet, SimConfig, SimError, SimReport, TrafficEvent,
+};
+
+/// Identity of a router input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Port {
+    /// The node's local injection interface.
+    Local,
+    /// An input buffer: (incoming channel index, VC).
+    Buffer(usize, usize),
+}
+
+/// Runs `events` on `model` with the original full-rescan cycle loop.
+///
+/// Every [`SimReport`] field — cycles, latencies, flit counts, energy
+/// joules — is the baseline the event-driven engine must reproduce
+/// bit-for-bit, as are all [`SimError`] variants and their firing cycles.
+///
+/// # Errors
+///
+/// Exactly as [`Simulator::run`](crate::Simulator::run): [`SimError::NoRoute`]
+/// for an unroutable pair, [`SimError::Deadlock`] / [`SimError::Watchdog`]
+/// when progress stops.
+pub fn run_reference(
+    model: &NocModel,
+    config: &SimConfig,
+    energy_model: &EnergyModel,
+    events: &[TrafficEvent],
+) -> Result<SimReport, SimError> {
+    // Channel indexing.
+    let channels: Vec<(NodeId, NodeId)> = model.links().map(|(c, _)| c).collect();
+    let channel_index: BTreeMap<(NodeId, NodeId), usize> =
+        channels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let num_vcs = model.num_vcs().max(1);
+    let n = model.node_count();
+
+    // Build packets (the model's route policy may pick per-packet
+    // routes, e.g. O1TURN stochastic dimension ordering).
+    let mut packets: Vec<Packet> = Vec::with_capacity(events.len());
+    for (idx, ev) in events.iter().enumerate() {
+        let (route, vcs) = model
+            .route_for_packet(ev.src, ev.dst, idx)
+            .ok_or(SimError::NoRoute {
+                src: ev.src,
+                dst: ev.dst,
+            })?;
+        let (route, vcs) = (route.to_vec(), vcs.to_vec());
+        let payload_flits = ev.payload_bits.div_ceil(config.flit_bits) as usize;
+        packets.push(Packet {
+            id: packets.len(),
+            src: ev.src,
+            dst: ev.dst,
+            route,
+            vcs,
+            flits: config.header_flits + payload_flits,
+            payload_bits: ev.payload_bits,
+            release_cycle: ev.release_cycle,
+            inject_cycle: None,
+            eject_cycle: None,
+        });
+    }
+
+    // Per-node FIFO of pending packet ids, ordered by release then id.
+    let mut pending: Vec<VecDeque<usize>> = vec![VecDeque::new(); n];
+    let mut order: Vec<usize> = (0..packets.len()).collect();
+    order.sort_by_key(|&i| (packets[i].release_cycle, i));
+    for i in order {
+        pending[packets[i].src.index()].push_back(i);
+    }
+    // Per-node progress of the packet currently being injected.
+    let mut emit_progress: Vec<usize> = vec![0; n];
+
+    // Per-node radix for energy scaling.
+    let radix: Vec<usize> = (0..n).map(|v| model.node_radix(NodeId(v))).collect();
+    // Input buffers: buffers[channel][vc].
+    let mut buffers: Vec<Vec<VecDeque<Flit>>> =
+        vec![vec![VecDeque::new(); num_vcs]; channels.len()];
+    // Staged arrivals (applied at end of cycle).
+    let mut arrivals: Vec<(usize, usize, Flit)> = Vec::new();
+    // Wormhole locks per (channel, vc): the input port currently owning
+    // the output, plus the packet id (for injection continuity).
+    let mut locks: Vec<Vec<Option<(Port, usize)>>> = vec![vec![None; num_vcs]; channels.len()];
+    // Round-robin pointers per output channel.
+    let mut rr: Vec<usize> = vec![0; channels.len()];
+
+    // Blocked-state snapshot for deadlock reports: every occupied
+    // (channel, VC) buffer, channels then VCs ascending.
+    let blocked_snapshot = |buffers: &Vec<Vec<VecDeque<Flit>>>| -> Vec<BlockedVc> {
+        let mut blocked = Vec::new();
+        for (c, chan_buffers) in buffers.iter().enumerate() {
+            for (vc, vc_buf) in chan_buffers.iter().enumerate() {
+                if let Some(front) = vc_buf.front() {
+                    blocked.push(BlockedVc {
+                        channel: channels[c],
+                        vc,
+                        packet: front.packet_id,
+                        hop: front.hop,
+                        occupancy: vc_buf.len(),
+                    });
+                }
+            }
+        }
+        blocked
+    };
+
+    let mut energy = EnergyBreakdown::default();
+    let mut delivered = 0usize;
+    let mut flits_ejected: u64 = 0;
+    let mut flits_injected: u64 = 0;
+    let mut cycle: u64 = 0;
+    let mut last_progress_cycle: u64 = 0;
+    let mut latency_sum: u64 = 0;
+    let mut network_latency_sum: u64 = 0;
+
+    while delivered < packets.len() {
+        if cycle >= config.max_cycles {
+            return Err(SimError::Watchdog {
+                max_cycles: config.max_cycles,
+            });
+        }
+        if cycle.saturating_sub(last_progress_cycle) > config.stall_cycles {
+            return Err(SimError::Deadlock {
+                cycle,
+                undelivered: packets.len() - delivered,
+                blocked: blocked_snapshot(&buffers),
+            });
+        }
+        let mut moved = false;
+
+        // Phase 1: ejection. A head-of-buffer flit whose hop index
+        // equals the route's link count has arrived.
+        for (c, chan_buffers) in buffers.iter_mut().enumerate() {
+            let (_, dst_node) = channels[c];
+            for vc_buf in chan_buffers.iter_mut() {
+                while let Some(front) = vc_buf.front() {
+                    let pkt = &packets[front.packet_id];
+                    if front.hop < pkt.route.len() - 1 {
+                        break; // still needs to traverse links
+                    }
+                    let flit = vc_buf.pop_front().expect("checked non-empty");
+                    // Final switch traversal at the destination.
+                    energy.switch += energy_model
+                        .switch_event_energy_radix(config.flit_bits as f64, radix[dst_node.index()]);
+                    flits_ejected += 1;
+                    moved = true;
+                    if flit.kind == FlitKind::Tail {
+                        let pkt = &mut packets[flit.packet_id];
+                        pkt.eject_cycle = Some(cycle);
+                        delivered += 1;
+                        latency_sum += pkt.latency_cycles().expect("just delivered");
+                        network_latency_sum += pkt.network_latency_cycles().expect("just delivered");
+                    }
+                }
+            }
+        }
+
+        // Phase 2: switch allocation, one grant per output channel.
+        for (out_c, &(u, _w)) in channels.iter().enumerate() {
+            // Gather candidate input ports at node u whose head flit
+            // requests output channel out_c, with the VC it wants.
+            let mut candidates: Vec<(Port, Flit, usize)> = Vec::new();
+
+            // Local injection port.
+            if let Some(&pid) = pending[u.index()].front() {
+                let pkt = &packets[pid];
+                if pkt.release_cycle <= cycle {
+                    let first_link = (pkt.route[0], pkt.route[1]);
+                    if channel_index[&first_link] == out_c {
+                        let emitted = emit_progress[u.index()];
+                        let kind = if emitted + 1 == pkt.flits {
+                            FlitKind::Tail
+                        } else if emitted == 0 {
+                            FlitKind::Head
+                        } else {
+                            FlitKind::Body
+                        };
+                        let flit = Flit {
+                            packet_id: pid,
+                            kind,
+                            is_head: emitted == 0,
+                            hop: 0,
+                        };
+                        candidates.push((Port::Local, flit, pkt.vcs[0]));
+                    }
+                }
+            }
+
+            // Input buffers of channels arriving at u.
+            for (in_c, &(_, mid)) in channels.iter().enumerate() {
+                if mid != u {
+                    continue;
+                }
+                #[allow(clippy::needless_range_loop)]
+                for vc in 0..num_vcs {
+                    if let Some(front) = buffers[in_c][vc].front() {
+                        let pkt = &packets[front.packet_id];
+                        if front.hop >= pkt.route.len() - 1 {
+                            continue; // ejecting, not forwarding
+                        }
+                        let next_link = (pkt.route[front.hop], pkt.route[front.hop + 1]);
+                        if channel_index[&next_link] == out_c {
+                            candidates.push((
+                                Port::Buffer(in_c, vc),
+                                front.clone(),
+                                pkt.vcs[front.hop],
+                            ));
+                        }
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            candidates.sort_by_key(|(p, _, _)| *p);
+
+            // Try candidates in round-robin order; grant at most one.
+            let start = rr[out_c] % candidates.len();
+            let mut granted: Option<(Port, Flit, usize)> = None;
+            for k in 0..candidates.len() {
+                let (port, flit, out_vc) = &candidates[(start + k) % candidates.len()];
+                // Wormhole lock discipline.
+                match locks[out_c][*out_vc] {
+                    Some((owner, owner_pkt)) => {
+                        if owner != *port || owner_pkt != flit.packet_id {
+                            continue;
+                        }
+                    }
+                    None => {
+                        if !flit.is_head {
+                            continue; // only heads may acquire
+                        }
+                    }
+                }
+                // Credit check: downstream buffer space, counting flits
+                // already staged this cycle.
+                let staged = arrivals
+                    .iter()
+                    .filter(|(c, v, _)| *c == out_c && *v == *out_vc)
+                    .count();
+                if buffers[out_c][*out_vc].len() + staged >= config.buffer_flits {
+                    continue;
+                }
+                granted = Some((*port, flit.clone(), *out_vc));
+                rr[out_c] = (start + k + 1) % candidates.len();
+                break;
+            }
+            let Some((port, mut flit, out_vc)) = granted else {
+                continue;
+            };
+
+            // Commit the move: consume from the source port.
+            match port {
+                Port::Local => {
+                    let pid = flit.packet_id;
+                    emit_progress[u.index()] += 1;
+                    if flit.is_head {
+                        packets[pid].inject_cycle = Some(cycle);
+                    }
+                    flits_injected += 1;
+                    if flit.kind == FlitKind::Tail {
+                        pending[u.index()].pop_front();
+                        emit_progress[u.index()] = 0;
+                    }
+                }
+                Port::Buffer(in_c, vc) => {
+                    buffers[in_c][vc].pop_front();
+                }
+            }
+            // Lock management.
+            if flit.is_head {
+                locks[out_c][out_vc] = Some((port, flit.packet_id));
+            }
+            if flit.kind == FlitKind::Tail {
+                locks[out_c][out_vc] = None;
+            }
+            // Energy: switch traversal at u + link traversal.
+            energy.switch +=
+                energy_model.switch_event_energy_radix(config.flit_bits as f64, radix[u.index()]);
+            let (a, b) = channels[out_c];
+            energy.link +=
+                energy_model.link_event_energy(config.flit_bits as f64, model.link_length_mm(a, b));
+            flit.hop += 1;
+            arrivals.push((out_c, out_vc, flit));
+            moved = true;
+        }
+
+        // Phase 3: arrivals land.
+        for (c, vc, flit) in arrivals.drain(..) {
+            buffers[c][vc].push_back(flit);
+        }
+
+        if moved {
+            last_progress_cycle = cycle;
+        }
+        cycle += 1;
+    }
+
+    // Idle/clock energy over the whole run (zero for ASIC profiles).
+    for &r in &radix {
+        energy.idle += energy_model.idle_energy(r, cycle);
+    }
+    let total_payload_bits: u64 = packets.iter().map(|p| p.payload_bits).sum();
+    Ok(SimReport::assemble(
+        model.name().to_string(),
+        cycle,
+        packets.len(),
+        delivered,
+        total_payload_bits,
+        latency_sum,
+        network_latency_sum,
+        flits_injected,
+        flits_ejected,
+        energy,
+        energy_model.profile().clock_hz(),
+    ))
+}

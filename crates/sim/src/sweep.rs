@@ -2,10 +2,13 @@
 //! NoC evaluation (and the natural experiment for the routing-strategy
 //! future work of the paper's Section 6).
 
+use std::time::Instant;
+
 use noc_energy::EnergyModel;
 use noc_graph::NodeId;
 
-use crate::{traffic, NocModel, SimConfig, SimError, Simulator};
+use crate::engine::SimState;
+use crate::{traffic, NocModel, SimConfig, SimError, SimReport, Simulator};
 
 /// One point of a load sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +53,17 @@ pub struct SweepConfig {
     /// pairs over all nodes — the right model for meshes, but unroutable
     /// on custom architectures that only provide application routes.
     pub pairs: Option<Vec<(NodeId, NodeId)>>,
+    /// Worker threads for rate points: `1` (the default) runs the ramp
+    /// sequentially, `0` uses one thread per hardware thread, `n > 1`
+    /// dispatches points in waves of `n`. Points are independent (fresh
+    /// traffic per rate, one shared compiled core), so the wave results
+    /// are folded back **in rate order** and any point a sequential ramp
+    /// would not have simulated — past a `saturation_cutoff` hit or a
+    /// failing point — is discarded. The reported curve, the first
+    /// error, and the recorded
+    /// telemetry are therefore identical to the sequential ramp's; only
+    /// wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for SweepConfig {
@@ -62,7 +76,29 @@ impl Default for SweepConfig {
             sim: SimConfig::default(),
             saturation_cutoff: None,
             pairs: None,
+            threads: 1,
         }
+    }
+}
+
+/// Traffic for one rate point — deterministic in `(config, rate)` alone,
+/// which is what makes speculative parallel points fold back exactly.
+fn traffic_for(model: &NocModel, config: &SweepConfig, rate: f64) -> Vec<crate::TrafficEvent> {
+    match &config.pairs {
+        Some(pairs) => traffic::bernoulli_pairs(
+            pairs,
+            config.duration_cycles,
+            rate,
+            config.payload_bits,
+            config.seed,
+        ),
+        None => traffic::bernoulli(
+            model.node_count(),
+            config.duration_cycles,
+            rate,
+            config.payload_bits,
+            config.seed,
+        ),
     }
 }
 
@@ -106,6 +142,13 @@ pub fn sweep(
     energy: &EnergyModel,
 ) -> Result<Vec<LoadPoint>, SimError> {
     let telemetry = noc_telemetry::active();
+    let threads = if config.threads == 0 {
+        rayon::current_num_threads().max(1)
+    } else {
+        config.threads
+    };
+    // One compiled core (and one energy-model clone) for the whole ramp.
+    let sim = Simulator::new(model, config.sim, energy.clone());
     let mut points = Vec::with_capacity(config.rates.len());
     // Zero-load anchor: (offered rate, latency) of the delivered point
     // with the lowest rate so far. On an ascending ramp this is the first
@@ -113,68 +156,100 @@ pub fn sweep(
     // as soon as a lower-rate point delivers, so the cutoff never
     // compares against a congested baseline.
     let mut zero_load: Option<(f64, f64)> = None;
-    for &rate in &config.rates {
-        let point_start = telemetry.map(|_| std::time::Instant::now());
-        let events = match &config.pairs {
-            Some(pairs) => traffic::bernoulli_pairs(
-                pairs,
-                config.duration_cycles,
-                rate,
-                config.payload_bits,
-                config.seed,
-            ),
-            None => traffic::bernoulli(
-                model.node_count(),
-                config.duration_cycles,
-                rate,
-                config.payload_bits,
-                config.seed,
-            ),
+    // Engine states: one reused across the whole sequential ramp, or one
+    // per wave slot under threads > 1.
+    let mut state = SimState::default();
+    let mut slot_states: Vec<SimState> = Vec::new();
+
+    let mut idx = 0usize;
+    'ramp: while idx < config.rates.len() {
+        let wave = if threads <= 1 {
+            1
+        } else {
+            threads.min(config.rates.len() - idx)
         };
-        let report = Simulator::new(model, config.sim, energy.clone()).run(events)?;
-        let point = LoadPoint {
-            injection_rate: rate,
-            avg_latency_cycles: report.avg_packet_latency_cycles,
-            throughput_bits_per_cycle: report.throughput_bits_per_cycle(),
-            packets: report.packets_delivered,
-            energy_joules: report.energy.total().joules(),
-        };
-        let latency = point.avg_latency_cycles;
-        let delivered = point.packets > 0;
-        if let (Some(tel), Some(t0)) = (telemetry, point_start) {
-            tel.add("sim.sweep.points", 1);
-            tel.span_event(
-                "sim.sweep.point",
-                t0.elapsed(),
-                &[
-                    ("rate", rate.into()),
-                    ("packets", point.packets.into()),
-                    ("latency_cycles", latency.into()),
-                ],
-            );
-        }
-        points.push(point);
-        if delivered && zero_load.is_none_or(|(anchor_rate, _)| rate < anchor_rate) {
-            zero_load = Some((rate, latency));
-        }
-        if let (Some(cutoff), Some((anchor_rate, baseline))) = (config.saturation_cutoff, zero_load)
-        {
-            if latency > cutoff * baseline {
-                if let Some(tel) = telemetry {
-                    tel.add("sim.sweep.cutoffs", 1);
-                    tel.event(
-                        "sim.sweep.saturation_cutoff",
-                        &[
-                            ("rate", rate.into()),
-                            ("latency_cycles", latency.into()),
-                            ("anchor_rate", anchor_rate.into()),
-                            ("anchor_latency_cycles", baseline.into()),
-                        ],
-                    );
+        let mut results: Vec<Option<(Result<SimReport, SimError>, std::time::Duration)>> =
+            (0..wave).map(|_| None).collect();
+        if wave == 1 {
+            let rate = config.rates[idx];
+            let t0 = Instant::now();
+            let events = traffic_for(model, config, rate);
+            results[0] = Some((sim.run_in(&mut state, &events), t0.elapsed()));
+        } else {
+            // Speculative wave: points past a cutoff or an error are
+            // simulated here but discarded in the in-order fold below, so
+            // the reported curve equals the sequential one.
+            while slot_states.len() < wave {
+                slot_states.push(SimState::default());
+            }
+            let sim = &sim;
+            rayon::scope(|s| {
+                for ((slot, st), &rate) in results
+                    .iter_mut()
+                    .zip(slot_states.iter_mut())
+                    .zip(&config.rates[idx..idx + wave])
+                {
+                    s.spawn(move |_| {
+                        let t0 = Instant::now();
+                        let events = traffic_for(model, config, rate);
+                        *slot = Some((sim.run_in(st, &events), t0.elapsed()));
+                    });
                 }
-                break;
+            });
+        }
+
+        // Fold the wave in rate order: the first error or cutoff wins and
+        // every later (speculated) result is dropped unrecorded.
+        for (k, res) in results.into_iter().enumerate() {
+            let rate = config.rates[idx + k];
+            let (outcome, elapsed) = res.expect("wave slot completed");
+            let report = outcome?;
+            let point = LoadPoint {
+                injection_rate: rate,
+                avg_latency_cycles: report.avg_packet_latency_cycles,
+                throughput_bits_per_cycle: report.throughput_bits_per_cycle(),
+                packets: report.packets_delivered,
+                energy_joules: report.energy.total().joules(),
+            };
+            let latency = point.avg_latency_cycles;
+            let delivered = point.packets > 0;
+            if let Some(tel) = telemetry {
+                tel.add("sim.sweep.points", 1);
+                tel.span_event(
+                    "sim.sweep.point",
+                    elapsed,
+                    &[
+                        ("rate", rate.into()),
+                        ("packets", point.packets.into()),
+                        ("latency_cycles", latency.into()),
+                    ],
+                );
+            }
+            points.push(point);
+            if delivered && zero_load.is_none_or(|(anchor_rate, _)| rate < anchor_rate) {
+                zero_load = Some((rate, latency));
+            }
+            if let (Some(cutoff), Some((anchor_rate, baseline))) =
+                (config.saturation_cutoff, zero_load)
+            {
+                if latency > cutoff * baseline {
+                    if let Some(tel) = telemetry {
+                        tel.add("sim.sweep.cutoffs", 1);
+                        tel.event(
+                            "sim.sweep.saturation_cutoff",
+                            &[
+                                ("rate", rate.into()),
+                                ("latency_cycles", latency.into()),
+                                ("anchor_rate", anchor_rate.into()),
+                                ("anchor_latency_cycles", baseline.into()),
+                            ],
+                        );
+                    }
+                    break 'ramp;
+                }
             }
         }
+        idx += wave;
     }
     Ok(points)
 }
@@ -375,6 +450,51 @@ mod tests {
         assert!(cutoffs[0].fields.iter().any(|(k, v)| {
             k == "anchor_rate" && matches!(v, noc_telemetry::Field::F64(r) if *r == markers[0])
         }));
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_curve() {
+        // Parallel waves speculate past cutoffs and fold in rate order, so
+        // every thread count must reproduce the sequential curve exactly —
+        // including the truncation point when a cutoff fires.
+        let model = NocModel::mesh(4, 4, 1.0);
+        for cutoff in [None, Some(2.0)] {
+            let mk = |threads: usize| SweepConfig {
+                rates: vec![0.02, 0.45, 0.55, 0.65],
+                duration_cycles: 300,
+                saturation_cutoff: cutoff,
+                threads,
+                ..Default::default()
+            };
+            let sequential = sweep(&model, &mk(1), &energy()).unwrap();
+            for threads in [2, 3, 0] {
+                let parallel = sweep(&model, &mk(threads), &energy()).unwrap();
+                assert_eq!(parallel, sequential, "threads={threads} cutoff={cutoff:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_reports_the_first_error_only() {
+        // Rate points on a model with no routes all fail; the parallel
+        // fold must surface the same (first) error as the sequential ramp.
+        let topo = noc_graph::DiGraph::from_edges(2, [(0, 1)]).unwrap();
+        let model = NocModel::from_parts(
+            "routeless",
+            topo,
+            std::collections::BTreeMap::new(),
+            std::collections::BTreeMap::new(),
+            1.0,
+        );
+        let mk = |threads: usize| SweepConfig {
+            rates: vec![0.4, 0.5],
+            duration_cycles: 50,
+            threads,
+            ..Default::default()
+        };
+        let sequential = sweep(&model, &mk(1), &energy()).unwrap_err();
+        let parallel = sweep(&model, &mk(2), &energy()).unwrap_err();
+        assert_eq!(sequential, parallel);
     }
 
     #[test]
