@@ -68,6 +68,28 @@ fn main() {
     let par_ns = mean_ns("explore_campaign/par");
     let flows_per_sec = |ns: f64| flows as f64 / (ns / 1e9);
 
+    // Static-verification cost: every point carries a verdict with the
+    // verifier's wall-time; the extended-CDG pass must stay a rounding
+    // error next to synthesis + simulation, so the per-point maximum is
+    // budgeted in-process.
+    const VERIFY_BUDGET_MS: f64 = 25.0;
+    let verify_ms: Vec<f64> = sequential
+        .points
+        .iter()
+        .map(|p| {
+            p.verify
+                .as_ref()
+                .unwrap_or_else(|| panic!("point {} carries no verdict", p.label))
+                .verify_ms
+        })
+        .collect();
+    let verify_mean_ms = verify_ms.iter().sum::<f64>() / verify_ms.len() as f64;
+    let verify_max_ms = verify_ms.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        verify_max_ms <= VERIFY_BUDGET_MS,
+        "verification cost {verify_max_ms:.3} ms/point blew the {VERIFY_BUDGET_MS} ms budget"
+    );
+
     // Budgeted sampling quality: a deterministic bandit at 2/3 of the
     // grid's flows, scored against the exhaustive front's hypervolume.
     let budget = (flows * 2) / 3;
@@ -89,10 +111,13 @@ fn main() {
         "parallel"
     };
     let json = format!(
-        "{{\n  \"bench\": \"explore_campaign\",\n  \"grid\": \"smoke\",\n  \"flows_per_campaign\": {flows},\n  \"hardware_threads\": {hardware_threads},\n  \"unit\": \"flows_per_second\",\n  \"front\": {{\"size\": {}, \"hypervolume\": {}, \"spread\": {}}},\n  \"sampled\": {{\"policy\": \"{}\", \"budget\": {}, \"flows_spent\": {}, \"rounds\": {}, \"hypervolume\": {}, \"full_grid_fraction\": {:.6}}},\n  \"results\": [\n    {{\"threads\": 1, \"hardware_threads\": {hardware_threads}, \"mode\": \"sequential\", \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}},\n    {{\"threads\": {hardware_threads}, \"hardware_threads\": {hardware_threads}, \"mode\": \"{par_mode}\", \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}, \"vs_seq\": {:.3}}}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"explore_campaign\",\n  \"grid\": \"smoke\",\n  \"flows_per_campaign\": {flows},\n  \"hardware_threads\": {hardware_threads},\n  \"unit\": \"flows_per_second\",\n  \"front\": {{\"size\": {}, \"hypervolume\": {}, \"spread\": {}}},\n  \"verify\": {{\"points\": {}, \"mean_ms\": {:.4}, \"max_ms\": {:.4}, \"budget_ms\": {VERIFY_BUDGET_MS}}},\n  \"sampled\": {{\"policy\": \"{}\", \"budget\": {}, \"flows_spent\": {}, \"rounds\": {}, \"hypervolume\": {}, \"full_grid_fraction\": {:.6}}},\n  \"results\": [\n    {{\"threads\": 1, \"hardware_threads\": {hardware_threads}, \"mode\": \"sequential\", \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}}},\n    {{\"threads\": {hardware_threads}, \"hardware_threads\": {hardware_threads}, \"mode\": \"{par_mode}\", \"campaign_ms\": {:.4}, \"flows_per_sec\": {:.3}, \"vs_seq\": {:.3}}}\n  ]\n}}\n",
         sequential.front.len(),
         sequential.hypervolume,
         sequential.spread,
+        verify_ms.len(),
+        verify_mean_ms,
+        verify_max_ms,
         provenance.policy,
         provenance.budget,
         provenance.flows_spent,

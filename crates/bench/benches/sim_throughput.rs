@@ -83,9 +83,7 @@ fn sweep_config(duration: u64) -> SweepConfig {
 fn ramp_events(model: &NocModel, duration: u64) -> Vec<Vec<TrafficEvent>> {
     RATES
         .iter()
-        .map(|&rate| {
-            traffic::bernoulli(model.node_count(), duration, rate, PAYLOAD_BITS, SEED)
-        })
+        .map(|&rate| traffic::bernoulli(model.node_count(), duration, rate, PAYLOAD_BITS, SEED))
         .collect()
 }
 
@@ -97,8 +95,8 @@ fn seed_ramp(model: &NocModel, duration: u64) -> u64 {
     let mut cycles = 0u64;
     for &rate in &RATES {
         let events = traffic::bernoulli(model.node_count(), duration, rate, PAYLOAD_BITS, SEED);
-        let report = reference::run_reference(model, &cfg, &energy, &events)
-            .expect("seed ramp completes");
+        let report =
+            reference::run_reference(model, &cfg, &energy, &events).expect("seed ramp completes");
         cycles += report.total_cycles;
     }
     cycles
@@ -204,7 +202,11 @@ fn main() {
             b.iter(|| event_ramp(&sim, model.node_count(), duration))
         });
         group.bench_function("event_sweep", |b| {
-            b.iter(|| sweep(&model, &sweep_config(duration), &energy()).unwrap().len())
+            b.iter(|| {
+                sweep(&model, &sweep_config(duration), &energy())
+                    .unwrap()
+                    .len()
+            })
         });
         group.bench_function("event_par", |b| {
             b.iter(|| {

@@ -19,6 +19,8 @@
 //! explore worker --ids I,J,... --stream-out PATH --out PATH
 //!               [--cache-in PATH] [--cache-out PATH] [--stall-ms MS]
 //!               [--smoke | --full] [--threads N]
+//! explore verify [--smoke | --full] [--threads N] [--out PATH]
+//!               [--chaos-cyclic] [REPORT]
 //! explore events [--summarize] PATH
 //! ```
 //!
@@ -80,6 +82,15 @@
 //!   extra in-process campaigns afterwards. Under `coordinate` the trace
 //!   holds the coordinator's wave lifecycle (deal/complete/kill/salvage/
 //!   re-deal) — worker processes run untraced.
+//! * `verify` — static deadlock analysis over an existing report
+//!   (default `EXPLORE_report.json`): re-synthesize each synthesis key of
+//!   the grid, run the `noc-verify` extended-CDG pass, write a fresh
+//!   verdict into every point, and rewrite the report (to `--out`, or in
+//!   place). Exits nonzero when any architecture fails verification,
+//!   printing its witness cycle. `--chaos-cyclic` is the CI fault
+//!   injection: verify a deliberately cyclic 2x2 routing table instead,
+//!   succeeding only when the verifier *rejects* it with a concrete
+//!   channel-cycle witness.
 //! * `events [--summarize] PATH` — read a trace back: validate it and
 //!   report its size, or render the phase-time/counter table with
 //!   `--summarize`.
@@ -155,6 +166,7 @@ fn main() -> ExitCode {
         Some("sample") => ("sample", &args[1..]),
         Some("coordinate") => ("coordinate", &args[1..]),
         Some("worker") => ("worker", &args[1..]),
+        Some("verify") => ("verify", &args[1..]),
         Some("events") => ("events", &args[1..]),
         Some("run") => ("run", &args[1..]),
         _ => ("run", &args[..]),
@@ -165,6 +177,7 @@ fn main() -> ExitCode {
         "sample" => sample_command(rest),
         "coordinate" => coordinate_command(rest),
         "worker" => worker_command(rest),
+        "verify" => verify_command(rest),
         "events" => events_command(rest),
         _ => run_command(rest),
     }
@@ -697,6 +710,140 @@ fn worker_command(args: &[String]) -> ExitCode {
     }
 }
 
+fn verify_command(args: &[String]) -> ExitCode {
+    let mut common = CommonArgs {
+        smoke: true,
+        ..CommonArgs::default()
+    };
+    let mut chaos_cyclic = false;
+    let mut report_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match parse_common(arg, &mut iter, &mut common) {
+            Ok(true) => continue,
+            Err(code) => return code,
+            Ok(false) => {}
+        }
+        match arg.as_str() {
+            "--chaos-cyclic" => chaos_cyclic = true,
+            path if !path.starts_with("--") => report_path = Some(path.to_string()),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if chaos_cyclic {
+        return chaos_cyclic_gate();
+    }
+
+    let path = report_path.unwrap_or_else(|| "EXPLORE_report.json".into());
+    let out = if common.out.is_empty() {
+        path.clone()
+    } else {
+        common.out.clone()
+    };
+    let mut report = match load_report(&path) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let grid = if common.smoke {
+        ScenarioGrid::smoke()
+    } else {
+        full_grid()
+    };
+    let campaign = Campaign::new(grid).threads(common.threads);
+    let summary = match campaign.verify_report(&mut report) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{summary}");
+    for &id in &summary.failed {
+        let point = report.point(id).expect("failed id names a report point");
+        let verify = point
+            .verify
+            .as_ref()
+            .expect("failed point carries a verdict");
+        println!("  NOT VERIFIED {} — {}", point.label, verify.summary());
+        for edge in &verify.cycle {
+            println!("    {edge}");
+        }
+        for lint in &verify.lint {
+            println!("    {lint}");
+        }
+    }
+    if write_report(&out, &report, false) == ExitCode::FAILURE {
+        return ExitCode::FAILURE;
+    }
+    if summary.all_clear() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "error: {} point(s) record measurements of unverified architectures",
+            summary.failed.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The `verify --chaos-cyclic` CI fault injection: a 2x2 mesh whose four
+/// routes close a turnaround cycle on one VC — the verifier must reject
+/// it and name the cycle. Succeeding on a planted fault proves the gate
+/// can actually fail.
+fn chaos_cyclic_gate() -> ExitCode {
+    use std::collections::BTreeMap;
+
+    let topology = DiGraph::from_edges(
+        4,
+        [
+            (0, 1),
+            (1, 0),
+            (0, 2),
+            (2, 0),
+            (1, 3),
+            (3, 1),
+            (2, 3),
+            (3, 2),
+        ],
+    )
+    .expect("2x2 mesh");
+    // Each route alone is legal; together they chain the four channels
+    // c(0,2) -> c(2,3) -> c(3,1) -> c(1,0) -> c(0,2) into a cycle.
+    let routes: BTreeMap<(NodeId, NodeId), Vec<NodeId>> = [
+        ((0usize, 3usize), vec![0usize, 2, 3]),
+        ((3, 0), vec![3, 1, 0]),
+        ((1, 2), vec![1, 0, 2]),
+        ((2, 1), vec![2, 3, 1]),
+    ]
+    .into_iter()
+    .map(|((s, d), path)| {
+        (
+            (NodeId(s), NodeId(d)),
+            path.into_iter().map(NodeId).collect(),
+        )
+    })
+    .collect();
+    let model = NocModel::from_parts("chaos-cyclic", topology, routes, BTreeMap::new(), 1.0);
+    let verdict = model.verify();
+    if verdict.is_deadlock_free() {
+        eprintln!("error: chaos gate expected the planted cyclic routing table to be rejected");
+        return ExitCode::FAILURE;
+    }
+    let Some(witness) = verdict.cycle.as_ref() else {
+        eprintln!("error: the rejection carried no witness cycle:\n{verdict}");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "chaos gate: planted cyclic routing table rejected with a {}-edge witness",
+        witness.len()
+    );
+    println!("{verdict}");
+    ExitCode::SUCCESS
+}
+
 fn merge_command(args: &[String]) -> ExitCode {
     let mut out = "EXPLORE_report.json".to_string();
     let mut inputs: Vec<String> = Vec::new();
@@ -906,6 +1053,27 @@ fn smoke_gates(campaign: &Campaign, report: &CampaignReport, stream: bool) {
         report.match_cache
     );
 
+    // 5. Every report row carries a static-verification verdict, and
+    // every synthesized VC assignment proves deadlock-free — the verify
+    // gate ran on all points and rejected none.
+    for point in &report.points {
+        let verify = point
+            .verify
+            .as_ref()
+            .unwrap_or_else(|| panic!("point {} carries no verification verdict", point.label));
+        assert!(
+            verify.deadlock_free,
+            "point {} failed static verification: {}",
+            point.label,
+            verify.summary()
+        );
+        assert!(
+            verify.routes_checked > 0,
+            "point {} verified no routes",
+            point.label
+        );
+    }
+
     note!(
         stream,
         "determinism checks: single-shot == parallel == resumed == sharded-and-merged"
@@ -915,6 +1083,11 @@ fn smoke_gates(campaign: &Campaign, report: &CampaignReport, stream: bool) {
         "shared match cache: {} size(s), cross-size hits on {}",
         report.match_cache.len(),
         sizes_with_hits
+    );
+    note!(
+        stream,
+        "verification gate: all {} point(s) proved deadlock-free",
+        report.points.len()
     );
 }
 
@@ -1008,6 +1181,7 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("       explore merge --out PATH REPORT...");
     eprintln!("       explore coordinate --workers N [--deadline SECS] [--cache PATH] [--work-dir DIR] [--chaos-kill-first] [--verbose] [--smoke | --full] [--threads N] [--out PATH] [--trace PATH]");
     eprintln!("       explore worker --ids I,J,... --stream-out PATH --out PATH [--cache-in PATH] [--cache-out PATH] [--stall-ms MS] [--smoke | --full] [--threads N]");
+    eprintln!("       explore verify [--smoke | --full] [--threads N] [--out PATH] [--chaos-cyclic] [REPORT]");
     eprintln!("       explore events [--summarize] PATH");
     ExitCode::from(2)
 }

@@ -61,6 +61,7 @@ use noc_telemetry::Telemetry;
 use crate::pareto::ObjectiveKind;
 use crate::report::{
     CacheSizeRecord, CampaignReport, NullSink, PointRecord, ResultSink, SweepPointRecord,
+    VerifyRecord,
 };
 use crate::scenario::{Scenario, ScenarioGrid};
 use crate::shard::ShardManifest;
@@ -82,6 +83,10 @@ pub(crate) struct SynthArtifacts {
     /// custom architecture only guarantees routes for these).
     pairs: Vec<(NodeId, NodeId)>,
     synth_ms: f64,
+    /// Static deadlock-freedom verdict of `model`, computed once per
+    /// synthesis key right after synthesis (every scenario sharing the
+    /// key repeats it, like `synth_ms`).
+    pub(crate) verify: VerifyRecord,
 }
 
 pub(crate) type SynthOutcome = Result<Arc<SynthArtifacts>, String>;
@@ -517,8 +522,7 @@ impl Campaign {
         // workers may both compute a placement; the floorplanner is
         // deterministic per key, so the duplicate is wasted work, never
         // a results change.
-        let placements: Mutex<HashMap<(String, u64, u64), Placement>> =
-            Mutex::new(HashMap::new());
+        let placements: Mutex<HashMap<(String, u64, u64), Placement>> = Mutex::new(HashMap::new());
         let threads = self.resolve_threads(scenarios.len());
         let next_job = AtomicUsize::new(0);
         let synthesize_worker = || loop {
@@ -662,7 +666,7 @@ impl Campaign {
 
     /// The sharing key: the scenario's synthesis key when sharing is on,
     /// otherwise a per-scenario unique key (disabling all reuse).
-    fn synthesis_key(&self, scenario: &Scenario) -> String {
+    pub(crate) fn synthesis_key(&self, scenario: &Scenario) -> String {
         if self.share_synthesis {
             scenario.synthesis_key()
         } else {
@@ -670,7 +674,7 @@ impl Campaign {
         }
     }
 
-    fn synthesize(
+    pub(crate) fn synthesize(
         &self,
         scenario: &Scenario,
         match_cache: Option<&SharedMatchCache>,
@@ -728,11 +732,22 @@ impl Campaign {
             .map_err(|e| e.to_string())?;
         let synth_ms = t0.elapsed().as_secs_f64() * 1e3;
         let model = result.noc_model();
+
+        // Static deadlock analysis — once per synthesis key, against the
+        // exact model the sweeps will run. The spec demands a route for
+        // every traffic pair the sweep can draw, so an incomplete table
+        // fails here, not mid-simulation.
+        let t0 = Instant::now();
+        let spec = model.routing_spec().require_pairs(pairs.iter().copied());
+        let verdict = noc::verify::verify_with(&spec, self.resolved_telemetry());
+        let verify = VerifyRecord::from_verdict(&verdict, t0.elapsed().as_secs_f64() * 1e3);
+
         Ok(Arc::new(SynthArtifacts {
             result,
             model,
             pairs,
             synth_ms,
+            verify,
         }))
     }
 
@@ -753,6 +768,7 @@ impl Campaign {
             nodes_visited: 0,
             cache_hits: 0,
             synth_ms: f64::NAN,
+            verify: None,
             sweep: Vec::new(),
             saturated: false,
             error: None,
@@ -768,6 +784,18 @@ impl Campaign {
         record.nodes_visited = artifacts.result.stats.nodes_visited;
         record.cache_hits = artifacts.result.stats.cache_hits;
         record.synth_ms = artifacts.synth_ms;
+        record.verify = Some(artifacts.verify.clone());
+
+        // Gate: an unverified architecture never reaches the simulator —
+        // its record carries the witness (or lint) instead of a sweep, and
+        // the error keeps it off the front.
+        if !artifacts.verify.deadlock_free {
+            record.error = Some(format!(
+                "verification failed: {}",
+                artifacts.verify.summary()
+            ));
+            return record;
+        }
 
         let sweep_config = sweep::SweepConfig {
             rates: scenario.sim.rates.clone(),
@@ -853,6 +881,13 @@ mod tests {
         let report = Campaign::new(ScenarioGrid::smoke()).run();
         assert_eq!(report.points.len(), 12);
         assert!(report.points.iter().all(|p| p.error.is_none()));
+        // Every point carries a clean static-verification verdict: the
+        // synthesized VC assignment is deadlock-free by construction.
+        for p in &report.points {
+            let verify = p.verify.as_ref().expect("point carries a verdict");
+            assert!(verify.deadlock_free, "{}: {}", p.label, verify.summary());
+            assert!(verify.routes_checked > 0);
+        }
         // Two sim specs per synthesis key: half the points reuse.
         assert_eq!(report.flows_synthesized, 6);
         assert_eq!(report.synthesis_reused, 6);

@@ -91,6 +91,7 @@ pub mod report;
 pub mod sample;
 pub mod scenario;
 pub mod shard;
+pub mod verify;
 
 pub use campaign::{Campaign, CampaignPlan, CACHE_CAPACITY};
 pub use coordinate::{
@@ -101,11 +102,13 @@ pub use metrics::FrontMetrics;
 pub use pareto::{dominates, pareto_indices, ObjectiveKind, ParetoFront};
 pub use report::{
     CacheSizeRecord, CampaignReport, CoordinatorRecord, JsonLinesSink, NullSink, PointRecord,
-    ResultSink, SamplerRecord, SamplerRoundRecord, WarmCacheRecord, WaveRecord, SCHEMA_VERSION,
+    ResultSink, SamplerRecord, SamplerRoundRecord, VerifyRecord, WarmCacheRecord, WaveRecord,
+    SCHEMA_VERSION,
 };
 pub use sample::{SamplerConfig, SamplerPolicy};
 pub use scenario::{Scenario, ScenarioGrid, SimSpec, WorkloadSpec};
 pub use shard::{merge_reports, partition, ShardManifest, ShardMode};
+pub use verify::VerifySummary;
 
 /// The common imports for declaring and running campaigns.
 pub mod prelude {

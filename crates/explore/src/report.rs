@@ -26,8 +26,13 @@ use crate::pareto::{ObjectiveKind, ParetoFront};
 /// provenance objects: `warm_cache` (written by runs that warm-started
 /// from a persisted match-cache file) and `coordinator` (written on the
 /// merged report of [`coordinate`](crate::coordinate::coordinate) runs).
-/// All v3 additions default to zero/absent when reading older reports.
-pub const SCHEMA_VERSION: u64 = 3;
+/// All v3 additions default to zero/absent when reading older reports;
+/// **v4** — adds the optional per-point `verify` object: the static
+/// deadlock-freedom verdict of the synthesized architecture's routing
+/// ([`VerifyRecord`], produced by `noc-verify`'s extended channel
+/// dependency graph analysis). Absent in v1–v3 reports and parsed as
+/// `None` ("never verified") — run `explore verify` to fill it in.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One sampled load point of a scenario's sweep, as recorded in reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,6 +168,67 @@ impl CoordinatorRecord {
     }
 }
 
+/// The static deadlock-freedom verdict of one synthesized architecture,
+/// as recorded per point (schema v4) — the report-side projection of a
+/// [`noc::verify::Verdict`]. Reused points repeat
+/// their synthesis owner's verdict, like `synth_ms`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyRecord {
+    /// `true` when the verifier *proved* the routing deadlock-free: no
+    /// lint errors and an acyclic VC-aware extended channel dependency
+    /// graph over every route table the policy can select.
+    pub deadlock_free: bool,
+    /// Virtual channels the architecture's assignment uses.
+    pub num_vcs: usize,
+    /// Distinct `(channel, VC)` resources some route occupies.
+    pub cdg_vertices: usize,
+    /// Distinct dependency edges in the extended CDG.
+    pub cdg_edges: usize,
+    /// Routes inspected across all route sets.
+    pub routes_checked: usize,
+    /// Verification wall-time, ms (the owner's time when reused).
+    pub verify_ms: f64,
+    /// The witness cycle, one rendered dependency edge per entry (each
+    /// naming the inducing routes); empty when no cycle exists.
+    pub cycle: Vec<String>,
+    /// Rendered lint errors; empty when the spec is well-formed.
+    pub lint: Vec<String>,
+}
+
+impl VerifyRecord {
+    /// Projects a verifier verdict into the report form.
+    pub fn from_verdict(verdict: &noc::verify::Verdict, verify_ms: f64) -> Self {
+        VerifyRecord {
+            deadlock_free: verdict.is_deadlock_free(),
+            num_vcs: verdict.num_vcs,
+            cdg_vertices: verdict.cdg_vertices,
+            cdg_edges: verdict.cdg_edges,
+            routes_checked: verdict.routes_checked,
+            verify_ms,
+            cycle: verdict
+                .cycle
+                .as_ref()
+                .map(|c| c.render_edges())
+                .unwrap_or_default(),
+            lint: verdict.render_lint(),
+        }
+    }
+
+    /// One-line summary for logs and point errors.
+    pub fn summary(&self) -> String {
+        if self.deadlock_free {
+            format!(
+                "deadlock-free ({} VCs, CDG {}v/{}e)",
+                self.num_vcs, self.cdg_vertices, self.cdg_edges
+            )
+        } else if let Some(first) = self.cycle.first() {
+            format!("cyclic dependency: {first}")
+        } else {
+            format!("route lint failed: {}", self.lint.join("; "))
+        }
+    }
+}
+
 /// Everything recorded about one evaluated scenario point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointRecord {
@@ -205,6 +271,10 @@ pub struct PointRecord {
     pub cache_hits: u64,
     /// Synthesis wall-time, ms (the original run's time when reused).
     pub synth_ms: f64,
+    /// Static deadlock-freedom verdict of the synthesized architecture
+    /// (schema v4). `None` means "never verified": pre-v4 reports, and
+    /// points whose synthesis failed before a model existed.
+    pub verify: Option<VerifyRecord>,
     /// The simulated latency-vs-load curve (possibly truncated by the
     /// saturation cutoff).
     pub sweep: Vec<SweepPointRecord>,
@@ -254,6 +324,25 @@ impl PointRecord {
         push_kv(&mut s, "nodes_visited", &self.nodes_visited.to_string());
         push_kv(&mut s, "cache_hits", &self.cache_hits.to_string());
         push_kv(&mut s, "synth_ms", &json_f64(self.synth_ms));
+        if let Some(verify) = &self.verify {
+            let cycle: Vec<String> = verify.cycle.iter().map(|e| json_string(e)).collect();
+            let lint: Vec<String> = verify.lint.iter().map(|e| json_string(e)).collect();
+            push_kv(
+                &mut s,
+                "verify",
+                &format!(
+                    "{{\"deadlock_free\": {}, \"num_vcs\": {}, \"cdg_vertices\": {}, \"cdg_edges\": {}, \"routes_checked\": {}, \"verify_ms\": {}, \"cycle\": [{}], \"lint\": [{}]}}",
+                    verify.deadlock_free,
+                    verify.num_vcs,
+                    verify.cdg_vertices,
+                    verify.cdg_edges,
+                    verify.routes_checked,
+                    json_f64(verify.verify_ms),
+                    cycle.join(", "),
+                    lint.join(", "),
+                ),
+            );
+        }
         push_kv(
             &mut s,
             "saturated",
@@ -334,6 +423,20 @@ impl PointRecord {
             nodes_visited: need_u64(v, "nodes_visited")?,
             cache_hits: need_u64(v, "cache_hits")?,
             synth_ms: need_f64(v, "synth_ms")?,
+            // v4 field; v1–v3 points were never statically verified.
+            verify: match v.get("verify") {
+                None => None,
+                Some(w) => Some(VerifyRecord {
+                    deadlock_free: need_bool(w, "deadlock_free")?,
+                    num_vcs: need_usize(w, "num_vcs")?,
+                    cdg_vertices: need_usize(w, "cdg_vertices")?,
+                    cdg_edges: need_usize(w, "cdg_edges")?,
+                    routes_checked: need_usize(w, "routes_checked")?,
+                    verify_ms: need_f64(w, "verify_ms")?,
+                    cycle: need_str_array(w, "cycle")?,
+                    lint: need_str_array(w, "lint")?,
+                }),
+            },
             sweep,
             saturated: need_bool(v, "saturated")?,
             error,
@@ -881,6 +984,19 @@ fn need_str(v: &JsonValue, key: &str) -> Result<String, String> {
         .ok_or_else(|| format!("missing string '{key}'"))
 }
 
+fn need_str_array(v: &JsonValue, key: &str) -> Result<Vec<String>, String> {
+    v.get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("missing array '{key}'"))?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("'{key}' entries must be strings"))
+        })
+        .collect()
+}
+
 fn need_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
     v.get(key)
         .and_then(JsonValue::as_bool)
@@ -937,6 +1053,16 @@ mod tests {
             nodes_visited: 42,
             cache_hits: 7,
             synth_ms: 0.5,
+            verify: Some(VerifyRecord {
+                deadlock_free: true,
+                num_vcs: 2,
+                cdg_vertices: 9,
+                cdg_edges: 6,
+                routes_checked: 12,
+                verify_ms: 0.25,
+                cycle: Vec::new(),
+                lint: Vec::new(),
+            }),
             sweep: vec![SweepPointRecord {
                 rate: 0.05,
                 latency_cycles: 12.25,
@@ -1189,6 +1315,56 @@ mod tests {
         assert_eq!(parsed.match_cache[0].hits, 3);
         assert!(parsed.warm_cache.is_none());
         assert!(parsed.coordinator.is_none());
+    }
+
+    #[test]
+    fn v3_points_without_verify_parse_as_none() {
+        // A v3-era report predates the per-point verify verdict; strip
+        // the object (and claim v3) to reproduce one.
+        let original = report();
+        let verify_obj = ", \"verify\": {\"deadlock_free\": true, \"num_vcs\": 2, \
+                          \"cdg_vertices\": 9, \"cdg_edges\": 6, \"routes_checked\": 12, \
+                          \"verify_ms\": 0.25, \"cycle\": [], \"lint\": []}";
+        let v3 = original
+            .to_json()
+            .replace(
+                &format!("\"schema_version\": {SCHEMA_VERSION}"),
+                "\"schema_version\": 3",
+            )
+            .replace(verify_obj, "");
+        assert!(!v3.contains("\"verify\""), "strip failed: {v3}");
+        let parsed = CampaignReport::from_json(&v3).unwrap();
+        assert!(parsed.points.iter().all(|p| p.verify.is_none()));
+        // Everything else still round-trips from the v3 body.
+        assert_eq!(parsed.front, original.front);
+        assert_eq!(parsed.points[0].objectives, original.points[0].objectives);
+    }
+
+    #[test]
+    fn verify_witness_round_trips_with_escaping() {
+        let mut original = report();
+        original.points[0].verify = Some(VerifyRecord {
+            deadlock_free: false,
+            num_vcs: 1,
+            cdg_vertices: 4,
+            cdg_edges: 4,
+            routes_checked: 4,
+            verify_ms: 0.125,
+            cycle: vec![
+                "0->1@vc0 => 1->2@vc0 via 0->2 [assigned]".into(),
+                "witness with \"quotes\"\nand newlines".into(),
+            ],
+            lint: vec!["route 1->1 in set 'assigned' has bad endpoints".into()],
+        });
+        let json = original.to_json();
+        assert!(json.contains("\"deadlock_free\": false"));
+        let parsed = CampaignReport::from_json(&json).unwrap();
+        assert_eq!(parsed.points[0].verify, original.points[0].verify);
+        assert_eq!(parsed.to_json(), json);
+        assert_eq!(
+            parsed.points[0].verify.as_ref().unwrap().summary(),
+            "cyclic dependency: 0->1@vc0 => 1->2@vc0 via 0->2 [assigned]"
+        );
     }
 
     #[test]

@@ -272,6 +272,7 @@ mod tests {
             nodes_visited: 1,
             cache_hits: 0,
             synth_ms: 1.0,
+            verify: None,
             sweep: vec![SweepPointRecord {
                 rate: 0.05,
                 latency_cycles: 1.0,

@@ -24,6 +24,7 @@
 //! | [`floorplan`] | `noc-floorplan` | slicing-tree SA floorplanner |
 //! | [`synthesis`] | `noc-synthesis` | decomposition B&B, constraints, gluing |
 //! | [`sim`] | `noc-sim` | cycle-accurate wormhole simulator |
+//! | [`verify`] | `noc-verify` | static deadlock verifier (extended CDG) |
 //! | [`aes`] | `noc-aes` | AES-128 + 16-node distributed engine |
 //! | [`workloads`] | `noc-workloads` | TGFF/Pajek benchmark generators |
 //! | [`telemetry`] | `noc-telemetry` | structured spans, counters, event streams |
@@ -43,7 +44,10 @@
 //! let acg = Acg::from_graph_uniform(DiGraph::complete(4), EdgeDemand::from_volume(64.0));
 //! let result = SynthesisFlow::new(acg).seed(7).run().expect("synthesis succeeds");
 //! assert_eq!(result.decomposition.matchings.len(), 1); // one MGG4
-//! assert!(result.architecture.is_deadlock_free() || result.noc_model().num_vcs() >= 2);
+//! // The static verifier proves the routes deadlock-free under the
+//! // architecture's own VC assignment (extended channel dependency graph).
+//! let verdict = result.architecture.verify();
+//! assert!(verdict.is_deadlock_free(), "{verdict}");
 //! ```
 
 #![warn(missing_docs)]
@@ -60,6 +64,7 @@ pub use noc_primitives as primitives;
 pub use noc_sim as sim;
 pub use noc_synthesis as synthesis;
 pub use noc_telemetry as telemetry;
+pub use noc_verify as verify;
 pub use noc_workloads as workloads;
 
 pub use aes_proto::{AesPrototype, PrototypeComparison};
@@ -79,5 +84,6 @@ pub mod prelude {
         Architecture, CostModel, Decomposer, DecomposerConfig, Decomposition, Objective,
         SearchOrder, SharedMatchCache, SizeCacheStats, WarmStart,
     };
+    pub use noc_verify::{RouteSet, RoutingSpec, Verdict};
     pub use noc_workloads::{tgff, TgffConfig};
 }

@@ -235,7 +235,7 @@ impl SimCore {
         for l in &in_lists {
             for &c in l {
                 chan_slot[c as usize] = slot_channel.len() as u32;
-                slot_channel.extend(std::iter::repeat(c).take(num_vcs));
+                slot_channel.extend(std::iter::repeat_n(c, num_vcs));
             }
             node_slot_off.push(slot_channel.len() as u32);
         }
@@ -572,8 +572,7 @@ impl SimCore {
         // Per-node pending queues ordered by (release, id), then one heap
         // entry per non-empty queue for release wakeups.
         st.order.extend(0..events.len() as u32);
-        st.order
-            .sort_by_key(|&i| (st.pkts[i as usize].release, i));
+        st.order.sort_by_key(|&i| (st.pkts[i as usize].release, i));
         for i in 0..st.order.len() {
             let id = st.order[i];
             st.pending[events[id as usize].src.index()].push(id);
@@ -807,9 +806,6 @@ impl SimCore {
                         break;
                     }
                     idx = next;
-                }
-                if granted.is_some() {
-                } else {
                 }
                 let Some((cand, out_cvc)) = granted else {
                     // Candidates exist but all are lock- or credit-blocked.

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use noc_graph::{DiGraph, NodeId};
 use noc_synthesis::Architecture;
+use noc_verify::RoutingSpec;
 
 /// How a packet's route is selected when alternates exist.
 ///
@@ -373,6 +374,34 @@ impl NocModel {
         &self.alt_vcs
     }
 
+    /// The model's routing behavior as a [`noc_verify::RoutingSpec`]: the
+    /// channels of the topology, the model's VC count, and **every route
+    /// table a packet might follow** — under [`RoutePolicy::Stochastic`]
+    /// both the primary and the alternate tables join the union, because
+    /// a packet committed to either one holds its channel/VC resources
+    /// (the O1TURN union argument).
+    pub fn routing_spec(&self) -> noc_verify::RoutingSpec {
+        let channels = self.topology.edges().map(|e| (e.src, e.dst));
+        let mut spec = RoutingSpec::new(self.name.clone(), channels, self.num_vcs).route_set(
+            noc_verify::RouteSet::from_tables("primary", &self.routes, &self.vcs),
+        );
+        if matches!(self.policy, RoutePolicy::Stochastic { .. }) && !self.alt_routes.is_empty() {
+            spec = spec.route_set(noc_verify::RouteSet::from_tables(
+                "alternate",
+                &self.alt_routes,
+                &self.alt_vcs,
+            ));
+        }
+        spec
+    }
+
+    /// Statically verifies the model deadlock-free: lint pass plus
+    /// acyclicity of the VC-aware extended channel dependency graph over
+    /// all route tables the policy can select. See [`noc_verify`].
+    pub fn verify(&self) -> noc_verify::Verdict {
+        noc_verify::verify(&self.routing_spec())
+    }
+
     /// Mean route length in hops over all routed pairs.
     pub fn avg_route_hops(&self) -> f64 {
         if self.routes.is_empty() {
@@ -456,6 +485,40 @@ mod tests {
         let mut routes = BTreeMap::new();
         routes.insert((NodeId(0), NodeId(2)), vec![NodeId(0), NodeId(2)]);
         NocModel::from_parts("bad", topo, routes, BTreeMap::new(), 1.0);
+    }
+
+    #[test]
+    fn mesh_and_o1turn_verify_deadlock_free() {
+        let xy = NocModel::mesh(3, 3, 2.0).verify();
+        assert!(xy.is_deadlock_free(), "{xy}");
+        assert_eq!(xy.layers.len(), 1);
+
+        // O1TURN: the verdict must cover the union of XY and YX tables —
+        // two route sets, two VC layers, each layer acyclic on its own.
+        let o1 = NocModel::mesh_o1turn(3, 3, 2.0, 7).verify();
+        assert!(o1.is_deadlock_free(), "{o1}");
+        assert_eq!(o1.layers.len(), 2);
+        assert!(o1.layers.iter().all(|l| l.acyclic));
+        assert_eq!(o1.routes_checked, 2 * 72);
+    }
+
+    #[test]
+    fn planted_ring_model_is_rejected_with_witness() {
+        // 4-node unidirectional ring, every node sends two hops ahead on
+        // one VC: the canonical wormhole deadlock.
+        let topo = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mut routes = BTreeMap::new();
+        for i in 0..4usize {
+            routes.insert(
+                (NodeId(i), NodeId((i + 2) % 4)),
+                vec![NodeId(i), NodeId((i + 1) % 4), NodeId((i + 2) % 4)],
+            );
+        }
+        let verdict = NocModel::from_parts("ring", topo, routes, BTreeMap::new(), 1.0).verify();
+        assert!(!verdict.is_deadlock_free());
+        let witness = verdict.cycle.expect("witness");
+        assert_eq!(witness.len(), 4);
+        assert!(witness.edges.iter().all(|e| !e.routes.is_empty()));
     }
 
     #[test]

@@ -56,12 +56,13 @@ pub fn run_reference(
     // routes, e.g. O1TURN stochastic dimension ordering).
     let mut packets: Vec<Packet> = Vec::with_capacity(events.len());
     for (idx, ev) in events.iter().enumerate() {
-        let (route, vcs) = model
-            .route_for_packet(ev.src, ev.dst, idx)
-            .ok_or(SimError::NoRoute {
-                src: ev.src,
-                dst: ev.dst,
-            })?;
+        let (route, vcs) =
+            model
+                .route_for_packet(ev.src, ev.dst, idx)
+                .ok_or(SimError::NoRoute {
+                    src: ev.src,
+                    dst: ev.dst,
+                })?;
         let (route, vcs) = (route.to_vec(), vcs.to_vec());
         let payload_flits = ev.payload_bits.div_ceil(config.flit_bits) as usize;
         packets.push(Packet {
@@ -157,8 +158,10 @@ pub fn run_reference(
                     }
                     let flit = vc_buf.pop_front().expect("checked non-empty");
                     // Final switch traversal at the destination.
-                    energy.switch += energy_model
-                        .switch_event_energy_radix(config.flit_bits as f64, radix[dst_node.index()]);
+                    energy.switch += energy_model.switch_event_energy_radix(
+                        config.flit_bits as f64,
+                        radix[dst_node.index()],
+                    );
                     flits_ejected += 1;
                     moved = true;
                     if flit.kind == FlitKind::Tail {
@@ -166,7 +169,8 @@ pub fn run_reference(
                         pkt.eject_cycle = Some(cycle);
                         delivered += 1;
                         latency_sum += pkt.latency_cycles().expect("just delivered");
-                        network_latency_sum += pkt.network_latency_cycles().expect("just delivered");
+                        network_latency_sum +=
+                            pkt.network_latency_cycles().expect("just delivered");
                     }
                 }
             }

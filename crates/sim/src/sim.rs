@@ -133,7 +133,7 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// The cycle-accurate simulator. Construction compiles the model into a
-/// reusable [`SimCore`]; one simulator serves many runs.
+/// reusable `SimCore`; one simulator serves many runs.
 #[derive(Debug)]
 pub struct Simulator<'a> {
     model: &'a NocModel,

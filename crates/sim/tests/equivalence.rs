@@ -291,7 +291,11 @@ fn sweeps_match_reference_across_thread_counts_and_cutoffs() {
                     ..base.clone()
                 };
                 let got = sweep(model, &cfg, &energy()).unwrap();
-                assert_eq!(got.len(), oracle.len(), "threads={threads} cutoff={cutoff:?}");
+                assert_eq!(
+                    got.len(),
+                    oracle.len(),
+                    "threads={threads} cutoff={cutoff:?}"
+                );
                 for (g, o) in got.iter().zip(&oracle) {
                     assert_eq!(g.injection_rate, o.injection_rate);
                     assert_eq!(g.packets, o.packets);
@@ -337,9 +341,8 @@ fn phased_runs_match_a_reference_fold() {
     // Fold the same phases through the reference core.
     let mut comm = 0u64;
     for (phase, got) in phases.iter().zip(&report.phase_reports) {
-        let old =
-            reference::run_reference(&model, &SimConfig::default(), &energy(), &phase.events)
-                .unwrap();
+        let old = reference::run_reference(&model, &SimConfig::default(), &energy(), &phase.events)
+            .unwrap();
         assert_bit_identical(got, &old);
         comm += old.total_cycles;
     }

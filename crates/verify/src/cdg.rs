@@ -1,0 +1,159 @@
+//! Extended channel dependency graph construction.
+//!
+//! Vertices are `(channel, VC)` resources, numbered `channel_index *
+//! num_vcs + vc` over the spec's sorted channel list. Every pair of
+//! consecutive hops of every lint-clean route contributes one edge from
+//! the resource the packet holds to the resource it waits for — an
+//! intra-layer edge when both hops use the same VC, an inter-layer edge
+//! at a VC transition. Each edge remembers (a capped sample of) the
+//! routes that induce it, so a detected cycle can be reported with its
+//! provenance instead of as a bare boolean.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use noc_graph::{algo, DiGraph, NodeId};
+
+use crate::spec::RoutingSpec;
+use crate::verdict::{CdgVertex, CycleWitness, LayerReport, RouteRef, WitnessEdge};
+use crate::MAX_WITNESS_ROUTES;
+
+/// A lint-clean route flattened to its channel indices and per-hop VCs.
+pub(crate) struct CleanRoute {
+    pub set: usize,
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Channel index (into the spec's sorted channel list) per hop.
+    pub channels: Vec<usize>,
+    /// VC per hop, parallel to `channels`.
+    pub vcs: Vec<usize>,
+}
+
+/// Capped per-edge provenance: which routes induce a dependency.
+struct EdgeProvenance {
+    routes: Vec<RouteRef>,
+    total: usize,
+}
+
+/// The extended CDG plus everything needed to extract witnesses and
+/// layer diagnostics.
+pub(crate) struct ExtendedCdg {
+    graph: DiGraph,
+    num_vcs: usize,
+    channels: Vec<(NodeId, NodeId)>,
+    /// `(from vertex id, to vertex id) → provenance`; also the
+    /// deduplicated edge set.
+    provenance: BTreeMap<(usize, usize), EdgeProvenance>,
+    /// Vertex ids some route actually occupies.
+    used: BTreeSet<usize>,
+}
+
+impl ExtendedCdg {
+    pub(crate) fn build(spec: &RoutingSpec, routes: &[CleanRoute]) -> Self {
+        let num_vcs = spec.num_vcs();
+        let channels = spec.channels().to_vec();
+        let mut graph = DiGraph::new(channels.len() * num_vcs);
+        let mut provenance: BTreeMap<(usize, usize), EdgeProvenance> = BTreeMap::new();
+        let mut used = BTreeSet::new();
+        for route in routes {
+            let vid = |hop: usize| route.channels[hop] * num_vcs + route.vcs[hop];
+            for hop in 0..route.channels.len() {
+                used.insert(vid(hop));
+            }
+            for hop in 1..route.channels.len() {
+                let (from, to) = (vid(hop - 1), vid(hop));
+                if from == to {
+                    continue;
+                }
+                let entry = provenance.entry((from, to)).or_insert_with(|| {
+                    graph.add_edge(NodeId::from(from), NodeId::from(to));
+                    EdgeProvenance {
+                        routes: Vec::new(),
+                        total: 0,
+                    }
+                });
+                entry.total += 1;
+                if entry.routes.len() < MAX_WITNESS_ROUTES {
+                    entry.routes.push(RouteRef {
+                        src: route.src,
+                        dst: route.dst,
+                        set: spec.route_sets()[route.set].label().to_string(),
+                    });
+                }
+            }
+        }
+        ExtendedCdg {
+            graph,
+            num_vcs,
+            channels,
+            provenance,
+            used,
+        }
+    }
+
+    pub(crate) fn vertex_count(&self) -> usize {
+        self.used.len()
+    }
+
+    pub(crate) fn edge_count(&self) -> usize {
+        self.provenance.len()
+    }
+
+    fn vertex(&self, id: usize) -> CdgVertex {
+        CdgVertex {
+            channel: self.channels[id / self.num_vcs],
+            vc: id % self.num_vcs,
+        }
+    }
+
+    /// Finds a dependency cycle and dresses it up as a witness.
+    pub(crate) fn find_cycle_witness(&self) -> Option<CycleWitness> {
+        let walk = algo::find_cycle(&self.graph)?;
+        let vertices: Vec<CdgVertex> = walk.iter().map(|v| self.vertex(v.index())).collect();
+        let edges = walk
+            .windows(2)
+            .map(|pair| {
+                let key = (pair[0].index(), pair[1].index());
+                let prov = &self.provenance[&key];
+                WitnessEdge {
+                    from: self.vertex(key.0),
+                    to: self.vertex(key.1),
+                    routes: prov.routes.clone(),
+                    total_routes: prov.total,
+                }
+            })
+            .collect();
+        Some(CycleWitness { vertices, edges })
+    }
+
+    /// Per-VC-layer diagnostics: each layer's intra-layer subgraph,
+    /// projected onto physical channels, checked for acyclicity on its
+    /// own.
+    pub(crate) fn layer_reports(&self) -> Vec<LayerReport> {
+        (0..self.num_vcs)
+            .map(|vc| {
+                let mut layer = DiGraph::new(self.channels.len());
+                let mut edges = 0;
+                for &(from, to) in self.provenance.keys() {
+                    if from % self.num_vcs == vc && to % self.num_vcs == vc {
+                        layer.add_edge(
+                            NodeId::from(from / self.num_vcs),
+                            NodeId::from(to / self.num_vcs),
+                        );
+                        edges += 1;
+                    }
+                }
+                let vertices = self
+                    .used
+                    .iter()
+                    .filter(|&&v| v % self.num_vcs == vc)
+                    .count();
+                LayerReport {
+                    vc,
+                    vertices,
+                    edges,
+                    acyclic: algo::find_cycle(&layer).is_none(),
+                }
+            })
+            .collect()
+    }
+}

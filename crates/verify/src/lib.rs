@@ -1,0 +1,456 @@
+//! # noc-verify — static deadlock-freedom verification
+//!
+//! Proves synthesized NoC architectures deadlock-free **without running
+//! a single simulated cycle**, by the Dally–Seitz argument the paper
+//! leans on (Section 4.5): wormhole routing is deadlock-free iff the
+//! channel dependency graph induced by the routing function is acyclic,
+//! and virtual channels break cycles by splitting each physical channel
+//! into independently-arbitrated buffer resources.
+//!
+//! The plain single-VC channel dependency graph is the wrong object for
+//! this codebase: `assign_virtual_channels` deliberately routes *through*
+//! physical-channel cycles and breaks them by bumping the VC index, and
+//! O1TURN meshes run XY and YX tables on disjoint VC layers. This crate
+//! therefore analyzes the **extended CDG**:
+//!
+//! - one vertex per `(channel, VC)` resource,
+//! - an edge for every pair of consecutive hops of every route, placed
+//!   in the VC layers the assignment actually uses — intra-layer when
+//!   the VC is unchanged, inter-layer at a VC transition,
+//! - the **union** of all route sets a packet might follow (both tables
+//!   of a stochastic policy), since holding-and-waiting happens on
+//!   whichever table the packet committed to.
+//!
+//! Acyclicity of this graph proves deadlock freedom for the spec. The
+//! result is a [`Verdict`] — a diagnostic, not a bool: a detected cycle
+//! comes back as a [`CycleWitness`] naming the `(channel, VC)` cycle and,
+//! per dependency edge, the `(src, dst)` routes that induce it; a route
+//! [`LintError`] pinpoints the structural defect that made the spec
+//! unverifiable; [`LayerReport`]s say which VC layers are acyclic on
+//! their own (the escape-layer view of multi-VC configs).
+//!
+//! ```
+//! use noc_graph::NodeId;
+//! use noc_verify::{verify, RouteSet, RoutingSpec};
+//!
+//! let n = |i| NodeId(i);
+//! // A 4-node ring routed all the way round on one VC: the classic
+//! // turnaround deadlock.
+//! let channels = [(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(3), n(0))];
+//! let mut set = RouteSet::new("ring");
+//! for i in 0..4usize {
+//!     let path = vec![n(i), n((i + 1) % 4), n((i + 2) % 4)];
+//!     set = set.route(n(i), n((i + 2) % 4), path, vec![0, 0]);
+//! }
+//! let verdict = verify(&RoutingSpec::new("ring", channels, 1).route_set(set));
+//! assert!(!verdict.is_deadlock_free());
+//! let witness = verdict.cycle.expect("a concrete witness, not a bool");
+//! assert_eq!(witness.len(), 4);
+//! ```
+
+#![deny(missing_docs)]
+
+mod cdg;
+mod spec;
+mod verdict;
+
+use std::collections::BTreeMap;
+
+use noc_graph::NodeId;
+use noc_telemetry::Telemetry;
+
+pub use spec::{LintError, RouteSet, RoutingSpec};
+pub use verdict::{CdgVertex, CycleWitness, LayerReport, RouteRef, Verdict, WitnessEdge};
+
+use cdg::{CleanRoute, ExtendedCdg};
+
+/// Max routes kept per witness edge; [`WitnessEdge::total_routes`] still
+/// counts every inducing route.
+pub const MAX_WITNESS_ROUTES: usize = 4;
+
+/// Verifies a routing spec, reporting to the process-wide telemetry
+/// sink if one is installed.
+pub fn verify(spec: &RoutingSpec) -> Verdict {
+    verify_with(spec, noc_telemetry::active())
+}
+
+/// Verifies a routing spec against an explicit telemetry sink (`None`
+/// disables instrumentation).
+///
+/// Emits a `verify.run` span (with CDG size and outcome fields) and
+/// bumps the `verify.runs` / `verify.cycles_found` / `verify.lint_errors`
+/// counters.
+pub fn verify_with(spec: &RoutingSpec, telemetry: Option<&Telemetry>) -> Verdict {
+    let mut span = telemetry.map(|t| t.span("verify.run").field("name", spec.name()));
+
+    let (lint, clean) = lint_routes(spec);
+    let cdg = ExtendedCdg::build(spec, &clean);
+    let cycle = cdg.find_cycle_witness();
+    let layers = cdg.layer_reports();
+    let verdict = Verdict {
+        name: spec.name().to_string(),
+        num_vcs: spec.num_vcs(),
+        channels: spec.channels().len(),
+        routes_checked: spec.route_sets().iter().map(RouteSet::len).sum(),
+        cdg_vertices: cdg.vertex_count(),
+        cdg_edges: cdg.edge_count(),
+        lint,
+        cycle,
+        layers,
+    };
+
+    if let Some(t) = telemetry {
+        t.add("verify.runs", 1);
+        if verdict.cycle.is_some() {
+            t.add("verify.cycles_found", 1);
+        }
+        if !verdict.lint.is_empty() {
+            t.add("verify.lint_errors", verdict.lint.len() as u64);
+        }
+    }
+    if let Some(span) = &mut span {
+        span.add_field("cdg_vertices", verdict.cdg_vertices);
+        span.add_field("cdg_edges", verdict.cdg_edges);
+        span.add_field("routes", verdict.routes_checked);
+        span.add_field("deadlock_free", verdict.is_deadlock_free());
+    }
+    verdict
+}
+
+/// The lint pass: structural validation of every route against the
+/// declared channels and VC count, plus required-pair coverage. Returns
+/// the errors and the routes clean enough to feed the dependency
+/// analysis.
+fn lint_routes(spec: &RoutingSpec) -> (Vec<LintError>, Vec<CleanRoute>) {
+    let mut errors = Vec::new();
+    let channel_index: BTreeMap<(NodeId, NodeId), usize> = spec
+        .channels()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i))
+        .collect();
+    for &channel in spec.channels() {
+        if channel.0 == channel.1 {
+            errors.push(LintError::SelfLoopChannel { channel });
+        }
+    }
+    let mut clean = Vec::new();
+    for (set_idx, set) in spec.route_sets().iter().enumerate() {
+        let label = set.label();
+        for &(src, dst) in spec.required_pairs() {
+            if !set.routes().contains_key(&(src, dst)) {
+                errors.push(LintError::UnroutedPair {
+                    set: label.to_string(),
+                    src,
+                    dst,
+                });
+            }
+        }
+        for (&(src, dst), (path, vcs)) in set.routes() {
+            let mut dirty = false;
+            if src == dst || path.len() < 2 || path[0] != src || *path.last().unwrap() != dst {
+                errors.push(LintError::BadEndpoints {
+                    set: label.to_string(),
+                    src,
+                    dst,
+                });
+                dirty = true;
+            }
+            let hops = path.len().saturating_sub(1);
+            if vcs.len() != hops {
+                errors.push(LintError::VcLengthMismatch {
+                    set: label.to_string(),
+                    src,
+                    dst,
+                    hops,
+                    vcs: vcs.len(),
+                });
+                dirty = true;
+            }
+            let mut channels = Vec::with_capacity(hops);
+            for hop in path.windows(2) {
+                match channel_index.get(&(hop[0], hop[1])) {
+                    Some(&idx) => channels.push(idx),
+                    None => {
+                        errors.push(LintError::UnknownChannel {
+                            set: label.to_string(),
+                            src,
+                            dst,
+                            hop: (hop[0], hop[1]),
+                        });
+                        dirty = true;
+                    }
+                }
+            }
+            for &vc in vcs {
+                if vc >= spec.num_vcs() {
+                    errors.push(LintError::VcOutOfRange {
+                        set: label.to_string(),
+                        src,
+                        dst,
+                        vc,
+                        num_vcs: spec.num_vcs(),
+                    });
+                    dirty = true;
+                }
+            }
+            if !dirty {
+                clean.push(CleanRoute {
+                    set: set_idx,
+                    src,
+                    dst,
+                    channels,
+                    vcs: vcs.clone(),
+                });
+            }
+        }
+    }
+    (errors, clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_telemetry::Telemetry;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    /// 4-node unidirectional ring channels.
+    fn ring_channels() -> Vec<(NodeId, NodeId)> {
+        (0..4).map(|i| (n(i), n((i + 1) % 4))).collect()
+    }
+
+    /// All four 2-hop routes around the ring, with per-hop VCs chosen by
+    /// the caller.
+    fn ring_routes(vcs_for: impl Fn(usize, usize) -> usize) -> RouteSet {
+        let mut set = RouteSet::new("ring");
+        for i in 0..4usize {
+            let path = vec![n(i), n((i + 1) % 4), n((i + 2) % 4)];
+            let vcs = vec![vcs_for(i, 0), vcs_for(i, 1)];
+            set = set.route(n(i), n((i + 2) % 4), path, vcs);
+        }
+        set
+    }
+
+    /// Structural validity of a witness: closed walk, chained channels,
+    /// and per-edge route provenance.
+    fn assert_witness_valid(witness: &CycleWitness) {
+        assert!(witness.len() >= 2, "cycle spans at least two resources");
+        assert_eq!(witness.vertices.first(), witness.vertices.last());
+        assert_eq!(witness.edges.len(), witness.len());
+        for (i, edge) in witness.edges.iter().enumerate() {
+            assert_eq!(edge.from, witness.vertices[i]);
+            assert_eq!(edge.to, witness.vertices[i + 1]);
+            // Consecutive hops of a route share the middle node, so a
+            // dependency chain is also a channel chain.
+            assert_eq!(edge.from.channel.1, edge.to.channel.0);
+            assert!(!edge.routes.is_empty(), "every edge names a witness route");
+            assert!(edge.total_routes >= edge.routes.len());
+        }
+    }
+
+    #[test]
+    fn single_vc_ring_is_rejected_with_a_four_cycle_witness() {
+        let spec = RoutingSpec::new("ring", ring_channels(), 1).route_set(ring_routes(|_, _| 0));
+        let verdict = verify(&spec);
+        assert!(!verdict.is_deadlock_free());
+        assert!(verdict.lint.is_empty());
+        assert!(verdict.layers.len() == 1 && !verdict.layers[0].acyclic);
+        assert!(!verdict.escape_layer_acyclic());
+        let witness = verdict.cycle.expect("cycle witness");
+        assert_eq!(witness.len(), 4);
+        assert_witness_valid(&witness);
+    }
+
+    #[test]
+    fn dateline_vc_assignment_clears_the_same_ring() {
+        // Crossing the wrap channel (3, 0) bumps the packet to VC 1: the
+        // textbook dateline scheme. The single-VC CDG still has the
+        // 4-cycle, but the extended CDG is acyclic.
+        // Hop `hop` of route `src` traverses channel (src+hop, src+hop+1);
+        // the wrap channel (3, 0) and everything after it ride VC 1.
+        let set = ring_routes(|src, hop| usize::from(src + hop >= 3));
+        let spec = RoutingSpec::new("ring+dateline", ring_channels(), 2).route_set(set);
+        let verdict = verify(&spec);
+        assert!(verdict.is_deadlock_free(), "{verdict}");
+        assert!(verdict.escape_layer_acyclic());
+        assert!(verdict.layers.iter().all(|l| l.acyclic));
+        assert_eq!(verdict.layers.len(), 2);
+    }
+
+    #[test]
+    fn o1turn_union_catches_cross_set_cycles() {
+        // 2x2 mesh: nodes 0 1 / 2 3, full bidirectional links.
+        let channels: Vec<(NodeId, NodeId)> = [(0, 1), (0, 2), (1, 3), (2, 3)]
+            .iter()
+            .flat_map(|&(a, b)| [(n(a), n(b)), (n(b), n(a))])
+            .collect();
+        // Each set alone is acyclic; their union closes the turnaround
+        // cycle c(0,2) -> c(2,3) -> c(3,1) -> c(1,0) -> c(0,2).
+        let xy = RouteSet::new("xy")
+            .route(n(1), n(2), vec![n(1), n(0), n(2)], vec![0, 0])
+            .route(n(2), n(1), vec![n(2), n(3), n(1)], vec![0, 0]);
+        let yx = RouteSet::new("yx")
+            .route(n(0), n(3), vec![n(0), n(2), n(3)], vec![0, 0])
+            .route(n(3), n(0), vec![n(3), n(1), n(0)], vec![0, 0]);
+        let alone = verify(&RoutingSpec::new("xy-only", channels.clone(), 1).route_set(xy.clone()));
+        assert!(alone.is_deadlock_free());
+        let union = verify(
+            &RoutingSpec::new("union", channels, 1)
+                .route_set(xy)
+                .route_set(yx),
+        );
+        assert!(!union.is_deadlock_free());
+        let witness = union.cycle.expect("union cycle");
+        assert_eq!(witness.len(), 4);
+        assert_witness_valid(&witness);
+        // Both sets appear in the provenance of the witness.
+        let sets: std::collections::BTreeSet<&str> = witness
+            .edges
+            .iter()
+            .flat_map(|e| e.routes.iter().map(|r| r.set.as_str()))
+            .collect();
+        assert!(sets.contains("xy") && sets.contains("yx"));
+    }
+
+    #[test]
+    fn lint_catches_every_structural_defect() {
+        let channels = vec![(n(0), n(1)), (n(1), n(0)), (n(2), n(2))];
+        let spec = RoutingSpec::new("lint", channels, 1)
+            .route_set(
+                RouteSet::new("bad")
+                    // unknown channel (1, 2)
+                    .route(n(0), n(2), vec![n(0), n(1), n(2)], vec![0, 0])
+                    // VC out of range
+                    .route(n(0), n(1), vec![n(0), n(1)], vec![1])
+                    // VC length mismatch
+                    .route(n(1), n(0), vec![n(1), n(0)], vec![])
+                    // bad endpoints (self-route)
+                    .route(n(1), n(1), vec![n(1)], vec![]),
+            )
+            .require_pairs([(n(0), n(1)), (n(2), n(0))]);
+        let verdict = verify(&spec);
+        assert!(!verdict.is_deadlock_free());
+        assert!(verdict.cycle.is_none(), "dirty routes never reach the CDG");
+        let kinds: Vec<&'static str> = verdict
+            .lint
+            .iter()
+            .map(|e| match e {
+                LintError::SelfLoopChannel { .. } => "self_loop",
+                LintError::UnroutedPair { .. } => "unrouted",
+                LintError::BadEndpoints { .. } => "endpoints",
+                LintError::VcLengthMismatch { .. } => "vc_len",
+                LintError::UnknownChannel { .. } => "unknown_channel",
+                LintError::VcOutOfRange { .. } => "vc_range",
+            })
+            .collect();
+        for kind in [
+            "self_loop",
+            "unrouted",
+            "endpoints",
+            "vc_len",
+            "unknown_channel",
+            "vc_range",
+        ] {
+            assert!(kinds.contains(&kind), "missing lint kind {kind}: {kinds:?}");
+        }
+        // Lint errors render to stable one-line diagnostics.
+        for line in verdict.render_lint() {
+            assert!(!line.is_empty());
+        }
+    }
+
+    #[test]
+    fn required_pairs_must_be_covered_by_every_set() {
+        let channels = vec![(n(0), n(1)), (n(1), n(0))];
+        let full = RouteSet::new("full")
+            .route(n(0), n(1), vec![n(0), n(1)], vec![0])
+            .route(n(1), n(0), vec![n(1), n(0)], vec![0]);
+        let partial = RouteSet::new("partial").route(n(0), n(1), vec![n(0), n(1)], vec![0]);
+        let verdict = verify(
+            &RoutingSpec::new("coverage", channels, 1)
+                .route_set(full)
+                .route_set(partial)
+                .require_pairs([(n(0), n(1)), (n(1), n(0))]),
+        );
+        assert_eq!(verdict.lint.len(), 1);
+        assert!(matches!(
+            &verdict.lint[0],
+            LintError::UnroutedPair { set, src, dst }
+                if set == "partial" && *src == n(1) && *dst == n(0)
+        ));
+    }
+
+    #[test]
+    fn single_hop_routes_create_no_dependencies() {
+        let channels = vec![(n(0), n(1)), (n(1), n(0))];
+        let set = RouteSet::new("pingpong")
+            .route(n(0), n(1), vec![n(0), n(1)], vec![0])
+            .route(n(1), n(0), vec![n(1), n(0)], vec![0]);
+        let verdict = verify(&RoutingSpec::new("pingpong", channels, 1).route_set(set));
+        assert!(verdict.is_deadlock_free());
+        assert_eq!(verdict.cdg_vertices, 2);
+        assert_eq!(verdict.cdg_edges, 0);
+        assert_eq!(verdict.routes_checked, 2);
+    }
+
+    #[test]
+    fn witness_provenance_caps_but_counts_all_routes() {
+        // Six routes all traverse the same two consecutive channels;
+        // the edge keeps MAX_WITNESS_ROUTES refs but counts all six.
+        let mut channels = vec![(n(0), n(1)), (n(1), n(2)), (n(2), n(0))];
+        let mut set = RouteSet::new("fanin");
+        for i in 0..6usize {
+            let dst = n(10 + i);
+            channels.push((n(2), dst));
+            set = set.route(n(0), dst, vec![n(0), n(1), n(2), dst], vec![0, 0, 0]);
+        }
+        // Close a cycle through the shared prefix.
+        set = set
+            .route(n(1), n(0), vec![n(1), n(2), n(0)], vec![0, 0])
+            .route(n(2), n(1), vec![n(2), n(0), n(1)], vec![0, 0]);
+        let verdict = verify(&RoutingSpec::new("cap", channels, 1).route_set(set));
+        let witness = verdict.cycle.expect("cycle");
+        assert_witness_valid(&witness);
+        let fanin = witness
+            .edges
+            .iter()
+            .find(|e| e.from.channel == (n(0), n(1)) && e.to.channel == (n(1), n(2)))
+            .expect("shared prefix edge on the cycle");
+        assert_eq!(fanin.routes.len(), MAX_WITNESS_ROUTES);
+        assert_eq!(fanin.total_routes, 6);
+    }
+
+    #[test]
+    fn telemetry_counts_runs_and_cycles() {
+        let t = Telemetry::recording();
+        let clean = RoutingSpec::new("clean", vec![(n(0), n(1))], 1)
+            .route_set(RouteSet::new("s").route(n(0), n(1), vec![n(0), n(1)], vec![0]));
+        let cyclic =
+            RoutingSpec::new("cyclic", ring_channels(), 1).route_set(ring_routes(|_, _| 0));
+        verify_with(&clean, Some(&t));
+        verify_with(&cyclic, Some(&t));
+        assert_eq!(t.counter_value("verify.runs"), 2);
+        assert_eq!(t.counter_value("verify.cycles_found"), 1);
+        let events = t.drain();
+        let spans: Vec<_> = events.iter().filter(|e| e.name == "verify.run").collect();
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn verdict_display_names_the_offending_routes() {
+        let spec = RoutingSpec::new("ring", ring_channels(), 1).route_set(ring_routes(|_, _| 0));
+        let text = verify(&spec).to_string();
+        assert!(text.contains("NOT VERIFIED"), "{text}");
+        assert!(
+            text.contains("cyclic dependency over 4 resources"),
+            "{text}"
+        );
+        assert!(
+            text.contains("[ring]"),
+            "witness names the route set: {text}"
+        );
+    }
+}

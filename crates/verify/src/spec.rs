@@ -1,0 +1,269 @@
+//! Routing specifications: the verifier's input.
+//!
+//! A [`RoutingSpec`] captures everything the static analysis needs about a
+//! fabric — the directed channels that exist, how many virtual channels
+//! each carries, and one or more [`RouteSet`]s (routing functions) whose
+//! *union* a packet may use. Deterministic routing contributes one set;
+//! stochastic policies like O1TURN contribute one set per alternative,
+//! because a packet committed to either table holds the corresponding
+//! channel/VC resources.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use noc_graph::NodeId;
+
+/// A routed path with its per-hop virtual channel indices.
+pub(crate) type RouteEntry = (Vec<NodeId>, Vec<usize>);
+
+/// One routing function: a `(src, dst) → path` table with a virtual
+/// channel index per hop.
+///
+/// The `vcs` vector of a route must have one entry per *hop* (one fewer
+/// than the path has nodes); entry `i` is the VC the packet occupies on
+/// channel `(path[i], path[i+1])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteSet {
+    label: String,
+    routes: BTreeMap<(NodeId, NodeId), RouteEntry>,
+}
+
+impl RouteSet {
+    /// An empty route set with a diagnostic label (e.g. `"xy"`, `"yx"`).
+    pub fn new(label: impl Into<String>) -> Self {
+        RouteSet {
+            label: label.into(),
+            routes: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) the route for `(src, dst)` (builder form).
+    #[must_use]
+    pub fn route(mut self, src: NodeId, dst: NodeId, path: Vec<NodeId>, vcs: Vec<usize>) -> Self {
+        self.routes.insert((src, dst), (path, vcs));
+        self
+    }
+
+    /// Builds a set from parallel route / VC tables, the shape both
+    /// `Architecture` and `NocModel` store internally. A pair missing
+    /// from `vcs` defaults to VC 0 on every hop — the convention of
+    /// single-VC models that never populate a VC table.
+    pub fn from_tables(
+        label: impl Into<String>,
+        routes: &BTreeMap<(NodeId, NodeId), Vec<NodeId>>,
+        vcs: &BTreeMap<(NodeId, NodeId), Vec<usize>>,
+    ) -> Self {
+        let mut set = RouteSet::new(label);
+        for (&pair, path) in routes {
+            let hop_vcs = vcs
+                .get(&pair)
+                .cloned()
+                .unwrap_or_else(|| vec![0; path.len().saturating_sub(1)]);
+            set.routes.insert(pair, (path.clone(), hop_vcs));
+        }
+        set
+    }
+
+    /// The set's diagnostic label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of routed pairs.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the set routes no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    pub(crate) fn routes(&self) -> &BTreeMap<(NodeId, NodeId), RouteEntry> {
+        &self.routes
+    }
+}
+
+/// The verifier's input: channels, VC count, route sets, and the traffic
+/// pairs that must be routable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingSpec {
+    name: String,
+    channels: Vec<(NodeId, NodeId)>,
+    num_vcs: usize,
+    route_sets: Vec<RouteSet>,
+    required_pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl RoutingSpec {
+    /// A spec over the given directed channels (sorted and deduplicated)
+    /// with `num_vcs` virtual channels per channel (clamped to ≥ 1).
+    pub fn new(
+        name: impl Into<String>,
+        channels: impl IntoIterator<Item = (NodeId, NodeId)>,
+        num_vcs: usize,
+    ) -> Self {
+        let mut channels: Vec<(NodeId, NodeId)> = channels.into_iter().collect();
+        channels.sort_unstable();
+        channels.dedup();
+        RoutingSpec {
+            name: name.into(),
+            channels,
+            num_vcs: num_vcs.max(1),
+            route_sets: Vec::new(),
+            required_pairs: Vec::new(),
+        }
+    }
+
+    /// Appends a route set to the union under analysis (builder form).
+    #[must_use]
+    pub fn route_set(mut self, set: RouteSet) -> Self {
+        self.route_sets.push(set);
+        self
+    }
+
+    /// Declares pairs every route set must cover; missing pairs surface
+    /// as [`LintError::UnroutedPair`] (builder form).
+    #[must_use]
+    pub fn require_pairs(mut self, pairs: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        self.required_pairs.extend(pairs);
+        self
+    }
+
+    /// Diagnostic name carried into the [`crate::Verdict`] and telemetry.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The directed channels, sorted.
+    pub fn channels(&self) -> &[(NodeId, NodeId)] {
+        &self.channels
+    }
+
+    /// Virtual channels per physical channel (≥ 1).
+    pub fn num_vcs(&self) -> usize {
+        self.num_vcs
+    }
+
+    /// The route sets whose union is analyzed.
+    pub fn route_sets(&self) -> &[RouteSet] {
+        &self.route_sets
+    }
+
+    /// The declared must-route pairs.
+    pub fn required_pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.required_pairs
+    }
+}
+
+/// A structural defect found by the route lint pass.
+///
+/// Any lint error makes the spec **unverifiable**: the dependency
+/// analysis only reasons about well-formed routes, so
+/// [`crate::Verdict::is_deadlock_free`] is `false` whenever lint errors
+/// are present.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LintError {
+    /// The channel list contains a self-loop `(a, a)`.
+    SelfLoopChannel {
+        /// The offending channel.
+        channel: (NodeId, NodeId),
+    },
+    /// A required pair has no route in the named set.
+    UnroutedPair {
+        /// Route set label.
+        set: String,
+        /// Source of the unrouted pair.
+        src: NodeId,
+        /// Destination of the unrouted pair.
+        dst: NodeId,
+    },
+    /// A route is degenerate: self-routed, shorter than one hop, or its
+    /// path does not start at `src` / end at `dst`.
+    BadEndpoints {
+        /// Route set label.
+        set: String,
+        /// Route source.
+        src: NodeId,
+        /// Route destination.
+        dst: NodeId,
+    },
+    /// A route's VC vector does not have one entry per hop.
+    VcLengthMismatch {
+        /// Route set label.
+        set: String,
+        /// Route source.
+        src: NodeId,
+        /// Route destination.
+        dst: NodeId,
+        /// Hops in the path.
+        hops: usize,
+        /// Entries in the VC vector.
+        vcs: usize,
+    },
+    /// A route hop traverses a channel the spec does not declare.
+    UnknownChannel {
+        /// Route set label.
+        set: String,
+        /// Route source.
+        src: NodeId,
+        /// Route destination.
+        dst: NodeId,
+        /// The undeclared channel.
+        hop: (NodeId, NodeId),
+    },
+    /// A hop's VC index is `>= num_vcs`.
+    VcOutOfRange {
+        /// Route set label.
+        set: String,
+        /// Route source.
+        src: NodeId,
+        /// Route destination.
+        dst: NodeId,
+        /// The out-of-range VC index.
+        vc: usize,
+        /// The spec's VC count.
+        num_vcs: usize,
+    },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::SelfLoopChannel { channel } => {
+                write!(f, "self-loop channel {}->{}", channel.0, channel.1)
+            }
+            LintError::UnroutedPair { set, src, dst } => {
+                write!(f, "pair {src}->{dst} has no route in set '{set}'")
+            }
+            LintError::BadEndpoints { set, src, dst } => {
+                write!(f, "route {src}->{dst} in set '{set}' has bad endpoints")
+            }
+            LintError::VcLengthMismatch {
+                set,
+                src,
+                dst,
+                hops,
+                vcs,
+            } => write!(
+                f,
+                "route {src}->{dst} in set '{set}' has {hops} hops but {vcs} VC entries"
+            ),
+            LintError::UnknownChannel { set, src, dst, hop } => write!(
+                f,
+                "route {src}->{dst} in set '{set}' uses undeclared channel {}->{}",
+                hop.0, hop.1
+            ),
+            LintError::VcOutOfRange {
+                set,
+                src,
+                dst,
+                vc,
+                num_vcs,
+            } => write!(
+                f,
+                "route {src}->{dst} in set '{set}' uses VC {vc} but the fabric has {num_vcs}"
+            ),
+        }
+    }
+}

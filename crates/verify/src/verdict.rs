@@ -1,0 +1,209 @@
+//! Verification verdicts: witnesses, per-layer reports, and the summary
+//! the rest of the stack records.
+
+use std::fmt;
+
+use noc_graph::NodeId;
+
+use crate::spec::LintError;
+
+/// A vertex of the extended channel dependency graph: one `(channel,
+/// virtual channel)` buffer resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CdgVertex {
+    /// The physical channel.
+    pub channel: (NodeId, NodeId),
+    /// The virtual channel index on that channel.
+    pub vc: usize,
+}
+
+impl fmt::Display for CdgVertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}@vc{}", self.channel.0, self.channel.1, self.vc)
+    }
+}
+
+/// Identifies one route inside one route set — the provenance unit
+/// attached to dependency edges.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RouteRef {
+    /// Route source.
+    pub src: NodeId,
+    /// Route destination.
+    pub dst: NodeId,
+    /// Label of the route set the route belongs to.
+    pub set: String,
+}
+
+impl fmt::Display for RouteRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{} [{}]", self.src, self.dst, self.set)
+    }
+}
+
+/// One dependency edge of a cycle witness, with the routes that induce
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WitnessEdge {
+    /// Holding resource: the packet occupies this `(channel, VC)`.
+    pub from: CdgVertex,
+    /// Awaited resource: the packet's next hop needs this `(channel, VC)`.
+    pub to: CdgVertex,
+    /// Routes whose consecutive hops induce the edge (capped at
+    /// [`crate::MAX_WITNESS_ROUTES`]; `total_routes` is uncapped).
+    pub routes: Vec<RouteRef>,
+    /// Total number of inducing routes, including any beyond the cap.
+    pub total_routes: usize,
+}
+
+impl fmt::Display for WitnessEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} => {} via", self.from, self.to)?;
+        for (i, r) in self.routes.iter().enumerate() {
+            write!(f, "{}{r}", if i == 0 { " " } else { ", " })?;
+        }
+        if self.total_routes > self.routes.len() {
+            write!(f, " (+{} more)", self.total_routes - self.routes.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// A concrete deadlock hazard: a closed cycle of `(channel, VC)`
+/// dependencies, each edge annotated with the routes that induce it.
+///
+/// `vertices` is a closed walk (`vertices[0] == vertices[last]`, at
+/// least two distinct resources) and `edges[i]` connects `vertices[i]`
+/// to `vertices[i + 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleWitness {
+    /// The cycle as a closed vertex walk.
+    pub vertices: Vec<CdgVertex>,
+    /// One annotated edge per consecutive vertex pair.
+    pub edges: Vec<WitnessEdge>,
+}
+
+impl CycleWitness {
+    /// Number of distinct resources on the cycle.
+    pub fn len(&self) -> usize {
+        self.vertices.len().saturating_sub(1)
+    }
+
+    /// A witness always has at least two resources; this mirrors `len`.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The edges rendered one per line — the form reports store.
+    pub fn render_edges(&self) -> Vec<String> {
+        self.edges.iter().map(|e| e.to_string()).collect()
+    }
+}
+
+impl fmt::Display for CycleWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cyclic dependency over {} resources:", self.len())?;
+        for edge in &self.edges {
+            writeln!(f, "  {edge}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Acyclicity of one virtual-channel layer considered in isolation
+/// (only dependencies that stay on that VC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerReport {
+    /// The virtual channel index.
+    pub vc: usize,
+    /// `(channel, VC)` resources some route occupies in this layer.
+    pub vertices: usize,
+    /// Intra-layer dependency edges.
+    pub edges: usize,
+    /// Whether the layer's own dependency graph is acyclic.
+    pub acyclic: bool,
+}
+
+/// The result of verifying a [`crate::RoutingSpec`].
+///
+/// The verdict is conservative: [`Verdict::is_deadlock_free`] holds only
+/// when the lint pass found no structural defects **and** the extended
+/// channel dependency graph over the full route-set union is acyclic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// The spec's diagnostic name.
+    pub name: String,
+    /// Virtual channels per physical channel.
+    pub num_vcs: usize,
+    /// Declared physical channels.
+    pub channels: usize,
+    /// Routes inspected across all route sets.
+    pub routes_checked: usize,
+    /// Distinct `(channel, VC)` resources some route occupies.
+    pub cdg_vertices: usize,
+    /// Distinct dependency edges in the extended CDG.
+    pub cdg_edges: usize,
+    /// Structural defects; non-empty means the spec is unverifiable.
+    pub lint: Vec<LintError>,
+    /// A concrete dependency cycle, if one exists.
+    pub cycle: Option<CycleWitness>,
+    /// Per-VC-layer acyclicity diagnostics (ordered by VC).
+    pub layers: Vec<LayerReport>,
+}
+
+impl Verdict {
+    /// Whether the analysis *proves* deadlock freedom: no lint errors
+    /// and an acyclic extended CDG.
+    pub fn is_deadlock_free(&self) -> bool {
+        self.lint.is_empty() && self.cycle.is_none()
+    }
+
+    /// Whether the highest VC layer is acyclic on its own. When routes
+    /// only ever move to equal-or-higher VCs, an acyclic top layer acts
+    /// as the escape layer that drains any lower-layer contention.
+    pub fn escape_layer_acyclic(&self) -> bool {
+        self.layers.last().is_none_or(|l| l.acyclic)
+    }
+
+    /// Lint errors rendered one per line — the form reports store.
+    pub fn render_lint(&self) -> Vec<String> {
+        self.lint.iter().map(|e| e.to_string()).collect()
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verify '{}': {} ({} channels x {} VCs, {} routes, CDG {} vertices / {} edges)",
+            self.name,
+            if self.is_deadlock_free() {
+                "deadlock-free"
+            } else {
+                "NOT VERIFIED"
+            },
+            self.channels,
+            self.num_vcs,
+            self.routes_checked,
+            self.cdg_vertices,
+            self.cdg_edges,
+        )?;
+        for err in &self.lint {
+            writeln!(f, "  lint: {err}")?;
+        }
+        if let Some(cycle) = &self.cycle {
+            write!(f, "{cycle}")?;
+        }
+        for layer in &self.layers {
+            writeln!(
+                f,
+                "  layer vc{}: {} vertices, {} edges, {}",
+                layer.vc,
+                layer.vertices,
+                layer.edges,
+                if layer.acyclic { "acyclic" } else { "cyclic" }
+            )?;
+        }
+        Ok(())
+    }
+}
