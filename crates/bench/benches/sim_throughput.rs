@@ -23,9 +23,17 @@
 //! run over the ramp, regenerating traffic per point exactly as `sweep()`
 //! does), `sequential` (the event core over the *same* per-point loop —
 //! the like-for-like engine comparison, gated at ≥ 5× on 4×4), `sweep`
-//! (the full `sweep()` driver, sequential), and `parallel` /
-//! `parallel_oversubscribed` (the threaded wave driver). The per-row
-//! `vs_seed` ratio on event rows tracks the rework itself.
+//! (the full `sweep()` driver, sequential), `parallel` /
+//! `parallel_oversubscribed` (the threaded wave driver), and `credit`
+//! (the same per-point loop under the credit-based pipelined router,
+//! `RouterFidelity::Credit` at the default one-cycle pipeline). The
+//! per-row `vs_seed` ratio on event rows tracks the rework itself.
+//!
+//! The credit pipeline's cost is budgeted the same paired way the
+//! engine's speedup is gated: rounds of one ideal ramp and one credit
+//! ramp back to back on the 4×4 mesh, and the median per-round slowdown
+//! must stay ≤ 3× — full fidelity may not cost more than three ideal
+//! runs. The `credit_gate` object in the JSON records the measurement.
 //!
 //! Writes `BENCH_sim.json` at the repository root.
 //!
@@ -37,7 +45,9 @@ use std::time::Duration;
 use criterion::Criterion;
 use noc::energy::{EnergyModel, TechnologyProfile};
 use noc::sim::sweep::{sweep, SweepConfig};
-use noc::sim::{reference, traffic, NocModel, Simulator, TrafficEvent};
+use noc::sim::{
+    reference, traffic, CreditConfig, NocModel, RouterFidelity, Simulator, TrafficEvent,
+};
 
 /// The load ramp: low-load points (latency anchors) up through
 /// saturation, where every buffer stays contended.
@@ -114,6 +124,29 @@ fn event_ramp(sim: &Simulator, nodes: usize, duration: u64) -> u64 {
     cycles
 }
 
+/// The credit-router configuration under test: the default one-cycle
+/// pipeline (RC 1, ST 1, credit return 1).
+fn credit_config() -> noc::sim::SimConfig {
+    noc::sim::SimConfig {
+        router: RouterFidelity::Credit(CreditConfig::default()),
+        ..noc::sim::SimConfig::default()
+    }
+}
+
+/// `event_ramp`, but also folding ejected flits — the credit rows report
+/// their own totals because the pipeline stretches the simulated ramp.
+fn ramp_totals(sim: &Simulator, nodes: usize, duration: u64) -> (u64, u64) {
+    let mut cycles = 0u64;
+    let mut flits = 0u64;
+    for &rate in &RATES {
+        let events = traffic::bernoulli(nodes, duration, rate, PAYLOAD_BITS, SEED);
+        let report = sim.run(events).expect("credit ramp completes");
+        cycles += report.total_cycles;
+        flits += report.flits_ejected;
+    }
+    (cycles, flits)
+}
+
 fn main() {
     let duration = duration();
     let hw = std::thread::available_parallelism().map_or(1, |t| t.get());
@@ -155,7 +188,9 @@ fn main() {
         )
         .unwrap();
         assert_eq!(sequential, threaded, "sweep curve depends on thread count");
-        totals.push((side, cycles, flits));
+        let credit_sim = Simulator::new(&model, credit_config(), energy());
+        let (credit_cycles, credit_flits) = ramp_totals(&credit_sim, model.node_count(), duration);
+        totals.push((side, cycles, flits, credit_cycles, credit_flits));
     }
 
     // Paired gate measurement on the 4×4 mesh (see module docs). The
@@ -188,6 +223,35 @@ fn main() {
          need >= 5x)"
     );
 
+    // Paired credit-overhead budget on the same 4x4 ramp: ideal and
+    // credit rounds back to back, gating on the median per-round
+    // slowdown so drift cancels exactly as in the speedup gate above.
+    let mut credit_ratios = Vec::with_capacity(gate_rounds);
+    {
+        let model = NocModel::mesh(4, 4, 1.0);
+        let ideal = Simulator::new(&model, noc::sim::SimConfig::default(), energy());
+        let credit = Simulator::new(&model, credit_config(), energy());
+        for round in 0..gate_rounds + 1 {
+            let t0 = std::time::Instant::now();
+            event_ramp(&ideal, model.node_count(), duration);
+            let ideal_t = t0.elapsed();
+            let t0 = std::time::Instant::now();
+            ramp_totals(&credit, model.node_count(), duration);
+            let credit_t = t0.elapsed();
+            if round > 0 {
+                credit_ratios.push(credit_t.as_secs_f64() / ideal_t.as_secs_f64());
+            }
+        }
+    }
+    credit_ratios.sort_by(|a, b| a.total_cmp(b));
+    let credit_vs_ideal = credit_ratios[credit_ratios.len() / 2];
+    assert!(
+        credit_vs_ideal <= 3.0,
+        "credit-mode ramp costs {credit_vs_ideal:.2}x the ideal router on \
+         the saturating 4x4 ramp (median of {gate_rounds} paired rounds, \
+         budget <= 3x)"
+    );
+
     let mut criterion = Criterion::default();
     let window = Duration::from_millis(if quick_mode() { 300 } else { 1_500 });
     for &side in sides() {
@@ -197,6 +261,7 @@ fn main() {
         group.sample_size(10);
         group.measurement_time(window);
         let sim = Simulator::new(&model, noc::sim::SimConfig::default(), energy());
+        let credit_sim = Simulator::new(&model, credit_config(), energy());
         group.bench_function("seed", |b| b.iter(|| seed_ramp(&model, duration)));
         group.bench_function("event_t1", |b| {
             b.iter(|| event_ramp(&sim, model.node_count(), duration))
@@ -207,6 +272,9 @@ fn main() {
                     .unwrap()
                     .len()
             })
+        });
+        group.bench_function("credit_t1", |b| {
+            b.iter(|| ramp_totals(&credit_sim, model.node_count(), duration))
         });
         group.bench_function("event_par", |b| {
             b.iter(|| {
@@ -239,24 +307,32 @@ fn main() {
         "parallel"
     };
     let mut rows = Vec::new();
-    for &(side, cycles, flits) in &totals {
+    for &(side, cycles, flits, credit_cycles, credit_flits) in &totals {
         let seed_ns = mean_of(format!("sim_{side}x{side}/seed"));
-        let per_sec = |ns: f64| (cycles as f64 / (ns / 1e9), flits as f64 / (ns / 1e9));
         for (bench, threads, mode) in [
             ("seed", 1usize, "seed_semantics"),
             ("event_t1", 1, "sequential"),
             ("event_sweep", 1, "sweep"),
             ("event_par", par_threads, par_mode),
+            ("credit_t1", 1, "credit"),
         ] {
             let ns = mean_of(format!("sim_{side}x{side}/{bench}"));
-            let (cps, fps) = per_sec(ns);
+            // The credit pipeline simulates its own (longer) ramp; its
+            // throughput row reports the cycles it actually retired.
+            let (row_cycles, row_flits) = if bench == "credit_t1" {
+                (credit_cycles, credit_flits)
+            } else {
+                (cycles, flits)
+            };
+            let cps = row_cycles as f64 / (ns / 1e9);
+            let fps = row_flits as f64 / (ns / 1e9);
             let vs_seed = if bench == "seed" {
                 String::new()
             } else {
                 format!(", \"vs_seed\": {:.3}", seed_ns / ns)
             };
             rows.push(format!(
-                "    {{\"mesh\": \"{side}x{side}\", \"ramp_points\": {}, \"simulated_cycles\": {cycles}, \"flits\": {flits}, \"threads\": {threads}, \"hardware_threads\": {hw}, \"mode\": \"{mode}\", \"mean_ms\": {:.4}, \"cycles_per_sec\": {:.1}, \"flits_per_sec\": {:.1}{vs_seed}}}",
+                "    {{\"mesh\": \"{side}x{side}\", \"ramp_points\": {}, \"simulated_cycles\": {row_cycles}, \"flits\": {row_flits}, \"threads\": {threads}, \"hardware_threads\": {hw}, \"mode\": \"{mode}\", \"mean_ms\": {:.4}, \"cycles_per_sec\": {:.1}, \"flits_per_sec\": {:.1}{vs_seed}}}",
                 RATES.len(),
                 ns / 1e6,
                 cps,
@@ -265,7 +341,7 @@ fn main() {
         }
     }
     let json = format!(
-        "{{\n  \"bench\": \"sim_throughput\",\n  \"workload\": \"uniform_bernoulli_ramp\",\n  \"rates\": [0.05, 0.25, 0.45, 0.6],\n  \"duration_cycles\": {duration},\n  \"payload_bits\": {PAYLOAD_BITS},\n  \"seed\": {SEED},\n  \"unit\": \"simulated_cycles_per_second\",\n  \"equivalence\": \"all ramp points bit-identical to seed semantics; curve thread-invariant\",\n  \"gate\": {{\"mesh\": \"4x4\", \"paired_rounds\": {gate_rounds}, \"median_vs_seed\": {gate_vs_seed:.3}, \"floor\": 5.0}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"sim_throughput\",\n  \"workload\": \"uniform_bernoulli_ramp\",\n  \"rates\": [0.05, 0.25, 0.45, 0.6],\n  \"duration_cycles\": {duration},\n  \"payload_bits\": {PAYLOAD_BITS},\n  \"seed\": {SEED},\n  \"unit\": \"simulated_cycles_per_second\",\n  \"equivalence\": \"all ramp points bit-identical to seed semantics; curve thread-invariant\",\n  \"gate\": {{\"mesh\": \"4x4\", \"paired_rounds\": {gate_rounds}, \"median_vs_seed\": {gate_vs_seed:.3}, \"floor\": 5.0}},\n  \"credit_gate\": {{\"mesh\": \"4x4\", \"paired_rounds\": {gate_rounds}, \"median_vs_ideal\": {credit_vs_ideal:.3}, \"budget\": 3.0}},\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");

@@ -65,6 +65,12 @@
 //!   sizes with cross-size hits.
 //! * `--full` — a larger grid: TGFF and Pajek size sweeps × two synthesis
 //!   objectives × two technologies with a load ramp per point.
+//! * `--credit` — double the grid with a router-fidelity axis: every
+//!   scenario runs under both the ideal wormhole router and the
+//!   credit-based pipelined router (`RouterFidelity::Credit`), labeled
+//!   `.../credit` in reports (schema v5 `router_fidelity` field). The
+//!   smoke acceptance gates compare against the plain smoke grid, so
+//!   they are skipped under `--credit`.
 //! * `--threads N` — campaign worker threads (`0` = one per hardware
 //!   thread; default).
 //! * `--out PATH` — where to write the JSON campaign report
@@ -143,9 +149,29 @@ fn full_grid() -> ScenarioGrid {
         }])
 }
 
+/// The grid the flags select: smoke or full, optionally crossed with the
+/// router-fidelity axis.
+fn grid_for(common: &CommonArgs) -> ScenarioGrid {
+    let grid = if common.smoke {
+        ScenarioGrid::smoke()
+    } else {
+        full_grid()
+    };
+    if common.credit {
+        grid.router_fidelities([
+            RouterFidelity::Ideal,
+            RouterFidelity::Credit(CreditConfig::default()),
+        ])
+    } else {
+        grid
+    }
+}
+
 #[derive(Default)]
 struct CommonArgs {
     smoke: bool,
+    /// Add the credit-router fidelity axis to the grid (`--credit`).
+    credit: bool,
     threads: usize,
     out: String,
     stream: bool,
@@ -191,6 +217,7 @@ fn parse_common(
     match arg {
         "--smoke" => common.smoke = true,
         "--full" => common.smoke = false,
+        "--credit" => common.credit = true,
         "--stream" => common.stream = true,
         "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
             Some(n) => common.threads = n,
@@ -236,11 +263,7 @@ fn run_command(args: &[String]) -> ExitCode {
         }
     }
 
-    let grid = if common.smoke {
-        ScenarioGrid::smoke()
-    } else {
-        full_grid()
-    };
+    let grid = grid_for(&common);
     let campaign = Campaign::new(grid.clone()).threads(common.threads);
 
     let prior = match &resume {
@@ -280,7 +303,7 @@ fn run_command(args: &[String]) -> ExitCode {
     // The acceptance gates run on a fresh smoke campaign only: a resume
     // must never cost a full re-run just to check itself (CI asserts the
     // resumed front against the single-shot report externally).
-    if common.smoke && prior.is_none() {
+    if common.smoke && !common.credit && prior.is_none() {
         smoke_gates(&campaign, &report, common.stream);
     }
 
@@ -327,11 +350,7 @@ fn sample_command(args: &[String]) -> ExitCode {
         return usage("sample does not support --cache (the sampler recreates its cache per run)");
     }
 
-    let grid = if common.smoke {
-        ScenarioGrid::smoke()
-    } else {
-        full_grid()
-    };
+    let grid = grid_for(&common);
     let campaign = Campaign::new(grid).threads(common.threads);
     let config = SamplerConfig::new(budget).policy(policy).seed(seed);
     note!(
@@ -368,7 +387,7 @@ fn sample_command(args: &[String]) -> ExitCode {
     // ≥ 90% of the exhaustive front's hypervolume — with strictly fewer
     // evaluated flows whenever the budget is below the grid size.
     if common.smoke {
-        let full = Campaign::new(ScenarioGrid::smoke())
+        let full = Campaign::new(grid_for(&common))
             .threads(common.threads)
             .run();
         assert!(
@@ -443,11 +462,7 @@ fn shard_command(args: &[String]) -> ExitCode {
         common.out = format!("EXPLORE_shard_{index}_of_{count}.json");
     }
 
-    let grid = if common.smoke {
-        ScenarioGrid::smoke()
-    } else {
-        full_grid()
-    };
+    let grid = grid_for(&common);
     let campaign = Campaign::new(grid).threads(common.threads);
     let plan = campaign.plan_shard(&manifest);
     note!(
@@ -504,11 +519,7 @@ fn coordinate_command(args: &[String]) -> ExitCode {
     };
     let cache = common.cache.clone();
 
-    let grid = if common.smoke {
-        ScenarioGrid::smoke()
-    } else {
-        full_grid()
-    };
+    let grid = grid_for(&common);
     let campaign = Campaign::new(grid).threads(common.threads);
     let mut config = CoordinatorConfig::new(workers)
         .deadline(std::time::Duration::from_secs_f64(deadline_secs))
@@ -531,6 +542,9 @@ fn coordinate_command(args: &[String]) -> ExitCode {
         }
     };
     let mut base_args = vec![if common.smoke { "--smoke" } else { "--full" }.to_string()];
+    if common.credit {
+        base_args.push("--credit".into());
+    }
     if common.threads != 0 {
         base_args.push("--threads".into());
         base_args.push(common.threads.to_string());
@@ -583,7 +597,7 @@ fn coordinate_command(args: &[String]) -> ExitCode {
     // must be the single-shot front — and the injected kill must actually
     // have exercised the salvage + re-deal + warm-restart path.
     if common.smoke {
-        let single = Campaign::new(ScenarioGrid::smoke())
+        let single = Campaign::new(grid_for(&common))
             .threads(common.threads)
             .run();
         assert_eq!(
@@ -678,11 +692,7 @@ fn worker_command(args: &[String]) -> ExitCode {
         return usage("worker needs --out");
     }
 
-    let grid = if common.smoke {
-        ScenarioGrid::smoke()
-    } else {
-        full_grid()
-    };
+    let grid = grid_for(&common);
     let campaign = Campaign::new(grid).threads(common.threads);
     let assignment = WorkerAssignment {
         ordinal: 0,
@@ -747,11 +757,7 @@ fn verify_command(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let grid = if common.smoke {
-        ScenarioGrid::smoke()
-    } else {
-        full_grid()
-    };
+    let grid = grid_for(&common);
     let campaign = Campaign::new(grid).threads(common.threads);
     let summary = match campaign.verify_report(&mut report) {
         Ok(summary) => summary,
@@ -1175,7 +1181,7 @@ fn thread_label(threads: usize) -> String {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
-    eprintln!("usage: explore [run] [--smoke | --full] [--threads N] [--out PATH] [--stream] [--resume PATH] [--cache PATH] [--trace PATH]");
+    eprintln!("usage: explore [run] [--smoke | --full] [--credit] [--threads N] [--out PATH] [--stream] [--resume PATH] [--cache PATH] [--trace PATH]");
     eprintln!("       explore sample --budget N [--policy bandit|halving] [--seed S] [--smoke | --full] [--threads N] [--out PATH] [--trace PATH]");
     eprintln!("       explore shard --index I --of K [--mode modulo|range] [--smoke | --full] [--threads N] [--out PATH] [--cache PATH]");
     eprintln!("       explore merge --out PATH REPORT...");

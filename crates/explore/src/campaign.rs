@@ -761,6 +761,7 @@ impl Campaign {
             synthesis_objective: format!("{:?}", scenario.objective),
             technology: scenario.technology.name().to_string(),
             sim: scenario.sim.label.clone(),
+            router_fidelity: scenario.router_fidelity.label().to_string(),
             objectives: Vec::new(),
             on_front: false,
             reused_synthesis: reused,
@@ -807,7 +808,10 @@ impl Campaign {
             // The campaign's worker pool owns the parallelism; each flow's
             // sweep stays sequential so workers don't oversubscribe cores.
             threads: 1,
-            ..Default::default()
+            sim: noc::sim::SimConfig {
+                router: scenario.router_fidelity,
+                ..noc::sim::SimConfig::default()
+            },
         };
         let energy = EnergyModel::new(scenario.technology.clone());
         let points = match sweep::sweep(&artifacts.model, &sweep_config, &energy) {
@@ -898,6 +902,44 @@ mod tests {
         for &id in &report.front {
             assert!(report.points[id].on_front);
         }
+    }
+
+    #[test]
+    fn credit_fidelity_points_simulate_under_the_credit_router() {
+        use noc::prelude::{CreditConfig, RouterFidelity};
+        let grid = ScenarioGrid::new()
+            .workloads([WorkloadSpec::fixed(WorkloadFamily::Fig5)])
+            .sims([SimSpec {
+                duration_cycles: 150,
+                ..SimSpec::default()
+            }])
+            .router_fidelities([
+                RouterFidelity::Ideal,
+                RouterFidelity::Credit(CreditConfig {
+                    rc_cycles: 1,
+                    st_cycles: 2,
+                    credit_return_cycles: 2,
+                }),
+            ]);
+        let report = Campaign::new(grid).run();
+        assert_eq!(report.points.len(), 2);
+        assert!(report.points.iter().all(|p| p.error.is_none()));
+        let (ideal, credit) = (&report.points[0], &report.points[1]);
+        assert_eq!(ideal.router_fidelity, "ideal");
+        assert_eq!(credit.router_fidelity, "credit");
+        assert!(credit.label.ends_with("/credit"));
+        // Same synthesized architecture (the axis is innermost), but the
+        // deeper pipeline raises the measured latency.
+        assert!(credit.reused_synthesis);
+        assert!(
+            credit.sweep[0].latency_cycles > ideal.sweep[0].latency_cycles,
+            "credit {} vs ideal {}",
+            credit.sweep[0].latency_cycles,
+            ideal.sweep[0].latency_cycles
+        );
+        // And the record survives the report round trip.
+        let parsed = CampaignReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.points[1].router_fidelity, "credit");
     }
 
     #[test]

@@ -31,8 +31,12 @@ use crate::pareto::{ObjectiveKind, ParetoFront};
 /// deadlock-freedom verdict of the synthesized architecture's routing
 /// ([`VerifyRecord`], produced by `noc-verify`'s extended channel
 /// dependency graph analysis). Absent in v1–v3 reports and parsed as
-/// `None` ("never verified") — run `explore verify` to fill it in.
-pub const SCHEMA_VERSION: u64 = 4;
+/// `None` ("never verified") — run `explore verify` to fill it in;
+/// **v5** — adds the per-point `router_fidelity` string (`"ideal"` or
+/// `"credit"`), the router-model axis the point's sweep simulated under.
+/// Absent in v1–v4 reports and parsed as `"ideal"`, which is exactly
+/// what those campaigns ran.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// One sampled load point of a scenario's sweep, as recorded in reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -248,6 +252,9 @@ pub struct PointRecord {
     pub technology: String,
     /// Sim-spec label.
     pub sim: String,
+    /// Router-fidelity axis label (`"ideal"` or `"credit"`, schema v5;
+    /// absent in older reports and parsed as `"ideal"`).
+    pub router_fidelity: String,
     /// Objective vector, parallel to the campaign's
     /// [`ObjectiveKind`] list; empty when `error` is set.
     pub objectives: Vec<f64>,
@@ -299,6 +306,7 @@ impl PointRecord {
         push_str_kv(&mut s, "synthesis_objective", &self.synthesis_objective);
         push_str_kv(&mut s, "technology", &self.technology);
         push_str_kv(&mut s, "sim", &self.sim);
+        push_str_kv(&mut s, "router_fidelity", &self.router_fidelity);
         if let Some(error) = &self.error {
             push_str_kv(&mut s, "error", error);
         } else {
@@ -413,6 +421,12 @@ impl PointRecord {
             synthesis_objective: need_str(v, "synthesis_objective")?,
             technology: need_str(v, "technology")?,
             sim: need_str(v, "sim")?,
+            // v5 field; v1–v4 campaigns all ran the ideal router.
+            router_fidelity: v
+                .get("router_fidelity")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("ideal")
+                .to_string(),
             objectives,
             on_front: v
                 .get("on_front")
@@ -1046,6 +1060,7 @@ mod tests {
             synthesis_objective: "Links".into(),
             technology: "cmos_180nm".into(),
             sim: "base_load".into(),
+            router_fidelity: "ideal".into(),
             objectives: vec![1.5e-9, 12.25, 16.0],
             on_front: true,
             reused_synthesis: false,
@@ -1336,6 +1351,26 @@ mod tests {
         let parsed = CampaignReport::from_json(&v3).unwrap();
         assert!(parsed.points.iter().all(|p| p.verify.is_none()));
         // Everything else still round-trips from the v3 body.
+        assert_eq!(parsed.front, original.front);
+        assert_eq!(parsed.points[0].objectives, original.points[0].objectives);
+    }
+
+    #[test]
+    fn v4_points_without_router_fidelity_parse_as_ideal() {
+        // A v4-era report predates the router-fidelity axis; strip the
+        // field (and claim v4) to reproduce one. Every pre-v5 campaign
+        // ran the ideal router, so that is what absence means.
+        let original = report();
+        let v4 = original
+            .to_json()
+            .replace(
+                &format!("\"schema_version\": {SCHEMA_VERSION}"),
+                "\"schema_version\": 4",
+            )
+            .replace(", \"router_fidelity\": \"ideal\"", "");
+        assert!(!v4.contains("router_fidelity"), "strip failed: {v4}");
+        let parsed = CampaignReport::from_json(&v4).unwrap();
+        assert!(parsed.points.iter().all(|p| p.router_fidelity == "ideal"));
         assert_eq!(parsed.front, original.front);
         assert_eq!(parsed.points[0].objectives, original.points[0].objectives);
     }

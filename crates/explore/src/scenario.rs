@@ -108,12 +108,18 @@ pub struct Scenario {
     pub core_area_mm2: f64,
     /// Simulation spec.
     pub sim: SimSpec,
+    /// Router model fidelity the sweep simulates under (the innermost
+    /// axis; [`RouterFidelity::Ideal`] reproduces the pre-axis behavior
+    /// bit-for-bit).
+    pub router_fidelity: RouterFidelity,
 }
 
 impl Scenario {
-    /// Human-readable point label for reports.
+    /// Human-readable point label for reports. Ideal-fidelity labels are
+    /// byte-identical to pre-axis reports; credit fidelity appends one
+    /// more `/`-separated part.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/{}/{:?}/{}/fp{}/{}",
             self.workload.label(),
             self.engine_label,
@@ -121,7 +127,12 @@ impl Scenario {
             self.technology.name(),
             self.floorplan_seed,
             self.sim.label,
-        )
+        );
+        if !matches!(self.router_fidelity, RouterFidelity::Ideal) {
+            label.push('/');
+            label.push_str(self.router_fidelity.label());
+        }
+        label
     }
 
     /// The scenario's value on each named grid axis, in enumeration-nest
@@ -130,7 +141,7 @@ impl Scenario {
     /// value)` pair, and pulling it means evaluating scenarios that carry
     /// that value (see [`crate::sample`]). `core_area_mm2` is excluded —
     /// it is a grid-wide constant, not an axis.
-    pub fn axis_values(&self) -> [(&'static str, String); 6] {
+    pub fn axis_values(&self) -> [(&'static str, String); 7] {
         [
             ("workload", self.workload.label()),
             ("engine", self.engine_label.clone()),
@@ -138,6 +149,7 @@ impl Scenario {
             ("technology", self.technology.name().to_string()),
             ("floorplan_seed", self.floorplan_seed.to_string()),
             ("sim", self.sim.label.clone()),
+            ("router_fidelity", self.router_fidelity.label().to_string()),
         ]
     }
 
@@ -170,6 +182,7 @@ pub struct ScenarioGrid {
     floorplan_seeds: Vec<u64>,
     core_area_mm2: f64,
     sims: Vec<SimSpec>,
+    router_fidelities: Vec<RouterFidelity>,
 }
 
 impl Default for ScenarioGrid {
@@ -191,6 +204,7 @@ impl ScenarioGrid {
             floorplan_seeds: vec![1],
             core_area_mm2: 1.0,
             sims: vec![SimSpec::default()],
+            router_fidelities: vec![RouterFidelity::Ideal],
         }
     }
 
@@ -277,6 +291,21 @@ impl ScenarioGrid {
         self
     }
 
+    /// Replaces the router-fidelity axis (defaults to ideal only, which
+    /// keeps grids and labels identical to pre-axis campaigns).
+    #[must_use]
+    pub fn router_fidelities(
+        mut self,
+        fidelities: impl IntoIterator<Item = RouterFidelity>,
+    ) -> Self {
+        self.router_fidelities = fidelities.into_iter().collect();
+        assert!(
+            !self.router_fidelities.is_empty(),
+            "need at least one router fidelity"
+        );
+        self
+    }
+
     /// Number of scenario points the grid enumerates to.
     pub fn len(&self) -> usize {
         self.workloads.len()
@@ -285,6 +314,7 @@ impl ScenarioGrid {
             * self.technologies.len()
             * self.floorplan_seeds.len()
             * self.sims.len()
+            * self.router_fidelities.len()
     }
 
     /// `true` when no workload has been added.
@@ -293,8 +323,9 @@ impl ScenarioGrid {
     }
 
     /// Enumerates the cross product in a stable order (workloads
-    /// outermost, sim specs innermost — adjacent ids differ only in sim
-    /// spec, which is what makes synthesis reuse effective).
+    /// outermost, router fidelity innermost — adjacent ids differ only
+    /// in sim spec or fidelity, which is what makes synthesis reuse
+    /// effective).
     pub fn enumerate(&self) -> Vec<Scenario> {
         let mut scenarios = Vec::with_capacity(self.len());
         for workload in &self.workloads {
@@ -303,17 +334,20 @@ impl ScenarioGrid {
                     for technology in &self.technologies {
                         for &floorplan_seed in &self.floorplan_seeds {
                             for sim in &self.sims {
-                                scenarios.push(Scenario {
-                                    id: scenarios.len(),
-                                    workload: workload.clone(),
-                                    engine_label: engine_label.clone(),
-                                    engine: engine.clone(),
-                                    objective,
-                                    technology: technology.clone(),
-                                    floorplan_seed,
-                                    core_area_mm2: self.core_area_mm2,
-                                    sim: sim.clone(),
-                                });
+                                for &router_fidelity in &self.router_fidelities {
+                                    scenarios.push(Scenario {
+                                        id: scenarios.len(),
+                                        workload: workload.clone(),
+                                        engine_label: engine_label.clone(),
+                                        engine: engine.clone(),
+                                        objective,
+                                        technology: technology.clone(),
+                                        floorplan_seed,
+                                        core_area_mm2: self.core_area_mm2,
+                                        sim: sim.clone(),
+                                        router_fidelity,
+                                    });
+                                }
                             }
                         }
                     }
@@ -380,6 +414,38 @@ mod tests {
         let scenarios = ScenarioGrid::smoke().enumerate();
         assert_eq!(scenarios[0].synthesis_key(), scenarios[1].synthesis_key());
         assert_ne!(scenarios[1].synthesis_key(), scenarios[2].synthesis_key());
+    }
+
+    #[test]
+    fn router_fidelity_axis_multiplies_the_grid_and_marks_labels() {
+        let base = ScenarioGrid::smoke();
+        let both = ScenarioGrid::smoke().router_fidelities([
+            RouterFidelity::Ideal,
+            RouterFidelity::Credit(CreditConfig::default()),
+        ]);
+        assert_eq!(both.len(), base.len() * 2);
+        let scenarios = both.enumerate();
+        // Fidelity is the innermost axis: ideal/credit alternate, and a
+        // credit scenario still shares its neighbor's synthesis key.
+        assert!(matches!(
+            scenarios[0].router_fidelity,
+            RouterFidelity::Ideal
+        ));
+        assert!(matches!(
+            scenarios[1].router_fidelity,
+            RouterFidelity::Credit(_)
+        ));
+        assert_eq!(scenarios[0].synthesis_key(), scenarios[1].synthesis_key());
+        // Ideal labels are byte-identical to a fidelity-free grid; credit
+        // labels append exactly one part.
+        let plain = base.enumerate();
+        assert_eq!(scenarios[0].label(), plain[0].label());
+        assert_eq!(scenarios[1].label(), format!("{}/credit", plain[0].label()));
+        // The axis shows up in the sampler's coordinate system.
+        assert_eq!(
+            scenarios[1].axis_values()[6],
+            ("router_fidelity", "credit".to_string())
+        );
     }
 
     #[test]

@@ -265,6 +265,7 @@ mod tests {
             synthesis_objective: "Links".into(),
             technology: "t".into(),
             sim: "s".into(),
+            router_fidelity: "ideal".into(),
             objectives,
             on_front: false,
             reused_synthesis: false,

@@ -79,7 +79,7 @@ pub mod prelude {
     pub use noc_floorplan::{Core, Placement, SlicingFloorplanner};
     pub use noc_graph::{Acg, DiGraph, EdgeDemand, NodeId};
     pub use noc_primitives::{CommLibrary, Primitive};
-    pub use noc_sim::{NocModel, SimConfig, Simulator};
+    pub use noc_sim::{CreditConfig, NocModel, RouterFidelity, SimConfig, Simulator};
     pub use noc_synthesis::{
         Architecture, CostModel, Decomposer, DecomposerConfig, Decomposition, Objective,
         SearchOrder, SharedMatchCache, SizeCacheStats, WarmStart,

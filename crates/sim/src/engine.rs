@@ -50,23 +50,25 @@ use std::collections::BinaryHeap;
 use noc_energy::{Energy, EnergyBreakdown, EnergyModel};
 use noc_graph::NodeId;
 
-use crate::{BlockedVc, NocModel, RoutePolicy, SimConfig, SimError, SimReport, TrafficEvent};
+use crate::{
+    BlockedVc, NocModel, RoutePolicy, RouterFidelity, SimConfig, SimError, SimReport, TrafficEvent,
+};
 
 /// Sentinel "no route" entry in the pair tables.
 const NO_ROUTE: u32 = u32::MAX;
 /// Port code of the local injection port in candidates and lock words.
-const LOCAL_PORT: u32 = u32::MAX;
+pub(crate) const LOCAL_PORT: u32 = u32::MAX;
 /// Lock word for an unlocked (channel, VC).
-const LOCK_NONE: u64 = u64::MAX;
+pub(crate) const LOCK_NONE: u64 = u64::MAX;
 /// `head_out` value of an empty (channel, VC) buffer.
-const HEAD_NONE: u32 = u32::MAX;
+pub(crate) const HEAD_NONE: u32 = u32::MAX;
 /// Tail-flit marker carried in [`FlitSlot::idx`]'s top bit, so neither the
 /// grant commit nor a non-final ejection has to consult the packet table.
-const IDX_TAIL: u32 = 1 << 31;
+pub(crate) const IDX_TAIL: u32 = 1 << 31;
 /// Mask recovering the flit index from [`FlitSlot::idx`].
-const IDX_MASK: u32 = IDX_TAIL - 1;
+pub(crate) const IDX_MASK: u32 = IDX_TAIL - 1;
 /// `head_out` value of a head flit that has finished its route.
-const HEAD_EJECT: u32 = u32::MAX - 1;
+pub(crate) const HEAD_EJECT: u32 = u32::MAX - 1;
 
 /// A fixed-capacity bitset over channel indices supporting in-order
 /// iteration with live insertion: bits set at positions not yet visited
@@ -124,32 +126,32 @@ impl ActiveSet {
 /// [`IDX_TAIL`] bit is set (stamped once at emission), so the hot paths
 /// never consult the packet table for non-final flits.
 #[derive(Debug, Clone, Copy, Default)]
-struct FlitSlot {
+pub(crate) struct FlitSlot {
     /// Owning packet index.
-    pkt: u32,
+    pub(crate) pkt: u32,
     /// Flit index within the packet (`& IDX_MASK`, 0 = head), with the
     /// tail marker in the top bit.
-    idx: u32,
+    pub(crate) idx: u32,
     /// Index into `SimCore::route_chan`/`route_vc` of the next hop to
     /// take (`route_off[route] + hop`) — resolving a head's requested
     /// channel is a single array load, with the end-of-route sentinel
     /// standing in for ejection.
-    ri: u32,
+    pub(crate) ri: u32,
 }
 
 /// Per-run packet bookkeeping (the compiled-route analogue of `Packet`).
 #[derive(Debug, Clone, Copy)]
-struct PacketRun {
+pub(crate) struct PacketRun {
     /// Compiled route id (index into `SimCore::route_off`).
-    route: u32,
+    pub(crate) route: u32,
     /// Total flits (header + payload).
-    flits: u32,
+    pub(crate) flits: u32,
     /// Release cycle.
-    release: u64,
+    pub(crate) release: u64,
     /// Injection cycle of the head flit (`u64::MAX` until injected).
-    inject: u64,
+    pub(crate) inject: u64,
     /// Payload bits, for throughput accounting.
-    payload_bits: u64,
+    pub(crate) payload_bits: u64,
 }
 
 /// A phase-2 grant candidate: input port and its head flit. The output
@@ -167,22 +169,22 @@ struct Candidate {
 /// [`Simulator::new`](crate::Simulator::new).
 #[derive(Debug)]
 pub(crate) struct SimCore {
-    name: String,
-    config: SimConfig,
+    pub(crate) name: String,
+    pub(crate) config: SimConfig,
     energy: EnergyModel,
-    n_nodes: usize,
-    num_vcs: usize,
+    pub(crate) n_nodes: usize,
+    pub(crate) num_vcs: usize,
     /// Channels as `(src, dst)` node indices, in the model's link order.
-    channels: Vec<(u32, u32)>,
+    pub(crate) channels: Vec<(u32, u32)>,
     /// Buffer-slot layout, grouped by destination node: channel `c`'s VC
     /// buffers occupy slots `chan_slot[c] .. chan_slot[c] + num_vcs`, and
     /// node `v`'s input slots are the contiguous range
     /// `node_slot_off[v] .. node_slot_off[v + 1]` (in-channels ascending,
     /// VCs ascending) — so a phase-2 candidate scan is one linear walk.
-    chan_slot: Vec<u32>,
-    node_slot_off: Vec<u32>,
+    pub(crate) chan_slot: Vec<u32>,
+    pub(crate) node_slot_off: Vec<u32>,
     /// Owning channel of each buffer slot.
-    slot_channel: Vec<u32>,
+    pub(crate) slot_channel: Vec<u32>,
     /// Bit index of each slot within its node's group, for the requester
     /// masks (valid only when `masks_ok`).
     slot_bit: Vec<u8>,
@@ -190,17 +192,17 @@ pub(crate) struct SimCore {
     /// when false, phase 2 falls back to scanning the slot range.
     masks_ok: bool,
     /// Per-node router radix (for end-of-run idle energy).
-    radix: Vec<usize>,
+    pub(crate) radix: Vec<usize>,
     /// Per-node switch traversal energy at `flit_bits`.
-    switch_energy: Vec<Energy>,
+    pub(crate) switch_energy: Vec<Energy>,
     /// Per-channel link traversal energy at `flit_bits`.
-    link_energy: Vec<Energy>,
+    pub(crate) link_energy: Vec<Energy>,
     /// Compiled routes: route `r` covers channel ids
     /// `route_chan[route_off[r]..route_off[r + 1]]` with per-hop VCs in
     /// `route_vc` at the same indices.
-    route_chan: Vec<u32>,
-    route_vc: Vec<u32>,
-    route_off: Vec<u32>,
+    pub(crate) route_chan: Vec<u32>,
+    pub(crate) route_vc: Vec<u32>,
+    pub(crate) route_off: Vec<u32>,
     /// Dense `src * n + dst` tables of compiled route ids (`NO_ROUTE` when
     /// the pair is unroutable).
     pair_primary: Vec<u32>,
@@ -334,14 +336,14 @@ impl SimCore {
     /// Channel-id range of compiled route `r` (`links` excludes the
     /// end-of-route sentinel entry).
     #[inline]
-    fn route_span(&self, r: u32) -> (usize, usize) {
+    pub(crate) fn route_span(&self, r: u32) -> (usize, usize) {
         let off = self.route_off[r as usize] as usize;
         (off, self.route_off[r as usize + 1] as usize - off - 1)
     }
 
     /// Replicates `NocModel::route_for_packet`'s per-packet route choice on
     /// the compiled tables.
-    fn route_id_for(&self, src: usize, dst: usize, packet_idx: usize) -> Option<u32> {
+    pub(crate) fn route_id_for(&self, src: usize, dst: usize, packet_idx: usize) -> Option<u32> {
         let primary = self.pair_primary[src * self.n_nodes + dst];
         let pick_primary = match self.policy {
             RoutePolicy::Fixed => true,
@@ -436,6 +438,9 @@ pub(crate) struct SimState {
     pkts: Vec<PacketRun>,
     /// Scratch for the release-order sort.
     order: Vec<u32>,
+    /// State of the credit-based router model — untouched (and empty) when
+    /// the configured fidelity is [`RouterFidelity::Ideal`].
+    credit: crate::router::CreditState,
 }
 
 impl SimState {
@@ -541,6 +546,9 @@ impl SimCore {
             events.len() < u32::MAX as usize,
             "packet count must fit the engine's 32-bit ids"
         );
+        if let RouterFidelity::Credit(pipe) = self.config.router {
+            return crate::router::run_credit(self, pipe, &mut st.credit, events, tel);
+        }
         st.reset(self, events.len());
         let vcs = self.num_vcs;
         let cap = self.config.buffer_flits;
@@ -984,6 +992,8 @@ impl SimCore {
                     hop: (head.ri - self.route_off[st.pkts[head.pkt as usize].route as usize])
                         as usize,
                     occupancy: st.buf_len[cvc] as usize,
+                    credits_available: None,
+                    last_credit_return_cycle: None,
                 });
             }
         }

@@ -41,6 +41,7 @@ mod model;
 mod packet;
 mod phased;
 pub mod reference;
+mod router;
 mod sim;
 mod stats;
 pub mod sweep;
@@ -49,5 +50,5 @@ pub mod traffic;
 pub use model::{NocModel, RoutePolicy};
 pub use packet::{Flit, FlitKind, Packet, TrafficEvent};
 pub use phased::{Phase, PhasedReport};
-pub use sim::{BlockedVc, SimConfig, SimError, Simulator};
+pub use sim::{BlockedVc, CreditConfig, RouterFidelity, SimConfig, SimError, Simulator};
 pub use stats::SimReport;

@@ -115,6 +115,8 @@ pub fn run_reference(
                         packet: front.packet_id,
                         hop: front.hop,
                         occupancy: vc_buf.len(),
+                        credits_available: None,
+                        last_credit_return_cycle: None,
                     });
                 }
             }

@@ -1,0 +1,1006 @@
+//! Credit-based virtual-channel router pipeline (RC → VA → SA → ST).
+//!
+//! This is the high-fidelity router model behind
+//! [`RouterFidelity::Credit`](crate::RouterFidelity::Credit). It runs on
+//! the same compiled [`SimCore`] tables as the ideal engine — channels,
+//! routes, per-hop VCs and energy constants are shared — but replaces the
+//! one-cycle-per-hop grant loop with an explicit pipeline:
+//!
+//! * **RC (route computation)** — a newly revealed *head* flit dwells
+//!   [`CreditConfig::rc_cycles`] cycles before it may arbitrate (routes
+//!   are precompiled, so RC models latency only). Body and tail flits
+//!   inherit the head's route and skip RC. RC at the source router is
+//!   folded into packet release.
+//! * **VA (virtual-channel allocation)** — a head must win its requested
+//!   output (channel, VC) before competing for the switch: one grant per
+//!   output VC per cycle, round-robin among the requesting input ports,
+//!   held until the tail traverses the switch. This is the wormhole lock
+//!   made an explicit, separately arbitrated resource — losers stall at
+//!   their buffer front and head-of-line block everything behind them.
+//! * **SA (switch allocation)** — one flit per output channel per cycle
+//!   (link bandwidth), round-robin among the input ports whose front flit
+//!   holds the output VC, is RC-complete, and has a credit available.
+//! * **ST (switch + link traversal)** — a granted flit is in flight for
+//!   [`CreditConfig::st_cycles`] cycles before landing downstream.
+//!
+//! **Credits.** Each (channel, VC) input buffer hands its upstream router
+//! `buffer_flits` credits. SA consumes one per grant; a downstream pop
+//! (forwarding or ejection) returns one after
+//! [`CreditConfig::credit_return_cycles`]. The conservation invariant —
+//! per (channel, VC), per cycle:
+//!
+//! ```text
+//! credits_available + buffer_occupancy + flits_in_flight + returns_in_flight
+//!     == buffer_flits
+//! ```
+//!
+//! is `debug_assert`ed every cycle of every run, so every debug-mode test
+//! that touches credit mode checks it continuously.
+//!
+//! **Arming invariant for credit returns.** A return is scheduled at the
+//! *pop*, never at the eventual grant it unblocks — so the return queue
+//! length equals the number of outstanding pops and the invariant above
+//! holds cycle-by-cycle with no terminal drain special-case. Returns,
+//! landings and releases are the only time-keyed events; when the network
+//! is completely empty the loop jumps straight to the next release like
+//! the ideal engine (or raises the identical stall/watchdog error at the
+//! identical cycle).
+//!
+//! Error semantics match the ideal engine: the stall detector raises
+//! [`SimError::Deadlock`] after `stall_cycles` without movement, and the
+//! snapshot additionally reports, per blocked head, the credits available
+//! toward its requested next hop and the last credit-return cycle seen
+//! there — the two facts that distinguish a credit-starvation stall from
+//! a protocol deadlock.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use noc_energy::EnergyBreakdown;
+use noc_graph::NodeId;
+use noc_telemetry::Telemetry;
+
+use crate::engine::{
+    FlitSlot, PacketRun, SimCore, HEAD_EJECT, HEAD_NONE, IDX_MASK, IDX_TAIL, LOCAL_PORT, LOCK_NONE,
+};
+use crate::{BlockedVc, CreditConfig, SimError, SimReport, TrafficEvent};
+
+/// In-flight flit record: `(land_cycle, dest cvc, pkt, idx, ri)`,
+/// min-ordered by landing cycle.
+type Flight = Reverse<(u64, u32, u32, u32, u32)>;
+
+/// "No output VC held" sentinel for the per-port hold registers.
+const HOLD_NONE: u32 = u32::MAX;
+/// "Never" sentinel for the last-credit-return stamps.
+const NEVER: u64 = u64::MAX;
+
+/// The mutable state of a credit-mode run, reusable across runs without
+/// reallocation (the sweep and phased drivers carry it inside
+/// [`SimState`](crate::engine::SimState)).
+#[derive(Debug, Default)]
+pub(crate) struct CreditState {
+    // Per-run packet table and per-node injection queues (mirrors the
+    // ideal engine's layout).
+    pkts: Vec<PacketRun>,
+    order: Vec<u32>,
+    pending: Vec<Vec<u32>>,
+    cursor: Vec<u32>,
+    emit: Vec<u32>,
+    local_out: Vec<u32>,
+    local_ri: Vec<u32>,
+    local_pid: Vec<u32>,
+    local_flits: Vec<u32>,
+    /// Output (channel, VC) slot held by the node's front head via VA.
+    local_hold: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+
+    // Per-(channel, VC) input buffers, flat ring slab like the engine's.
+    buf: Vec<FlitSlot>,
+    buf_head: Vec<u32>,
+    buf_len: Vec<u32>,
+    /// Cycle at which the current head flit is RC-complete and may
+    /// arbitrate (meaningful only while the buffer is non-empty).
+    head_ready: Vec<u64>,
+    /// Output (channel, VC) slot held by this input's resident packet.
+    hold: Vec<u32>,
+
+    // Per-(channel, VC) output-side allocation state.
+    vc_lock: Vec<u64>,
+    credits: Vec<u32>,
+    last_return: Vec<u64>,
+    rr_va: Vec<u32>,
+    /// Per-output-channel switch-allocation round-robin pointer.
+    rr_sa: Vec<u32>,
+
+    // Time-keyed event queues.
+    /// Credit returns as `(apply_cycle, cvc)`.
+    returns: BinaryHeap<Reverse<(u64, u32)>>,
+    /// In-flight flits, min-ordered by landing cycle.
+    flights: BinaryHeap<Flight>,
+
+    // Conservation bookkeeping (the debug invariant and snapshots).
+    in_flight: Vec<u32>,
+    pending_ret: Vec<u32>,
+
+    // Node → output channels, CSR with channels ascending. Lets the
+    // arbitration passes scan each node's inputs once instead of once
+    // per output.
+    out_off: Vec<u32>,
+    out_ch: Vec<u32>,
+    /// VA request buckets, one per output (channel, VC); filled and
+    /// drained every cycle.
+    va_req: Vec<Vec<u32>>,
+    /// SA request buckets, one per output channel; filled and drained
+    /// every cycle.
+    sa_req: Vec<Vec<u32>>,
+}
+
+impl CreditState {
+    fn reset(&mut self, core: &SimCore, packets: usize) {
+        let ncvc = core.channels.len() * core.num_vcs;
+        self.pkts.clear();
+        self.pkts.reserve(packets);
+        self.order.clear();
+        self.pending.resize(core.n_nodes, Vec::new());
+        for q in &mut self.pending {
+            q.clear();
+        }
+        self.cursor.clear();
+        self.cursor.resize(core.n_nodes, 0);
+        self.emit.clear();
+        self.emit.resize(core.n_nodes, 0);
+        self.local_out.clear();
+        self.local_out.resize(core.n_nodes, HEAD_NONE);
+        self.local_ri.clear();
+        self.local_ri.resize(core.n_nodes, 0);
+        self.local_pid.clear();
+        self.local_pid.resize(core.n_nodes, 0);
+        self.local_flits.clear();
+        self.local_flits.resize(core.n_nodes, 0);
+        self.local_hold.clear();
+        self.local_hold.resize(core.n_nodes, HOLD_NONE);
+        self.heap.clear();
+        self.buf.clear();
+        self.buf
+            .resize(ncvc * core.config.buffer_flits, FlitSlot::default());
+        self.buf_head.clear();
+        self.buf_head.resize(ncvc, 0);
+        self.buf_len.clear();
+        self.buf_len.resize(ncvc, 0);
+        self.head_ready.clear();
+        self.head_ready.resize(ncvc, NEVER);
+        self.hold.clear();
+        self.hold.resize(ncvc, HOLD_NONE);
+        self.vc_lock.clear();
+        self.vc_lock.resize(ncvc, LOCK_NONE);
+        self.credits.clear();
+        self.credits.resize(ncvc, core.config.buffer_flits as u32);
+        self.last_return.clear();
+        self.last_return.resize(ncvc, NEVER);
+        self.rr_va.clear();
+        self.rr_va.resize(ncvc, 0);
+        self.rr_sa.clear();
+        self.rr_sa.resize(core.channels.len(), 0);
+        self.returns.clear();
+        self.flights.clear();
+        self.in_flight.clear();
+        self.in_flight.resize(ncvc, 0);
+        self.pending_ret.clear();
+        self.pending_ret.resize(ncvc, 0);
+        self.out_off.clear();
+        self.out_off.resize(core.n_nodes + 1, 0);
+        for &(a, _) in &core.channels {
+            self.out_off[a as usize + 1] += 1;
+        }
+        for u in 0..core.n_nodes {
+            self.out_off[u + 1] += self.out_off[u];
+        }
+        self.out_ch.clear();
+        self.out_ch.resize(core.channels.len(), 0);
+        let mut fill: Vec<u32> = self.out_off[..core.n_nodes].to_vec();
+        for (c, &(a, _)) in core.channels.iter().enumerate() {
+            self.out_ch[fill[a as usize] as usize] = c as u32;
+            fill[a as usize] += 1;
+        }
+        self.va_req.resize_with(ncvc, Vec::new);
+        for q in &mut self.va_req {
+            q.clear();
+        }
+        self.sa_req.resize_with(core.channels.len(), Vec::new);
+        for q in &mut self.sa_req {
+            q.clear();
+        }
+    }
+
+    /// The front flit of buffer `cvc` (caller guarantees non-empty).
+    #[inline]
+    fn front(&self, core: &SimCore, cvc: usize) -> FlitSlot {
+        self.buf[cvc * core.config.buffer_flits + self.buf_head[cvc] as usize]
+    }
+}
+
+/// VC-lock key for `port` feeding `pkt` (the engine's lock encoding).
+#[inline]
+fn lock_key(port: u32, pkt: u32) -> u64 {
+    (port as u64) << 32 | pkt as u64
+}
+
+/// Runs `events` under the credit-based router model.
+pub(crate) fn run_credit(
+    core: &SimCore,
+    pipe: CreditConfig,
+    st: &mut CreditState,
+    events: &[TrafficEvent],
+    tel: Option<&'static Telemetry>,
+) -> Result<SimReport, SimError> {
+    st.reset(core, events.len());
+    let vcs = core.num_vcs;
+    let cap = core.config.buffer_flits;
+    let cap32 = cap as u32;
+
+    // Packet table (route choice is per packet — O1TURN), identical to
+    // the ideal engine's build.
+    for (idx, ev) in events.iter().enumerate() {
+        let route = core
+            .route_id_for(ev.src.index(), ev.dst.index(), idx)
+            .ok_or(SimError::NoRoute {
+                src: ev.src,
+                dst: ev.dst,
+            })?;
+        let payload_flits = ev.payload_bits.div_ceil(core.config.flit_bits) as usize;
+        let flits = (core.config.header_flits + payload_flits) as u32;
+        assert!(
+            flits < IDX_TAIL,
+            "packet flit count must leave the tail-marker bit free"
+        );
+        st.pkts.push(PacketRun {
+            route,
+            flits,
+            release: ev.release_cycle,
+            inject: u64::MAX,
+            payload_bits: ev.payload_bits,
+        });
+    }
+    st.order.extend(0..events.len() as u32);
+    st.order.sort_by_key(|&i| (st.pkts[i as usize].release, i));
+    for i in 0..st.order.len() {
+        let id = st.order[i];
+        st.pending[events[id as usize].src.index()].push(id);
+    }
+    for (u, q) in st.pending.iter().enumerate() {
+        if let Some(&first) = q.first() {
+            st.heap
+                .push(Reverse((st.pkts[first as usize].release, u as u32)));
+        }
+    }
+
+    let total = st.pkts.len();
+    let mut energy = EnergyBreakdown::default();
+    let mut delivered = 0usize;
+    let mut flits_ejected: u64 = 0;
+    let mut flits_injected: u64 = 0;
+    let mut cycle: u64 = 0;
+    let mut last_progress_cycle: u64 = 0;
+    let mut latency_sum: u64 = 0;
+    let mut network_latency_sum: u64 = 0;
+    let mut idle_cycles_skipped: u64 = 0;
+    let mut credit_stalls: u64 = 0;
+    let mut vc_conflicts: u64 = 0;
+    // Buffered flits network-wide and nodes with an active (released,
+    // unfinished) front packet — the emptiness test for idle skipping.
+    let mut occupied: usize = 0;
+    let mut fronts_active: usize = 0;
+
+    while delivered < total {
+        if cycle >= core.config.max_cycles {
+            return Err(SimError::Watchdog {
+                max_cycles: core.config.max_cycles,
+            });
+        }
+        if cycle.saturating_sub(last_progress_cycle) > core.config.stall_cycles {
+            return Err(SimError::Deadlock {
+                cycle,
+                undelivered: total - delivered,
+                blocked: blocked_snapshot(core, st),
+            });
+        }
+
+        // Wake nodes whose next pending packet has been released.
+        while let Some(&Reverse((r, u))) = st.heap.peek() {
+            if r > cycle {
+                break;
+            }
+            st.heap.pop();
+            let u = u as usize;
+            if let Some(&front) = st.pending[u].get(st.cursor[u] as usize) {
+                let rel = st.pkts[front as usize].release;
+                if rel <= cycle {
+                    let (off, _) = core.route_span(st.pkts[front as usize].route);
+                    st.local_out[u] = core.route_chan[off];
+                    st.local_ri[u] = off as u32;
+                    st.local_pid[u] = front;
+                    st.local_flits[u] = st.pkts[front as usize].flits;
+                    st.local_hold[u] = HOLD_NONE;
+                    fronts_active += 1;
+                } else {
+                    st.heap.push(Reverse((rel, u as u32)));
+                }
+            }
+        }
+
+        // Apply credit returns due this cycle.
+        while let Some(&Reverse((t, cvc))) = st.returns.peek() {
+            if t > cycle {
+                break;
+            }
+            st.returns.pop();
+            let cvc = cvc as usize;
+            st.credits[cvc] += 1;
+            st.pending_ret[cvc] -= 1;
+            st.last_return[cvc] = t;
+        }
+
+        // Land in-flight flits due this cycle (ST complete).
+        let mut landed = false;
+        while let Some(&Reverse((t, cvc, pkt, idx, ri))) = st.flights.peek() {
+            if t > cycle {
+                break;
+            }
+            st.flights.pop();
+            let cvc = cvc as usize;
+            let mut tail = st.buf_head[cvc] + st.buf_len[cvc];
+            if tail >= cap32 {
+                tail -= cap32;
+            }
+            st.buf[cvc * cap + tail as usize] = FlitSlot { pkt, idx, ri };
+            st.buf_len[cvc] += 1;
+            st.in_flight[cvc] -= 1;
+            occupied += 1;
+            landed = true;
+            if st.buf_len[cvc] == 1 {
+                st.head_ready[cvc] = if idx & IDX_MASK == 0 {
+                    cycle + pipe.rc_cycles
+                } else {
+                    cycle
+                };
+            }
+        }
+
+        let mut moved = landed;
+
+        // Network completely empty and no front releasable: jump to the
+        // next release — or raise the stall/watchdog error the cycle the
+        // per-cycle loop would have.
+        if !landed && occupied == 0 && st.flights.is_empty() && fronts_active == 0 {
+            let fire = last_progress_cycle
+                .saturating_add(core.config.stall_cycles)
+                .saturating_add(1)
+                .min(core.config.max_cycles);
+            match st.heap.peek() {
+                Some(&Reverse((r, _))) if r < fire => {
+                    idle_cycles_skipped += r - cycle;
+                    cycle = r;
+                    continue;
+                }
+                _ => {
+                    return if fire >= core.config.max_cycles {
+                        Err(SimError::Watchdog {
+                            max_cycles: core.config.max_cycles,
+                        })
+                    } else {
+                        Err(SimError::Deadlock {
+                            cycle: fire,
+                            undelivered: total - delivered,
+                            blocked: blocked_snapshot(core, st),
+                        })
+                    };
+                }
+            }
+        }
+
+        // Ejection: unbounded sink bandwidth, no arbitration — pop every
+        // route-complete head (including ones revealed by the pop) and
+        // return its credit upstream.
+        for c in 0..core.channels.len() {
+            let dst = core.channels[c].1 as usize;
+            let base = core.chan_slot[c] as usize;
+            for cvc in base..base + vcs {
+                while st.buf_len[cvc] > 0 {
+                    let head = st.front(core, cvc);
+                    if core.route_chan[head.ri as usize] != HEAD_EJECT {
+                        break;
+                    }
+                    st.buf_head[cvc] += 1;
+                    if st.buf_head[cvc] == cap32 {
+                        st.buf_head[cvc] = 0;
+                    }
+                    st.buf_len[cvc] -= 1;
+                    occupied -= 1;
+                    st.pending_ret[cvc] += 1;
+                    st.returns
+                        .push(Reverse((cycle + pipe.credit_return_cycles, cvc as u32)));
+                    energy.switch += core.switch_energy[dst];
+                    flits_ejected += 1;
+                    moved = true;
+                    if head.idx & IDX_TAIL != 0 {
+                        let p = &st.pkts[head.pkt as usize];
+                        delivered += 1;
+                        latency_sum += cycle - p.release;
+                        network_latency_sum += cycle - p.inject;
+                        st.hold[cvc] = HOLD_NONE;
+                    }
+                    if st.buf_len[cvc] > 0 {
+                        let next = st.front(core, cvc);
+                        st.head_ready[cvc] = if next.idx & IDX_MASK == 0 {
+                            cycle + pipe.rc_cycles
+                        } else {
+                            cycle
+                        };
+                    }
+                }
+            }
+        }
+
+        // VA: one grant per output (channel, VC) per cycle, round-robin
+        // over the requesting ports (local injection first, then input
+        // buffers ascending — the engine's candidate order). A head
+        // requests once it is RC-complete; denied requests (VC busy, or
+        // lost the arbitration) count as allocation conflicts. Each
+        // requester names exactly one output (channel, VC), so the
+        // requests are bucketed in a single pass over each node's inputs
+        // and grants across outputs stay independent — same winners as
+        // scanning the inputs once per output, at a fraction of the cost.
+        for u in 0..core.n_nodes {
+            let mut any = false;
+            if (st.local_out[u] as usize) < core.channels.len()
+                && st.emit[u] == 0
+                && st.local_hold[u] == HOLD_NONE
+            {
+                let ri = st.local_ri[u] as usize;
+                let out_cvc =
+                    core.chan_slot[st.local_out[u] as usize] as usize + core.route_vc[ri] as usize;
+                st.va_req[out_cvc].push(LOCAL_PORT);
+                any = true;
+            }
+            let (lo, hi) = (
+                core.node_slot_off[u] as usize,
+                core.node_slot_off[u + 1] as usize,
+            );
+            for cvc in lo..hi {
+                if st.buf_len[cvc] == 0 || st.hold[cvc] != HOLD_NONE || st.head_ready[cvc] > cycle {
+                    continue;
+                }
+                let head = st.front(core, cvc);
+                if head.idx & IDX_MASK != 0 {
+                    continue;
+                }
+                let rc = core.route_chan[head.ri as usize];
+                debug_assert_ne!(rc, HEAD_EJECT, "eject heads drain in the ejection pass");
+                let out_cvc =
+                    core.chan_slot[rc as usize] as usize + core.route_vc[head.ri as usize] as usize;
+                st.va_req[out_cvc].push(cvc as u32);
+                any = true;
+            }
+            if !any {
+                continue;
+            }
+            let (olo, ohi) = (st.out_off[u] as usize, st.out_off[u + 1] as usize);
+            for oi in olo..ohi {
+                let c = st.out_ch[oi] as usize;
+                for v in 0..vcs {
+                    let out_cvc = core.chan_slot[c] as usize + v;
+                    let n = st.va_req[out_cvc].len();
+                    if n == 0 {
+                        continue;
+                    }
+                    if st.vc_lock[out_cvc] != LOCK_NONE {
+                        vc_conflicts += n as u64;
+                        st.va_req[out_cvc].clear();
+                        continue;
+                    }
+                    let winner = st.va_req[out_cvc][st.rr_va[out_cvc] as usize % n];
+                    st.va_req[out_cvc].clear();
+                    st.rr_va[out_cvc] = (st.rr_va[out_cvc] as usize % n + 1) as u32;
+                    vc_conflicts += (n - 1) as u64;
+                    if winner == LOCAL_PORT {
+                        st.vc_lock[out_cvc] = lock_key(LOCAL_PORT, st.local_pid[u]);
+                        st.local_hold[u] = out_cvc as u32;
+                    } else {
+                        let head = st.front(core, winner as usize);
+                        st.vc_lock[out_cvc] = lock_key(winner, head.pkt);
+                        st.hold[winner as usize] = out_cvc as u32;
+                    }
+                }
+            }
+        }
+
+        // SA: one flit per output channel per cycle among the ports whose
+        // front flit holds the output VC, is ready, and has a credit.
+        // Credit-blocked holders are the credit-stall telemetry. Bucketed
+        // exactly like VA: every holder competes for the one channel its
+        // held VC lives on, and a grant never changes another channel's
+        // candidate set within the cycle (pops land `st_cycles` later,
+        // credits and locks are per-output), so build-then-grant picks
+        // the same winners as the per-output scan.
+        for u in 0..core.n_nodes {
+            let mut any = false;
+            if st.local_hold[u] != HOLD_NONE {
+                let out_cvc = st.local_hold[u] as usize;
+                if st.credits[out_cvc] > 0 {
+                    st.sa_req[st.local_out[u] as usize].push(LOCAL_PORT);
+                    any = true;
+                } else {
+                    credit_stalls += 1;
+                }
+            }
+            let (lo, hi) = (
+                core.node_slot_off[u] as usize,
+                core.node_slot_off[u + 1] as usize,
+            );
+            for cvc in lo..hi {
+                if st.buf_len[cvc] == 0 || st.hold[cvc] == HOLD_NONE || st.head_ready[cvc] > cycle {
+                    continue;
+                }
+                let head = st.front(core, cvc);
+                let out_cvc = st.hold[cvc] as usize;
+                debug_assert_eq!(st.vc_lock[out_cvc], lock_key(cvc as u32, head.pkt));
+                if st.credits[out_cvc] > 0 {
+                    st.sa_req[core.route_chan[head.ri as usize] as usize].push(cvc as u32);
+                    any = true;
+                } else {
+                    credit_stalls += 1;
+                }
+            }
+            if !any {
+                continue;
+            }
+            let (olo, ohi) = (st.out_off[u] as usize, st.out_off[u + 1] as usize);
+            for oi in olo..ohi {
+                let c = st.out_ch[oi] as usize;
+                let n = st.sa_req[c].len();
+                if n == 0 {
+                    continue;
+                }
+                let winner = st.sa_req[c][st.rr_sa[c] as usize % n];
+                st.sa_req[c].clear();
+                st.rr_sa[c] = (st.rr_sa[c] as usize % n + 1) as u32;
+
+                let (flit, out_cvc) = if winner == LOCAL_PORT {
+                    let idx = st.emit[u];
+                    let tail = if idx + 1 == st.local_flits[u] {
+                        IDX_TAIL
+                    } else {
+                        0
+                    };
+                    let flit = FlitSlot {
+                        pkt: st.local_pid[u],
+                        idx: idx | tail,
+                        ri: st.local_ri[u],
+                    };
+                    let out_cvc = st.local_hold[u] as usize;
+                    st.emit[u] += 1;
+                    if idx == 0 {
+                        st.pkts[flit.pkt as usize].inject = cycle;
+                    }
+                    flits_injected += 1;
+                    if tail != 0 {
+                        st.cursor[u] += 1;
+                        st.emit[u] = 0;
+                        st.local_out[u] = HEAD_NONE;
+                        st.local_hold[u] = HOLD_NONE;
+                        fronts_active -= 1;
+                        if let Some(&next) = st.pending[u].get(st.cursor[u] as usize) {
+                            let rel = st.pkts[next as usize].release;
+                            if rel <= cycle {
+                                let (off, _) = core.route_span(st.pkts[next as usize].route);
+                                st.local_out[u] = core.route_chan[off];
+                                st.local_ri[u] = off as u32;
+                                st.local_pid[u] = next;
+                                st.local_flits[u] = st.pkts[next as usize].flits;
+                                fronts_active += 1;
+                            } else {
+                                st.heap.push(Reverse((rel, u as u32)));
+                            }
+                        }
+                    }
+                    (flit, out_cvc)
+                } else {
+                    let cvc = winner as usize;
+                    let flit = st.front(core, cvc);
+                    let out_cvc = st.hold[cvc] as usize;
+                    st.buf_head[cvc] += 1;
+                    if st.buf_head[cvc] == cap32 {
+                        st.buf_head[cvc] = 0;
+                    }
+                    st.buf_len[cvc] -= 1;
+                    occupied -= 1;
+                    st.pending_ret[cvc] += 1;
+                    st.returns
+                        .push(Reverse((cycle + pipe.credit_return_cycles, cvc as u32)));
+                    if flit.idx & IDX_TAIL != 0 {
+                        st.hold[cvc] = HOLD_NONE;
+                    }
+                    if st.buf_len[cvc] > 0 {
+                        let next = st.front(core, cvc);
+                        st.head_ready[cvc] = if next.idx & IDX_MASK == 0 {
+                            cycle + pipe.rc_cycles
+                        } else {
+                            cycle
+                        };
+                    }
+                    (flit, out_cvc)
+                };
+                if flit.idx & IDX_TAIL != 0 {
+                    st.vc_lock[out_cvc] = LOCK_NONE;
+                }
+                st.credits[out_cvc] -= 1;
+                st.in_flight[out_cvc] += 1;
+                st.flights.push(Reverse((
+                    cycle + pipe.st_cycles,
+                    out_cvc as u32,
+                    flit.pkt,
+                    flit.idx,
+                    flit.ri + 1,
+                )));
+                energy.switch += core.switch_energy[u];
+                energy.link += core.link_energy[c];
+                moved = true;
+            }
+        }
+
+        // Credit conservation, per (channel, VC), per cycle: what the
+        // upstream allocator can spend plus everything already spent but
+        // not yet returned is exactly the buffer depth.
+        #[cfg(debug_assertions)]
+        for cvc in 0..st.credits.len() {
+            debug_assert_eq!(
+                st.credits[cvc] + st.buf_len[cvc] + st.in_flight[cvc] + st.pending_ret[cvc],
+                cap32,
+                "credit conservation violated at (channel, vc) slot {cvc}, cycle {cycle}"
+            );
+        }
+
+        if moved {
+            last_progress_cycle = cycle;
+        }
+        cycle += 1;
+    }
+
+    for &r in &core.radix {
+        energy.idle += core.energy_model().idle_energy(r, cycle);
+    }
+    if let Some(t) = tel {
+        t.add("sim.cycles", cycle);
+        t.add("sim.flits", flits_ejected);
+        t.add("sim.idle_cycles_skipped", idle_cycles_skipped);
+        t.add("sim.credit_stall_cycles", credit_stalls);
+        t.add("sim.vc_alloc_conflicts", vc_conflicts);
+    }
+    let total_payload_bits: u64 = st.pkts.iter().map(|p| p.payload_bits).sum();
+    Ok(SimReport::assemble(
+        core.name.clone(),
+        cycle,
+        total,
+        delivered,
+        total_payload_bits,
+        latency_sum,
+        network_latency_sum,
+        flits_injected,
+        flits_ejected,
+        energy,
+        core.energy_model().profile().clock_hz(),
+    ))
+}
+
+/// The blocked-buffer snapshot for credit-mode deadlock errors: every
+/// occupied (channel, VC) buffer, channels then VCs ascending, with the
+/// credit state toward each forwarding head's requested next hop.
+fn blocked_snapshot(core: &SimCore, st: &CreditState) -> Vec<BlockedVc> {
+    let mut blocked = Vec::new();
+    for (c, &(a, b)) in core.channels.iter().enumerate() {
+        for vc in 0..core.num_vcs {
+            let cvc = core.chan_slot[c] as usize + vc;
+            if st.buf_len[cvc] == 0 {
+                continue;
+            }
+            let head = st.front(core, cvc);
+            let req = core.route_chan[head.ri as usize];
+            let (credits_available, last_credit_return_cycle) = if req == HEAD_EJECT {
+                (None, None)
+            } else {
+                let out_cvc = core.chan_slot[req as usize] as usize
+                    + core.route_vc[head.ri as usize] as usize;
+                (
+                    Some(st.credits[out_cvc] as usize),
+                    (st.last_return[out_cvc] != NEVER).then_some(st.last_return[out_cvc]),
+                )
+            };
+            blocked.push(BlockedVc {
+                channel: (NodeId(a as usize), NodeId(b as usize)),
+                vc,
+                packet: head.pkt as usize,
+                hop: (head.ri - core.route_off[st.pkts[head.pkt as usize].route as usize]) as usize,
+                occupancy: st.buf_len[cvc] as usize,
+                credits_available,
+                last_credit_return_cycle,
+            });
+        }
+    }
+    blocked
+}
+
+#[cfg(test)]
+mod tests {
+    use noc_energy::{EnergyModel, TechnologyProfile};
+    use noc_graph::{DiGraph, NodeId};
+
+    use crate::{
+        CreditConfig, NocModel, RouterFidelity, SimConfig, SimError, Simulator, TrafficEvent,
+    };
+
+    fn energy() -> EnergyModel {
+        EnergyModel::new(TechnologyProfile::cmos_180nm())
+    }
+
+    fn credit_cfg() -> SimConfig {
+        SimConfig {
+            router: RouterFidelity::Credit(CreditConfig::default()),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_hop_latency_matches_ideal() {
+        // One hop has no intermediate router, so the pipeline adds
+        // nothing: head injects at 0, lands and ejects at 1, tail at 2.
+        let m = NocModel::mesh(2, 1, 1.0);
+        let report = Simulator::new(&m, credit_cfg(), energy())
+            .run(vec![TrafficEvent::new(0, NodeId(0), NodeId(1), 32)])
+            .unwrap();
+        assert_eq!(report.packets_delivered, 1);
+        assert_eq!(report.avg_packet_latency_cycles, 2.0);
+        assert_eq!(report.flits_injected, 2);
+        assert_eq!(report.flits_ejected, 2);
+    }
+
+    #[test]
+    fn each_intermediate_router_adds_rc_cycles() {
+        // On a line, every intermediate router charges the head RC before
+        // it can arbitrate: latency = ideal + rc * (hops - 1).
+        for rc in [1u64, 3] {
+            let cfg = SimConfig {
+                router: RouterFidelity::Credit(CreditConfig {
+                    rc_cycles: rc,
+                    ..CreditConfig::default()
+                }),
+                ..SimConfig::default()
+            };
+            let m = NocModel::mesh(4, 1, 1.0);
+            let ideal = Simulator::new(&m, SimConfig::default(), energy())
+                .run(vec![TrafficEvent::new(0, NodeId(0), NodeId(3), 32)])
+                .unwrap();
+            let credit = Simulator::new(&m, cfg, energy())
+                .run(vec![TrafficEvent::new(0, NodeId(0), NodeId(3), 32)])
+                .unwrap();
+            assert_eq!(
+                credit.avg_packet_latency_cycles,
+                ideal.avg_packet_latency_cycles + (rc * 2) as f64,
+                "rc={rc}"
+            );
+        }
+    }
+
+    #[test]
+    fn st_depth_stretches_the_flight_time() {
+        let slow = SimConfig {
+            router: RouterFidelity::Credit(CreditConfig {
+                st_cycles: 4,
+                ..CreditConfig::default()
+            }),
+            ..SimConfig::default()
+        };
+        let m = NocModel::mesh(2, 1, 1.0);
+        let fast = Simulator::new(&m, credit_cfg(), energy())
+            .run(vec![TrafficEvent::new(0, NodeId(0), NodeId(1), 32)])
+            .unwrap();
+        let stretched = Simulator::new(&m, slow, energy())
+            .run(vec![TrafficEvent::new(0, NodeId(0), NodeId(1), 32)])
+            .unwrap();
+        // Each flit's single hop takes 3 extra cycles in flight.
+        assert_eq!(
+            stretched.avg_packet_latency_cycles,
+            fast.avg_packet_latency_cycles + 3.0
+        );
+    }
+
+    #[test]
+    fn credit_mode_is_deterministic_and_conserves_flits() {
+        let m = NocModel::mesh(4, 4, 2.0);
+        let events = crate::traffic::uniform_random(16, 200, 128, 42);
+        let a = Simulator::new(&m, credit_cfg(), energy())
+            .run(events.clone())
+            .unwrap();
+        let b = Simulator::new(&m, credit_cfg(), energy())
+            .run(events)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.packets_delivered, 200);
+        assert_eq!(a.flits_injected, a.flits_ejected);
+    }
+
+    #[test]
+    fn contention_raises_credit_mode_latency_above_ideal() {
+        let m = NocModel::mesh(4, 4, 2.0);
+        let events = crate::traffic::uniform_random(16, 300, 128, 7);
+        let ideal = Simulator::new(&m, SimConfig::default(), energy())
+            .run(events.clone())
+            .unwrap();
+        let credit = Simulator::new(&m, credit_cfg(), energy())
+            .run(events)
+            .unwrap();
+        assert_eq!(credit.packets_delivered, ideal.packets_delivered);
+        assert!(credit.avg_packet_latency_cycles > ideal.avg_packet_latency_cycles);
+    }
+
+    #[test]
+    fn head_of_line_blocking_delays_traffic_to_a_free_output() {
+        // A fork: 0 -> 1, then 1 -> 2 and 1 -> 3. P0 (0->2) monopolizes
+        // (1,2) long enough that P1 (0->3) queues behind it in the (0,1)
+        // buffer even though its own output (1,3) is idle — the blocked
+        // head must delay P1 beyond its uncontended latency.
+        let topo = DiGraph::from_edges(4, [(0, 1), (1, 2), (1, 3)]).unwrap();
+        let mut routes = std::collections::BTreeMap::new();
+        routes.insert(
+            (NodeId(0), NodeId(2)),
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+        );
+        routes.insert(
+            (NodeId(0), NodeId(3)),
+            vec![NodeId(0), NodeId(1), NodeId(3)],
+        );
+        let m = NocModel::from_parts("fork", topo, routes, std::collections::BTreeMap::new(), 1.0);
+        let cfg = SimConfig {
+            buffer_flits: 2,
+            ..credit_cfg()
+        };
+        let alone = Simulator::new(&m, cfg, energy())
+            .run(vec![TrafficEvent::new(0, NodeId(0), NodeId(3), 32)])
+            .unwrap();
+        let behind = Simulator::new(&m, cfg, energy())
+            .run(vec![
+                TrafficEvent::new(0, NodeId(0), NodeId(2), 512),
+                TrafficEvent::new(0, NodeId(0), NodeId(3), 32),
+            ])
+            .unwrap();
+        // Mean latency with the 17-flit P0 ahead far exceeds P1 alone.
+        assert!(behind.avg_packet_latency_cycles > alone.avg_packet_latency_cycles);
+        assert_eq!(behind.packets_delivered, 2);
+    }
+
+    #[test]
+    fn forced_credit_exhaustion_reports_the_stall_reason() {
+        // Two sources feed a shared link (2,3) with single-flit buffers
+        // and a credit-return latency far beyond the stall budget. P0's
+        // head takes the (2,3) VC and drains; P0's tail starves at the
+        // source (its first-hop credit never returns), so P1's head sits
+        // in the (1,2) buffer holding nothing, VC-blocked, with zero
+        // credits visible toward (2,3) and no return ever seen.
+        let topo = DiGraph::from_edges(4, [(0, 2), (1, 2), (2, 3)]).unwrap();
+        let mut routes = std::collections::BTreeMap::new();
+        routes.insert(
+            (NodeId(0), NodeId(3)),
+            vec![NodeId(0), NodeId(2), NodeId(3)],
+        );
+        routes.insert(
+            (NodeId(1), NodeId(3)),
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+        );
+        let m = NocModel::from_parts(
+            "shared-link",
+            topo,
+            routes,
+            std::collections::BTreeMap::new(),
+            1.0,
+        );
+        let cfg = SimConfig {
+            buffer_flits: 1,
+            stall_cycles: 50,
+            router: RouterFidelity::Credit(CreditConfig {
+                credit_return_cycles: 1_000_000,
+                ..CreditConfig::default()
+            }),
+            ..SimConfig::default()
+        };
+        let err = Simulator::new(&m, cfg, energy())
+            .run(vec![
+                TrafficEvent::new(0, NodeId(0), NodeId(3), 32),
+                TrafficEvent::new(0, NodeId(1), NodeId(3), 32),
+            ])
+            .unwrap_err();
+        let SimError::Deadlock { blocked, .. } = err else {
+            panic!("expected a credit-starvation deadlock, got {err:?}");
+        };
+        let stuck = blocked
+            .iter()
+            .find(|b| b.channel == (NodeId(1), NodeId(2)))
+            .expect("P1's head is stuck in the (1,2) buffer");
+        assert_eq!(stuck.occupancy, 1);
+        assert_eq!(stuck.credits_available, Some(0));
+        assert_eq!(stuck.last_credit_return_cycle, None);
+    }
+
+    #[test]
+    fn ideal_mode_snapshots_carry_no_credit_fields() {
+        // The ideal engine has no credit counters: its deadlock snapshots
+        // must report `None` for both credit fields (and bit-match the
+        // reference loop, which the equivalence suite enforces).
+        let topo = DiGraph::cycle(4);
+        let mut routes = std::collections::BTreeMap::new();
+        for s in 0..4usize {
+            let d = (s + 2) % 4;
+            routes.insert(
+                (NodeId(s), NodeId(d)),
+                vec![NodeId(s), NodeId((s + 1) % 4), NodeId(d)],
+            );
+        }
+        let m = NocModel::from_parts("ring", topo, routes, std::collections::BTreeMap::new(), 1.0);
+        let cfg = SimConfig {
+            buffer_flits: 1,
+            stall_cycles: 200,
+            ..SimConfig::default()
+        };
+        let events: Vec<_> = (0..4)
+            .map(|s| TrafficEvent::new(0, NodeId(s), NodeId((s + 2) % 4), 256))
+            .collect();
+        let err = Simulator::new(&m, cfg, energy()).run(events).unwrap_err();
+        let SimError::Deadlock { blocked, .. } = err else {
+            panic!("expected deadlock, got {err:?}");
+        };
+        assert!(!blocked.is_empty());
+        assert!(blocked
+            .iter()
+            .all(|b| b.credits_available.is_none() && b.last_credit_return_cycle.is_none()));
+    }
+
+    #[test]
+    fn empty_traffic_and_release_gaps_behave_like_ideal() {
+        let m = NocModel::mesh(2, 1, 1.0);
+        let empty = Simulator::new(&m, credit_cfg(), energy())
+            .run(Vec::new())
+            .unwrap();
+        assert_eq!(empty.total_cycles, 0);
+        // A release gap longer than the stall budget raises the same
+        // empty-snapshot deadlock at the same cycle as the ideal engine.
+        let cfg = SimConfig {
+            stall_cycles: 50,
+            ..credit_cfg()
+        };
+        let err = Simulator::new(&m, cfg, energy())
+            .run(vec![TrafficEvent::new(200, NodeId(0), NodeId(1), 32)])
+            .unwrap_err();
+        match err {
+            SimError::Deadlock {
+                cycle,
+                undelivered,
+                blocked,
+            } => {
+                assert_eq!(cycle, 51);
+                assert_eq!(undelivered, 1);
+                assert!(blocked.is_empty());
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_fires_in_credit_mode() {
+        let m = NocModel::mesh(4, 4, 1.0);
+        let cfg = SimConfig {
+            max_cycles: 3,
+            ..credit_cfg()
+        };
+        let events = crate::traffic::uniform_random(16, 50, 256, 1);
+        let err = Simulator::new(&m, cfg, energy()).run(events).unwrap_err();
+        assert_eq!(err, SimError::Watchdog { max_cycles: 3 });
+    }
+}

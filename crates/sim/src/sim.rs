@@ -30,6 +30,62 @@ use noc_graph::NodeId;
 use crate::engine::{SimCore, SimState};
 use crate::{NocModel, SimReport, TrafficEvent};
 
+/// Pipeline depths and latencies of the credit-based router model
+/// ([`RouterFidelity::Credit`]). All fields are cycle counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CreditConfig {
+    /// Route-computation (RC) depth: cycles a newly revealed *head* flit
+    /// spends in a router before it may request VC allocation. Body and
+    /// tail flits inherit the head's route and skip RC.
+    pub rc_cycles: u64,
+    /// Switch-traversal + link (ST) depth: cycles between a switch-
+    /// allocation grant and the flit landing in the downstream buffer.
+    pub st_cycles: u64,
+    /// Credit-return latency: cycles between a downstream buffer pop and
+    /// the freed credit becoming visible to the upstream allocator.
+    pub credit_return_cycles: u64,
+}
+
+impl Default for CreditConfig {
+    /// A 3-stage-visible pipeline: 1-cycle RC, 1-cycle ST, 1-cycle credit
+    /// return (VA and SA arbitrate within the grant cycle).
+    fn default() -> Self {
+        CreditConfig {
+            rc_cycles: 1,
+            st_cycles: 1,
+            credit_return_cycles: 1,
+        }
+    }
+}
+
+/// Which router model the simulator runs.
+///
+/// `Ideal` is the seed-compatible model: one cycle per hop, VC allocation
+/// folded into switch allocation, credits implicit in downstream occupancy.
+/// Every report it produces is bit-identical to the preserved reference
+/// loop (enforced by the equivalence suite). `Credit` is the explicit
+/// RC → VA → SA → ST pipeline with per-(channel, VC) credit counters and
+/// return latency — the `router` module's source docs describe the model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RouterFidelity {
+    /// Idealized wormhole flow control (the seed semantics).
+    #[default]
+    Ideal,
+    /// Credit-based virtual-channel router with explicit pipeline stages.
+    Credit(CreditConfig),
+}
+
+impl RouterFidelity {
+    /// Stable lowercase label ("ideal" / "credit") used by campaign
+    /// reports and benchmark rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterFidelity::Ideal => "ideal",
+            RouterFidelity::Credit(_) => "credit",
+        }
+    }
+}
+
 /// Simulator tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -44,11 +100,13 @@ pub struct SimConfig {
     /// Declare deadlock after this many cycles without any flit movement
     /// while traffic is still in flight.
     pub stall_cycles: u64,
+    /// Router model fidelity (ideal wormhole vs. credit-based pipeline).
+    pub router: RouterFidelity,
 }
 
 impl Default for SimConfig {
     /// 32-bit flits, 4-flit buffers, 1 header flit — a typical lightweight
-    /// 2005-era NoC router configuration.
+    /// 2005-era NoC router configuration — under the ideal router model.
     fn default() -> Self {
         SimConfig {
             flit_bits: 32,
@@ -56,6 +114,7 @@ impl Default for SimConfig {
             header_flits: 1,
             max_cycles: 10_000_000,
             stall_cycles: 10_000,
+            router: RouterFidelity::Ideal,
         }
     }
 }
@@ -75,6 +134,15 @@ pub struct BlockedVc {
     pub hop: usize,
     /// Flits occupying the buffer.
     pub occupancy: usize,
+    /// Credits available toward the head's requested next-hop
+    /// (channel, VC) at the declaring cycle. `None` under
+    /// [`RouterFidelity::Ideal`] (where credits are implicit in downstream
+    /// occupancy) and for heads waiting to eject.
+    pub credits_available: Option<usize>,
+    /// Cycle at which the last credit for that next-hop buffer was
+    /// returned upstream — `None` in ideal mode, for ejecting heads, or
+    /// when no credit was ever returned.
+    pub last_credit_return_cycle: Option<u64>,
 }
 
 /// Why a simulation failed.

@@ -498,6 +498,92 @@ mod tests {
     }
 
     #[test]
+    fn credit_mode_knees_earlier_than_ideal_across_thread_counts() {
+        // The credit pipeline congests sooner than the ideal router: the
+        // same cutoff truncates the credit ramp at a strictly lower rate.
+        // And like the ideal sweep, speculative waves must fold to the
+        // sequential curve — truncation point included — for every
+        // thread count.
+        use crate::{CreditConfig, RouterFidelity};
+        let model = NocModel::mesh(4, 4, 1.0);
+        let rates = vec![0.02, 0.05, 0.08, 0.12, 0.16, 0.2, 0.25];
+        // A deep pipeline (2-cycle switch traversal, slow credit loop)
+        // so the credit knee sits well clear of the ideal one.
+        let pipe = CreditConfig {
+            rc_cycles: 1,
+            st_cycles: 2,
+            credit_return_cycles: 4,
+        };
+        let mk = |router: RouterFidelity, threads: usize| SweepConfig {
+            rates: rates.clone(),
+            duration_cycles: 400,
+            saturation_cutoff: Some(2.8),
+            threads,
+            sim: crate::SimConfig {
+                router,
+                ..crate::SimConfig::default()
+            },
+            ..Default::default()
+        };
+        let ideal = sweep(&model, &mk(RouterFidelity::Ideal, 1), &energy()).unwrap();
+        let credit = sweep(&model, &mk(RouterFidelity::Credit(pipe), 1), &energy()).unwrap();
+        assert!(
+            credit.len() < ideal.len(),
+            "credit ramp must knee earlier: credit {} points vs ideal {}",
+            credit.len(),
+            ideal.len()
+        );
+        assert!(credit.len() < rates.len(), "credit cutoff must fire");
+        // The cutoff anchored at the true zero-load point: every reported
+        // point except the saturated last one stays under the knee.
+        let zero_load = credit[0].avg_latency_cycles;
+        for p in &credit[..credit.len() - 1] {
+            assert!(p.avg_latency_cycles <= 2.8 * zero_load);
+        }
+        assert!(credit.last().unwrap().avg_latency_cycles > 2.8 * zero_load);
+        for threads in [2, 4] {
+            let parallel = sweep(
+                &model,
+                &mk(RouterFidelity::Credit(pipe), threads),
+                &energy(),
+            )
+            .unwrap();
+            assert_eq!(parallel, credit, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn credit_cutoff_reanchors_at_the_lowest_rate_across_thread_counts() {
+        // The anchor rule under credit fidelity: a ramp that opens past
+        // saturation re-baselines when the genuine low-load point
+        // arrives, then cuts at the first point past cutoff × anchor —
+        // identically for threads ∈ {1, 2, 4}.
+        use crate::{CreditConfig, RouterFidelity};
+        let model = NocModel::mesh(4, 4, 1.0);
+        let mk = |threads: usize| SweepConfig {
+            rates: vec![0.45, 0.02, 0.55, 0.65],
+            duration_cycles: 400,
+            saturation_cutoff: Some(2.0),
+            threads,
+            sim: crate::SimConfig {
+                router: RouterFidelity::Credit(CreditConfig::default()),
+                ..crate::SimConfig::default()
+            },
+            ..Default::default()
+        };
+        let points = sweep(&model, &mk(1), &energy()).unwrap();
+        // The congested opener does not trip the cutoff against itself…
+        assert!(points[0].avg_latency_cycles > 2.0 * points[1].avg_latency_cycles);
+        // …and the first point past the re-anchored baseline ends the ramp.
+        assert_eq!(points.len(), 3, "ramp should cut after the 0.55 point");
+        assert_eq!(points[2].injection_rate, 0.55);
+        for threads in [2, 4] {
+            let parallel = sweep(&model, &mk(threads), &energy()).unwrap();
+            assert_eq!(parallel, points, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn o1turn_and_xy_sweeps_both_complete() {
         let config = SweepConfig {
             rates: vec![0.05, 0.15],

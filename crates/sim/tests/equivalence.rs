@@ -194,6 +194,68 @@ fn deadlock_errors_match_including_blocked_snapshots() {
 }
 
 #[test]
+fn ideal_fidelity_is_the_bit_identical_compatibility_config() {
+    // The compatibility guarantee of the router-fidelity axis: a config
+    // that *explicitly* selects `RouterFidelity::Ideal` produces reports
+    // bit-identical to both a default config (which carries the same
+    // fidelity implicitly) and the preserved reference loop, across the
+    // model × traffic matrix. The credit pipeline must never leak into
+    // the ideal path.
+    use noc_sim::RouterFidelity;
+    let mesh = NocModel::mesh(4, 4, 1.0);
+    let o1 = NocModel::mesh_o1turn(4, 4, 1.0, 3);
+    let glued = glued_model();
+    let glued_pairs = vec![(NodeId(0), NodeId(2)), (NodeId(3), NodeId(1))];
+    let cases: Vec<(&NocModel, Vec<TrafficEvent>)> = vec![
+        (&mesh, traffic::uniform_random(16, 150, 96, 7)),
+        (&mesh, traffic::bernoulli(16, 200, 0.35, 64, 3)),
+        (&o1, traffic::uniform_random(16, 200, 128, 11)),
+        (
+            &glued,
+            traffic::bernoulli_pairs(&glued_pairs, 250, 0.3, 96, 9),
+        ),
+    ];
+    for (model, events) in &cases {
+        let explicit = SimConfig {
+            router: RouterFidelity::Ideal,
+            ..SimConfig::default()
+        };
+        // Explicit Ideal ≡ reference (every f64 down to the bit).
+        check(model, explicit, events);
+        // Explicit Ideal ≡ implicit default-config engine run.
+        let a = Simulator::new(model, explicit, energy())
+            .run(events.clone())
+            .unwrap();
+        let b = Simulator::new(model, SimConfig::default(), energy())
+            .run(events.clone())
+            .unwrap();
+        assert_bit_identical(&a, &b);
+    }
+    // Error outcomes too: the cyclic-route deadlock fires at the same
+    // cycle with the same snapshot under an explicit Ideal config.
+    let topo = DiGraph::cycle(4);
+    let mut routes = BTreeMap::new();
+    for s in 0..4usize {
+        let d = (s + 2) % 4;
+        routes.insert(
+            (NodeId(s), NodeId(d)),
+            vec![NodeId(s), NodeId((s + 1) % 4), NodeId(d)],
+        );
+    }
+    let cyclic = NocModel::from_parts("cyclic", topo, routes, BTreeMap::new(), 1.0);
+    let cfg = SimConfig {
+        buffer_flits: 1,
+        stall_cycles: 200,
+        router: RouterFidelity::Ideal,
+        ..SimConfig::default()
+    };
+    let events: Vec<TrafficEvent> = (0..4)
+        .map(|s| TrafficEvent::new(0, NodeId(s), NodeId((s + 2) % 4), 512))
+        .collect();
+    check(&cyclic, cfg, &events);
+}
+
+#[test]
 fn watchdog_and_release_gap_stalls_match() {
     let model = NocModel::mesh(4, 4, 1.0);
     // Watchdog: budget far below the drain time.

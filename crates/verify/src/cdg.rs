@@ -106,13 +106,22 @@ impl ExtendedCdg {
     }
 
     /// Finds a dependency cycle and dresses it up as a witness.
+    ///
+    /// The DFS back-edge cycle that proves cyclicity can meander — it
+    /// follows whatever path the traversal happened to take, so on a
+    /// graph with both a tight loop and a long tour it may report the
+    /// tour. The witness is therefore **BFS-shortened**: the shortest
+    /// cycle through any vertex of the DFS-found cycle, with
+    /// deterministic tie-breaks (lowest vertex id first, breadth-first
+    /// discovery order within a level).
     pub(crate) fn find_cycle_witness(&self) -> Option<CycleWitness> {
         let walk = algo::find_cycle(&self.graph)?;
-        let vertices: Vec<CdgVertex> = walk.iter().map(|v| self.vertex(v.index())).collect();
+        let walk = self.shorten_cycle(&walk);
+        let vertices: Vec<CdgVertex> = walk.iter().map(|&v| self.vertex(v)).collect();
         let edges = walk
             .windows(2)
             .map(|pair| {
-                let key = (pair[0].index(), pair[1].index());
+                let key = (pair[0], pair[1]);
                 let prov = &self.provenance[&key];
                 WitnessEdge {
                     from: self.vertex(key.0),
@@ -123,6 +132,65 @@ impl ExtendedCdg {
             })
             .collect();
         Some(CycleWitness { vertices, edges })
+    }
+
+    /// Replaces a closed walk with the shortest cycle through any of its
+    /// vertices: one BFS per distinct walk vertex over the deduplicated
+    /// edge set, keeping the first minimum found (starts scanned in
+    /// ascending vertex id). Every walk vertex lies on the DFS cycle, so
+    /// a cycle through each start exists and the result is never longer
+    /// than the input.
+    fn shorten_cycle(&self, walk: &[NodeId]) -> Vec<usize> {
+        // Adjacency from the provenance keys: BTreeMap order makes every
+        // successor list ascending, so BFS discovery is deterministic.
+        let mut succ: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(from, to) in self.provenance.keys() {
+            succ.entry(from).or_default().push(to);
+        }
+        let mut starts: Vec<usize> = walk[..walk.len() - 1].iter().map(|v| v.index()).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        let n = self.graph.node_count();
+        let mut best: Option<Vec<usize>> = None;
+        for &s in &starts {
+            if best.as_ref().is_some_and(|b| b.len() <= 3) {
+                break; // a 2-cycle (3 walk entries) cannot be beaten
+            }
+            let mut parent: Vec<usize> = vec![usize::MAX; n];
+            parent[s] = s;
+            let mut queue = std::collections::VecDeque::from([s]);
+            let mut found: Option<Vec<usize>> = None;
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &t in succ.get(&u).map_or(&[][..], Vec::as_slice) {
+                    if t == s {
+                        // First closure is minimal: BFS dequeues in
+                        // distance order.
+                        let mut tail = Vec::new();
+                        let mut cur = u;
+                        while cur != s {
+                            tail.push(cur);
+                            cur = parent[cur];
+                        }
+                        tail.reverse();
+                        let mut cycle = vec![s];
+                        cycle.extend(tail);
+                        cycle.push(s);
+                        found = Some(cycle);
+                        break 'bfs;
+                    }
+                    if parent[t] == usize::MAX {
+                        parent[t] = u;
+                        queue.push_back(t);
+                    }
+                }
+            }
+            if let Some(c) = found {
+                if best.as_ref().is_none_or(|b| c.len() < b.len()) {
+                    best = Some(c);
+                }
+            }
+        }
+        best.expect("every vertex of a DFS-found cycle lies on some cycle")
     }
 
     /// Per-VC-layer diagnostics: each layer's intra-layer subgraph,

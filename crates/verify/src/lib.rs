@@ -265,6 +265,38 @@ mod tests {
     }
 
     #[test]
+    fn witness_is_bfs_shortened_to_the_tight_cycle() {
+        // A 5-ring turnaround cycle (length 5) plus a 3-cycle chord
+        // through node 5 that shares the resource c(1, 2). The ring
+        // routes are inserted first, so the DFS proof walks the 5-cycle
+        // c(0,1) -> c(1,2) -> c(2,3) -> c(3,4) -> c(4,0) and, unshortened,
+        // would report length 5. The witness must instead be the tight
+        // triangle c(1,2) -> c(2,5) -> c(5,1).
+        let mut channels: Vec<(NodeId, NodeId)> = (0..5).map(|i| (n(i), n((i + 1) % 5))).collect();
+        channels.push((n(2), n(5)));
+        channels.push((n(5), n(1)));
+        let mut set = RouteSet::new("planted");
+        for i in 0..5usize {
+            let path = vec![n(i), n((i + 1) % 5), n((i + 2) % 5)];
+            set = set.route(n(i), n((i + 2) % 5), path, vec![0, 0]);
+        }
+        set = set
+            .route(n(1), n(5), vec![n(1), n(2), n(5)], vec![0, 0])
+            .route(n(2), n(1), vec![n(2), n(5), n(1)], vec![0, 0])
+            .route(n(5), n(2), vec![n(5), n(1), n(2)], vec![0, 0]);
+        let verdict = verify(&RoutingSpec::new("planted", channels, 1).route_set(set));
+        assert!(!verdict.is_deadlock_free());
+        let witness = verdict.cycle.expect("cycle witness");
+        assert_witness_valid(&witness);
+        assert_eq!(witness.len(), 3, "witness must be the short cycle");
+        let chans: std::collections::BTreeSet<(usize, usize)> = witness.vertices[..witness.len()]
+            .iter()
+            .map(|v| (v.channel.0.index(), v.channel.1.index()))
+            .collect();
+        assert_eq!(chans, [(1, 2), (2, 5), (5, 1)].into_iter().collect());
+    }
+
+    #[test]
     fn dateline_vc_assignment_clears_the_same_ring() {
         // Crossing the wrap channel (3, 0) bumps the packet to VC 1: the
         // textbook dateline scheme. The single-VC CDG still has the
